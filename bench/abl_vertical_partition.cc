@@ -1,0 +1,98 @@
+// Ablation (§5.2): dynamic load partitioning. "The layer supports
+// dynamic partitioning of the load so that, e.g., data requests for
+// certain parts of a database schema are routed to a different DBMS. We
+// use this feature to separate processing from browsing clients."
+//
+// Closed-loop browse clients share the metadata DBMS with a background
+// processing workload (catalog imports issuing metadata edits). With one
+// DBMS, processing queries steal capacity from browsing; routing the
+// processing tables to a second DBMS restores browse throughput.
+#include <cstdio>
+#include <memory>
+
+#include "sim/simulator.h"
+
+namespace {
+
+using hedc::sim::FcfsQueue;
+using hedc::sim::Simulator;
+
+struct Config {
+  int browse_clients = 16;
+  double browse_queries_per_request = 7;
+  double db_query_sec = 1.0 / 120.0;
+  double processing_ops_per_sec = 60;  // background edit stream
+  bool separate_dbms = false;
+  double sim_seconds = 600;
+};
+
+struct Outcome {
+  double browse_rps;
+  double browse_db_util;
+};
+
+Outcome Run(const Config& config) {
+  Simulator simulator;
+  FcfsQueue browse_db(&simulator, 1);
+  FcfsQueue processing_db(&simulator, 1);
+  FcfsQueue* processing_target =
+      config.separate_dbms ? &processing_db : &browse_db;
+
+  int64_t completed = 0;
+  double warmup = config.sim_seconds / 5;
+
+  // Closed-loop browse clients: 7 queries per request, zero think time.
+  std::function<void(int)> browse_request = [&](int remaining) {
+    if (remaining == 0) {
+      if (simulator.now() >= warmup) ++completed;
+      simulator.After(0, [&] { browse_request(
+          static_cast<int>(config.browse_queries_per_request)); });
+      return;
+    }
+    browse_db.Submit(config.db_query_sec,
+                     [&, remaining] { browse_request(remaining - 1); });
+  };
+  for (int c = 0; c < config.browse_clients; ++c) {
+    browse_request(static_cast<int>(config.browse_queries_per_request));
+  }
+
+  // Open-loop processing stream (deterministic inter-arrival).
+  double interval = 1.0 / config.processing_ops_per_sec;
+  std::function<void()> processing_arrival = [&] {
+    processing_target->Submit(config.db_query_sec, [] {});
+    simulator.After(interval, [&] { processing_arrival(); });
+  };
+  simulator.After(interval, [&] { processing_arrival(); });
+
+  simulator.RunUntil(warmup + config.sim_seconds);
+  Outcome outcome;
+  outcome.browse_rps =
+      static_cast<double>(completed) / config.sim_seconds;
+  outcome.browse_db_util =
+      browse_db.busy_time() / (warmup + config.sim_seconds);
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Vertical partitioning (separate processing from browsing "
+              "clients, §5.2)\n\n");
+  std::printf("%22s %18s %14s\n", "processing load [q/s]", "shared DBMS",
+              "separate DBMS");
+  for (double load : {0.0, 30.0, 60.0, 90.0}) {
+    Config shared;
+    shared.processing_ops_per_sec = load;
+    shared.separate_dbms = false;
+    Config split = shared;
+    split.separate_dbms = true;
+    Outcome a = Run(shared);
+    Outcome b = Run(split);
+    std::printf("%22.0f %13.1f req/s %9.1f req/s\n", load, a.browse_rps,
+                b.browse_rps);
+  }
+  std::printf("\nshape check: with a shared DBMS the background processing "
+              "stream eats browse throughput; routing its tables to a "
+              "second DBMS restores the ~17 req/s browse ceiling.\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Ablation (§3.4, §6.3): approximated analysis via wavelet views.
+//
+// The paper's claim: pre-processing the raw data into wavelet-compressed
+// range-partitioned views shortens the *holistic* response time (download
+// + reconstruction + analysis) "by at least an order of magnitude",
+// because analysis cost scales with input size and the approximated input
+// is a small fraction of the raw data.
+//
+// Holistic time = bytes / 2 MB/s (the paper's client link) + decode +
+// analysis-on-input. Compared for raw photon lists vs view prefixes.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "rhessi/photon.h"
+#include "rhessi/telemetry.h"
+#include "wavelet/codec.h"
+#include "wavelet/views.h"
+
+namespace {
+
+using hedc::rhessi::GenerateTelemetry;
+using hedc::rhessi::PhotonList;
+using hedc::rhessi::TelemetryOptions;
+
+constexpr double kLinkBytesPerSec = 2.0 * 1024 * 1024;
+
+const PhotonList& Photons() {
+  static const PhotonList* const kPhotons = [] {
+    TelemetryOptions options;
+    options.duration_sec = 1800;
+    options.flares_per_hour = 6;
+    options.seed = 4;
+    return new PhotonList(GenerateTelemetry(options).photons);
+  }();
+  return *kPhotons;
+}
+
+// The analysis both paths run: total counts + peak bin over a time grid
+// (the inner loop of lightcurve-style exploration).
+double AnalyzeSeries(const std::vector<double>& bins) {
+  double peak = 0, total = 0;
+  for (double b : bins) {
+    total += b;
+    peak = std::max(peak, b);
+  }
+  return peak + total * 1e-9;
+}
+
+void BM_ExactAnalysisOnRawPhotons(benchmark::State& state) {
+  const PhotonList& photons = Photons();
+  size_t raw_bytes = hedc::rhessi::EncodePhotons(photons).size();
+  double transfer_sec = static_cast<double>(raw_bytes) / kLinkBytesPerSec;
+  for (auto _ : state) {
+    // Bin the full photon list (the work an exact lightcurve performs).
+    std::vector<double> bins(1024, 0.0);
+    double t_max = photons.back().time_sec + 1e-9;
+    for (const auto& p : photons) {
+      bins[static_cast<size_t>(p.time_sec / t_max * 1023)] += 1.0;
+    }
+    benchmark::DoNotOptimize(AnalyzeSeries(bins));
+  }
+  // Holistic time = transfer_sec + the per-iteration CPU time benchmark
+  // reports; the view path divides both by ~the prefix factor.
+  state.counters["transfer_sec"] = transfer_sec;
+  state.counters["bytes"] = static_cast<double>(raw_bytes);
+}
+BENCHMARK(BM_ExactAnalysisOnRawPhotons);
+
+void BM_ApproxAnalysisOnViewPrefix(benchmark::State& state) {
+  const PhotonList& photons = Photons();
+  // Server-side preprocessing (done once at load time, not charged).
+  std::vector<std::pair<double, double>> samples;
+  samples.reserve(photons.size());
+  for (const auto& p : photons) samples.emplace_back(p.time_sec, 1.0);
+  hedc::wavelet::PartitionedView::Options options;
+  options.domain_lo = 0;
+  options.domain_hi = photons.back().time_sec + 1;
+  options.num_partitions = 8;
+  options.bins_per_partition = 128;
+  auto view = hedc::wavelet::PartitionedView::Build(samples, options);
+  double fraction = static_cast<double>(state.range(0)) / 100.0;
+  size_t view_bytes = view.value().TotalBytes();
+  double transfer_sec =
+      static_cast<double>(view_bytes) * fraction / kLinkBytesPerSec;
+  for (auto _ : state) {
+    double start = 0;
+    auto bins = view.value().Query(options.domain_lo, options.domain_hi,
+                                   fraction, &start);
+    benchmark::DoNotOptimize(AnalyzeSeries(bins.value()));
+  }
+  state.counters["transfer_sec"] = transfer_sec;
+  state.counters["bytes"] = static_cast<double>(view_bytes) * fraction;
+}
+BENCHMARK(BM_ApproxAnalysisOnViewPrefix)->Arg(2)->Arg(10)->Arg(100);
+
+// Reconstruction error at each prefix fraction, printed as counters.
+void BM_ApproxErrorProfile(benchmark::State& state) {
+  const PhotonList& photons = Photons();
+  std::vector<double> exact(1024, 0.0);
+  double t_max = photons.back().time_sec + 1e-9;
+  for (const auto& p : photons) {
+    exact[static_cast<size_t>(p.time_sec / t_max * 1023)] += 1.0;
+  }
+  std::vector<uint8_t> stream = hedc::wavelet::EncodeSignal(exact);
+  double fraction = static_cast<double>(state.range(0)) / 100.0;
+  double err = 0;
+  for (auto _ : state) {
+    auto approx = hedc::wavelet::DecodeSignal(stream, fraction);
+    err = hedc::wavelet::RelativeL2Error(exact, approx.value());
+    benchmark::DoNotOptimize(err);
+  }
+  state.counters["rel_l2_error"] = err;
+}
+BENCHMARK(BM_ApproxErrorProfile)->Arg(2)->Arg(10)->Arg(50)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,35 @@
+// Figure 4: browse throughput versus number of clients, single middle-
+// tier server. Paper: throughput peaks at ~16-17 req/s with 16 clients
+// (the DBMS at its ~120 queries/s ceiling) and degrades to ~3 req/s at 96
+// clients due to application-logic load.
+#include <cstdio>
+
+#include "testbed/browse_model.h"
+
+int main() {
+  using hedc::testbed::BrowseResult;
+  using hedc::testbed::RunBrowse;
+
+  // Paper curve read from Figure 4 (approximate, the endpoints are given
+  // in the text: "around 16" at the peak, "around 3" at 96 clients).
+  struct PaperPoint {
+    int clients;
+    double paper_rps;
+  };
+  const PaperPoint kPaper[] = {{16, 16.5}, {32, 9.0},  {48, 6.5},
+                               {64, 5.0},  {80, 4.0},  {96, 3.0}};
+
+  std::printf("Figure 4: browse throughput vs clients (1 middle-tier "
+              "server)\n");
+  std::printf("%8s %14s %14s %14s %12s\n", "clients", "paper[req/s]",
+              "measured", "db[q/s]", "resp[s]");
+  for (const PaperPoint& point : kPaper) {
+    BrowseResult r = RunBrowse(point.clients, 1, 600);
+    std::printf("%8d %14.1f %14.1f %14.0f %12.2f\n", point.clients,
+                point.paper_rps, r.throughput_rps, r.db_queries_per_sec,
+                r.mean_response_sec);
+  }
+  std::printf("\nshape checks: peak at 16 clients, monotone degradation, "
+              "~3 req/s at 96.\n");
+  return 0;
+}

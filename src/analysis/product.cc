@@ -1,0 +1,112 @@
+#include "analysis/product.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "archive/compression.h"
+#include "core/bytes.h"
+
+namespace hedc::analysis {
+
+namespace {
+constexpr uint32_t kGifMagic = 0x48474946;  // "HGIF"
+}  // namespace
+
+double Image::MaxPixel() const {
+  double best = 0;
+  for (double p : pixels) best = std::max(best, p);
+  return best;
+}
+
+double Image::TotalFlux() const {
+  double sum = 0;
+  for (double p : pixels) sum += p;
+  return sum;
+}
+
+std::vector<uint8_t> RenderImage(const Image& image) {
+  ByteBuffer header;
+  header.PutU32(kGifMagic);
+  header.PutVarint(image.width);
+  header.PutVarint(image.height);
+  double lo = image.pixels.empty() ? 0 : image.pixels[0];
+  double hi = lo;
+  for (double p : image.pixels) {
+    lo = std::min(lo, p);
+    hi = std::max(hi, p);
+  }
+  header.PutF64(lo);
+  header.PutF64(hi);
+  // 8-bit quantized pixel plane.
+  std::vector<uint8_t> plane;
+  plane.reserve(image.pixels.size());
+  double range = hi - lo;
+  for (double p : image.pixels) {
+    double v = range > 0 ? (p - lo) / range : 0.0;
+    plane.push_back(static_cast<uint8_t>(std::lround(v * 255.0)));
+  }
+  std::vector<uint8_t> compressed = archive::Compress(plane);
+  header.PutVarint(compressed.size());
+  header.PutBytes(compressed.data(), compressed.size());
+  return std::move(header).TakeData();
+}
+
+Result<Image> ParseRenderedImage(const std::vector<uint8_t>& bytes) {
+  ByteReader reader(bytes);
+  uint32_t magic = 0;
+  HEDC_RETURN_IF_ERROR(reader.GetU32(&magic));
+  if (magic != kGifMagic) {
+    return Status::Corruption("not a GIF-lite image (bad magic)");
+  }
+  uint64_t width = 0, height = 0, clen = 0;
+  double lo = 0, hi = 0;
+  HEDC_RETURN_IF_ERROR(reader.GetVarint(&width));
+  HEDC_RETURN_IF_ERROR(reader.GetVarint(&height));
+  HEDC_RETURN_IF_ERROR(reader.GetF64(&lo));
+  HEDC_RETURN_IF_ERROR(reader.GetF64(&hi));
+  HEDC_RETURN_IF_ERROR(reader.GetVarint(&clen));
+  std::vector<uint8_t> compressed(clen);
+  HEDC_RETURN_IF_ERROR(reader.GetBytes(compressed.data(), clen));
+  HEDC_ASSIGN_OR_RETURN(std::vector<uint8_t> plane,
+                        archive::Decompress(compressed));
+  if (plane.size() != width * height) {
+    return Status::Corruption("GIF-lite pixel plane size mismatch");
+  }
+  Image image;
+  image.width = width;
+  image.height = height;
+  image.pixels.reserve(plane.size());
+  double range = hi - lo;
+  for (uint8_t q : plane) {
+    image.pixels.push_back(lo + range * (static_cast<double>(q) / 255.0));
+  }
+  return image;
+}
+
+std::vector<uint8_t> RenderSeries(const Series& series, size_t width,
+                                  size_t height) {
+  Image plot;
+  plot.width = width;
+  plot.height = height;
+  plot.pixels.assign(width * height, 0.0);
+  if (!series.y.empty() && width > 0 && height > 0) {
+    double y_lo = series.y[0], y_hi = series.y[0];
+    for (double v : series.y) {
+      y_lo = std::min(y_lo, v);
+      y_hi = std::max(y_hi, v);
+    }
+    double range = y_hi - y_lo;
+    for (size_t x = 0; x < width; ++x) {
+      size_t idx = x * series.y.size() / width;
+      double v = series.y[std::min(idx, series.y.size() - 1)];
+      double norm = range > 0 ? (v - y_lo) / range : 0.5;
+      size_t py = height - 1 -
+                  std::min(static_cast<size_t>(norm * (height - 1)),
+                           height - 1);
+      plot.pixels[py * width + x] = 1.0;
+    }
+  }
+  return RenderImage(plot);
+}
+
+}  // namespace hedc::analysis

@@ -1,0 +1,56 @@
+// Analysis products: what an SSW-style routine returns.
+//
+// "The analysis algorithms most frequently used in HEDC are imaging,
+// lightcurves and spectroscopy, all of which generate pictoral content.
+// Together with extensive meta data (algorithm parameters, log files)
+// these pictures are cataloged and stored" (§2.2).
+#ifndef HEDC_ANALYSIS_PRODUCT_H_
+#define HEDC_ANALYSIS_PRODUCT_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace hedc::analysis {
+
+struct Image {
+  size_t width = 0;
+  size_t height = 0;
+  std::vector<double> pixels;  // row-major
+
+  double At(size_t x, size_t y) const { return pixels[y * width + x]; }
+  double MaxPixel() const;
+  double TotalFlux() const;
+};
+
+struct Series {
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+struct AnalysisProduct {
+  std::string routine;
+  std::map<std::string, std::string> metadata;  // parameters, stats
+  std::optional<Image> image;
+  std::optional<Series> series;
+  std::string log;                 // processing log excerpt
+  std::vector<uint8_t> rendered;   // GIF-lite bytes for the web tier
+};
+
+// "GIF-lite" renderer: 8-bit quantization (linear ramp over the dynamic
+// range) + hzip entropy stage. Produces the picture payloads whose sizes
+// Tables 2/3 account for.
+std::vector<uint8_t> RenderImage(const Image& image);
+Result<Image> ParseRenderedImage(const std::vector<uint8_t>& bytes);
+
+// Renders a series as a fixed-size plot image.
+std::vector<uint8_t> RenderSeries(const Series& series, size_t width = 256,
+                                  size_t height = 128);
+
+}  // namespace hedc::analysis
+
+#endif  // HEDC_ANALYSIS_PRODUCT_H_

@@ -1,0 +1,199 @@
+#include "archive/archive.h"
+
+namespace hedc::archive {
+
+const char* ArchiveTypeName(ArchiveType type) {
+  switch (type) {
+    case ArchiveType::kDisk:
+      return "disk";
+    case ArchiveType::kTape:
+      return "tape";
+    case ArchiveType::kRemote:
+      return "remote";
+  }
+  return "?";
+}
+
+DiskArchive::DiskArchive(Clock* clock, Costs costs)
+    : clock_(clock), costs_(costs) {}
+
+Status DiskArchive::Write(const std::string& path,
+                          const std::vector<uint8_t>& data) {
+  if (clock_ != nullptr) {
+    clock_->SleepFor(costs_.write_latency +
+                     static_cast<Micros>(costs_.write_micros_per_kb *
+                                         (data.size() / 1024.0)));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it != files_.end()) bytes_ -= it->second.size();
+  bytes_ += data.size();
+  files_[path] = data;
+  return Status::Ok();
+}
+
+Result<std::vector<uint8_t>> DiskArchive::Read(const std::string& path) {
+  std::vector<uint8_t> data;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(path);
+    if (it == files_.end()) return Status::NotFound("file " + path);
+    data = it->second;
+  }
+  if (clock_ != nullptr) {
+    clock_->SleepFor(costs_.read_latency +
+                     static_cast<Micros>(costs_.read_micros_per_kb *
+                                         (data.size() / 1024.0)));
+  }
+  return data;
+}
+
+bool DiskArchive::Exists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(path) > 0;
+}
+
+Status DiskArchive::Delete(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("file " + path);
+  bytes_ -= it->second.size();
+  files_.erase(it);
+  return Status::Ok();
+}
+
+std::vector<std::string> DiskArchive::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [path, data] : files_) out.push_back(path);
+  return out;
+}
+
+uint64_t DiskArchive::BytesStored() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+TapeArchive::TapeArchive(std::unique_ptr<Archive> inner, Clock* clock,
+                         Costs costs)
+    : inner_(std::move(inner)), clock_(clock), costs_(costs) {}
+
+void TapeArchive::ChargeAccess(size_t bytes) {
+  if (clock_ == nullptr) return;
+  Micros cost = 0;
+  if (!mounted_) {
+    cost += costs_.mount_cost;
+    mounted_ = true;
+  }
+  cost += costs_.seek_cost;
+  cost += static_cast<Micros>(costs_.read_micros_per_kb * (bytes / 1024.0));
+  clock_->SleepFor(cost);
+}
+
+Status TapeArchive::Write(const std::string& path,
+                          const std::vector<uint8_t>& data) {
+  ChargeAccess(data.size());
+  return inner_->Write(path, data);
+}
+
+Result<std::vector<uint8_t>> TapeArchive::Read(const std::string& path) {
+  if (!inner_->Exists(path)) return Status::NotFound("file " + path);
+  Result<std::vector<uint8_t>> r = inner_->Read(path);
+  if (r.ok()) ChargeAccess(r.value().size());
+  return r;
+}
+
+bool TapeArchive::Exists(const std::string& path) const {
+  return inner_->Exists(path);
+}
+
+Status TapeArchive::Delete(const std::string& path) {
+  return inner_->Delete(path);
+}
+
+std::vector<std::string> TapeArchive::List() const { return inner_->List(); }
+
+uint64_t TapeArchive::BytesStored() const { return inner_->BytesStored(); }
+
+RemoteArchive::RemoteArchive(std::unique_ptr<Archive> inner, Clock* clock,
+                             Costs costs)
+    : inner_(std::move(inner)), clock_(clock), costs_(costs) {}
+
+void RemoteArchive::ChargeAccess(size_t bytes) {
+  if (clock_ == nullptr) return;
+  clock_->SleepFor(costs_.round_trip +
+                   static_cast<Micros>(costs_.transfer_micros_per_kb *
+                                       (bytes / 1024.0)));
+}
+
+Status RemoteArchive::Write(const std::string& path,
+                            const std::vector<uint8_t>& data) {
+  if (!online_) return Status::Unavailable("remote archive offline");
+  ChargeAccess(data.size());
+  return inner_->Write(path, data);
+}
+
+Result<std::vector<uint8_t>> RemoteArchive::Read(const std::string& path) {
+  if (!online_) return Status::Unavailable("remote archive offline");
+  Result<std::vector<uint8_t>> r = inner_->Read(path);
+  if (r.ok()) ChargeAccess(r.value().size());
+  return r;
+}
+
+bool RemoteArchive::Exists(const std::string& path) const {
+  return online_ && inner_->Exists(path);
+}
+
+Status RemoteArchive::Delete(const std::string& path) {
+  if (!online_) return Status::Unavailable("remote archive offline");
+  return inner_->Delete(path);
+}
+
+std::vector<std::string> RemoteArchive::List() const {
+  if (!online_) return {};
+  return inner_->List();
+}
+
+uint64_t RemoteArchive::BytesStored() const { return inner_->BytesStored(); }
+
+void ArchiveManager::Register(Info info, std::unique_ptr<Archive> archive) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t id = info.archive_id;
+  archives_[id] = std::make_pair(std::move(info), std::move(archive));
+}
+
+Archive* ArchiveManager::Get(int64_t archive_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = archives_.find(archive_id);
+  if (it == archives_.end()) return nullptr;
+  if (!it->second.first.online) return nullptr;
+  return it->second.second.get();
+}
+
+const ArchiveManager::Info* ArchiveManager::GetInfo(
+    int64_t archive_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = archives_.find(archive_id);
+  return it == archives_.end() ? nullptr : &it->second.first;
+}
+
+Status ArchiveManager::SetOnline(int64_t archive_id, bool online) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = archives_.find(archive_id);
+  if (it == archives_.end()) {
+    return Status::NotFound("archive " + std::to_string(archive_id));
+  }
+  it->second.first.online = online;
+  return Status::Ok();
+}
+
+std::vector<ArchiveManager::Info> ArchiveManager::ListArchives() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Info> out;
+  out.reserve(archives_.size());
+  for (const auto& [id, entry] : archives_) out.push_back(entry.first);
+  return out;
+}
+
+}  // namespace hedc::archive

@@ -1,0 +1,175 @@
+// Archive backends: where the actual data files live.
+//
+// §2.3: raw data on hard disks archived to CDs, secondary data on RAID5,
+// remote archives over NFS, and a tape archive for files "not needed
+// on-line". Each backend has a distinct access profile which the clock
+// models: disks are fast, tapes pay a mount+seek penalty per read, remote
+// archives pay latency + bandwidth.
+#ifndef HEDC_ARCHIVE_ARCHIVE_H_
+#define HEDC_ARCHIVE_ARCHIVE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/clock.h"
+#include "core/status.h"
+
+namespace hedc::archive {
+
+enum class ArchiveType { kDisk, kTape, kRemote };
+
+const char* ArchiveTypeName(ArchiveType type);
+
+class Archive {
+ public:
+  virtual ~Archive() = default;
+
+  virtual ArchiveType type() const = 0;
+
+  virtual Status Write(const std::string& path,
+                       const std::vector<uint8_t>& data) = 0;
+  virtual Result<std::vector<uint8_t>> Read(const std::string& path) = 0;
+  virtual bool Exists(const std::string& path) const = 0;
+  virtual Status Delete(const std::string& path) = 0;
+  virtual std::vector<std::string> List() const = 0;
+
+  // Total bytes stored.
+  virtual uint64_t BytesStored() const = 0;
+};
+
+// In-memory "disk" archive: path -> bytes. (The metadata DB provides the
+// durable record; file payloads are regenerable from raw units, matching
+// the paper's "no-backup RAID5" tier.) An optional byte cost per access is
+// charged to `clock` to model disk bandwidth.
+class DiskArchive : public Archive {
+ public:
+  struct Costs {
+    Micros read_latency = 0;
+    double read_micros_per_kb = 0;
+    Micros write_latency = 0;
+    double write_micros_per_kb = 0;
+  };
+
+  DiskArchive() : DiskArchive(nullptr, Costs()) {}
+  explicit DiskArchive(Clock* clock) : DiskArchive(clock, Costs()) {}
+  DiskArchive(Clock* clock, Costs costs);
+
+  ArchiveType type() const override { return ArchiveType::kDisk; }
+  Status Write(const std::string& path,
+               const std::vector<uint8_t>& data) override;
+  Result<std::vector<uint8_t>> Read(const std::string& path) override;
+  bool Exists(const std::string& path) const override;
+  Status Delete(const std::string& path) override;
+  std::vector<std::string> List() const override;
+  uint64_t BytesStored() const override;
+
+ private:
+  Clock* clock_;
+  Costs costs_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<uint8_t>> files_;
+  uint64_t bytes_ = 0;
+};
+
+// Tape archive: wraps an inner archive, charging a mount penalty on the
+// first access and a seek penalty per read (sequential medium).
+class TapeArchive : public Archive {
+ public:
+  struct Costs {
+    Micros mount_cost = 30 * kMicrosPerSecond;
+    Micros seek_cost = 5 * kMicrosPerSecond;
+    double read_micros_per_kb = 100.0;
+  };
+
+  TapeArchive(std::unique_ptr<Archive> inner, Clock* clock)
+      : TapeArchive(std::move(inner), clock, Costs()) {}
+  TapeArchive(std::unique_ptr<Archive> inner, Clock* clock, Costs costs);
+
+  ArchiveType type() const override { return ArchiveType::kTape; }
+  Status Write(const std::string& path,
+               const std::vector<uint8_t>& data) override;
+  Result<std::vector<uint8_t>> Read(const std::string& path) override;
+  bool Exists(const std::string& path) const override;
+  Status Delete(const std::string& path) override;
+  std::vector<std::string> List() const override;
+  uint64_t BytesStored() const override;
+
+  bool mounted() const { return mounted_; }
+  void Unmount() { mounted_ = false; }
+
+ private:
+  void ChargeAccess(size_t bytes);
+
+  std::unique_ptr<Archive> inner_;
+  Clock* clock_;
+  Costs costs_;
+  bool mounted_ = false;
+};
+
+// Remote (NFS/HTTP) archive: latency + bandwidth costs; can be marked
+// offline, after which accesses fail with kUnavailable (synoptic search is
+// "best effort ... if a query to a remote archive times out, no results
+// are available", §6.4).
+class RemoteArchive : public Archive {
+ public:
+  struct Costs {
+    Micros round_trip = 20 * kMicrosPerMilli;
+    double transfer_micros_per_kb = 500.0;  // ~2 MB/s, §8.1
+  };
+
+  RemoteArchive(std::unique_ptr<Archive> inner, Clock* clock)
+      : RemoteArchive(std::move(inner), clock, Costs()) {}
+  RemoteArchive(std::unique_ptr<Archive> inner, Clock* clock, Costs costs);
+
+  ArchiveType type() const override { return ArchiveType::kRemote; }
+  Status Write(const std::string& path,
+               const std::vector<uint8_t>& data) override;
+  Result<std::vector<uint8_t>> Read(const std::string& path) override;
+  bool Exists(const std::string& path) const override;
+  Status Delete(const std::string& path) override;
+  std::vector<std::string> List() const override;
+  uint64_t BytesStored() const override;
+
+  void set_online(bool online) { online_ = online; }
+  bool online() const { return online_; }
+
+ private:
+  void ChargeAccess(size_t bytes);
+
+  std::unique_ptr<Archive> inner_;
+  Clock* clock_;
+  Costs costs_;
+  bool online_ = true;
+};
+
+// Registry mapping archive ids to backends plus online/capacity metadata.
+class ArchiveManager {
+ public:
+  struct Info {
+    int64_t archive_id = 0;
+    ArchiveType type = ArchiveType::kDisk;
+    std::string root;      // mount point / URL prefix
+    bool online = true;
+  };
+
+  // Registers `archive` under `info.archive_id`; replaces any previous
+  // registration with that id.
+  void Register(Info info, std::unique_ptr<Archive> archive);
+
+  Archive* Get(int64_t archive_id);
+  const Info* GetInfo(int64_t archive_id) const;
+  Status SetOnline(int64_t archive_id, bool online);
+  std::vector<Info> ListArchives() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<int64_t, std::pair<Info, std::unique_ptr<Archive>>> archives_;
+};
+
+}  // namespace hedc::archive
+
+#endif  // HEDC_ARCHIVE_ARCHIVE_H_

@@ -1,0 +1,29 @@
+// "hzip": the gnu-zip stand-in used on raw data units (§2.1).
+//
+// LZSS-style codec: greedy longest-match against a 64 KiB sliding window,
+// emitting literal runs and (distance, length) back-references with varint
+// coding. Not deflate-compatible, but exercises the identical code path
+// (decompress-on-load, compress-on-archive) with real ratio/speed
+// trade-offs on the photon-list payloads.
+#ifndef HEDC_ARCHIVE_COMPRESSION_H_
+#define HEDC_ARCHIVE_COMPRESSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/status.h"
+
+namespace hedc::archive {
+
+// Compresses `input`; output starts with a magic/size header and is always
+// decodable by Decompress (worst case ~ input + small overhead).
+std::vector<uint8_t> Compress(const std::vector<uint8_t>& input);
+
+Result<std::vector<uint8_t>> Decompress(const std::vector<uint8_t>& input);
+
+// True if `bytes` begins with the hzip magic.
+bool IsCompressed(const std::vector<uint8_t>& bytes);
+
+}  // namespace hedc::archive
+
+#endif  // HEDC_ARCHIVE_COMPRESSION_H_

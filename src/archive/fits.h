@@ -1,0 +1,64 @@
+// FITS-lite: a Flexible-Image-Transport-System-style container.
+//
+// RHESSI raw data units are "packaged into units of roughly 40 MB,
+// formatted as FITS files and compressed using gnu-zip" (§2.1). This
+// module provides the same code path: ASCII header cards describing the
+// payload plus one or more binary header-data units (HDUs), serialized
+// with CRC framing.
+#ifndef HEDC_ARCHIVE_FITS_H_
+#define HEDC_ARCHIVE_FITS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace hedc::archive {
+
+// One "KEY = value / comment" header card.
+struct FitsCard {
+  std::string key;
+  std::string value;
+  std::string comment;
+};
+
+// A header-data unit: named card list + raw binary payload.
+struct FitsHdu {
+  std::string name;
+  std::vector<FitsCard> cards;
+  std::vector<uint8_t> data;
+
+  const FitsCard* FindCard(const std::string& key) const;
+  void SetCard(const std::string& key, const std::string& value,
+               const std::string& comment = "");
+  int64_t GetIntCard(const std::string& key, int64_t fallback = 0) const;
+  double GetRealCard(const std::string& key, double fallback = 0.0) const;
+};
+
+class FitsFile {
+ public:
+  FitsFile() = default;
+
+  // The primary HDU is created on first access.
+  FitsHdu& primary();
+  const std::vector<FitsHdu>& hdus() const { return hdus_; }
+  std::vector<FitsHdu>& hdus() { return hdus_; }
+  FitsHdu& AddHdu(const std::string& name);
+  const FitsHdu* FindHdu(const std::string& name) const;
+
+  // Total payload bytes across HDUs.
+  size_t DataSize() const;
+
+  // Binary serialization (magic + per-HDU CRC).
+  std::vector<uint8_t> Serialize() const;
+  static Result<FitsFile> Parse(const std::vector<uint8_t>& bytes);
+
+ private:
+  std::vector<FitsHdu> hdus_;
+};
+
+}  // namespace hedc::archive
+
+#endif  // HEDC_ARCHIVE_FITS_H_

@@ -1,0 +1,220 @@
+#include "archive/name_mapper.h"
+
+#include "core/ids.h"
+#include "core/strings.h"
+
+namespace hedc::archive {
+
+namespace {
+
+IdGenerator* EntryIds() {
+  static IdGenerator* const kIds = new IdGenerator(1);
+  return kIds;
+}
+
+Result<NameType> NameTypeFromText(const std::string& text) {
+  if (text == "filename") return NameType::kFilename;
+  if (text == "tuple") return NameType::kTupleId;
+  if (text == "url") return NameType::kUrl;
+  return Status::Corruption("unknown name type: " + text);
+}
+
+}  // namespace
+
+const char* NameTypeName(NameType type) {
+  switch (type) {
+    case NameType::kFilename:
+      return "filename";
+    case NameType::kTupleId:
+      return "tuple";
+    case NameType::kUrl:
+      return "url";
+  }
+  return "?";
+}
+
+NameMapper::NameMapper(db::Database* db, Config config)
+    : db_(db), config_(std::move(config)) {}
+
+Status NameMapper::Init() {
+  HEDC_ASSIGN_OR_RETURN(
+      db::ResultSet r1,
+      db_->Execute("CREATE TABLE IF NOT EXISTS archives ("
+                   "archive_id INT PRIMARY KEY, archive_type TEXT, "
+                   "path_prefix TEXT, online BOOL)"));
+  (void)r1;
+  HEDC_ASSIGN_OR_RETURN(
+      db::ResultSet r2,
+      db_->Execute("CREATE TABLE IF NOT EXISTS location_entries ("
+                   "entry_id INT PRIMARY KEY, item_id INT NOT NULL, "
+                   "name_type TEXT NOT NULL, archive_id INT NOT NULL, "
+                   "rel_path TEXT)"));
+  (void)r2;
+  for (const char* sql :
+       {"CREATE INDEX archives_by_id ON archives (archive_id) USING HASH",
+        "CREATE INDEX loc_by_item ON location_entries (item_id) USING HASH",
+        "CREATE INDEX loc_by_archive ON location_entries (archive_id) "
+        "USING HASH"}) {
+    Result<db::ResultSet> r = db_->Execute(sql);
+    if (!r.ok() && r.status().code() != StatusCode::kAlreadyExists) {
+      return r.status();
+    }
+  }
+  return Status::Ok();
+}
+
+Status NameMapper::RegisterArchive(int64_t archive_id,
+                                   const std::string& type,
+                                   const std::string& path_prefix) {
+  HEDC_ASSIGN_OR_RETURN(
+      db::ResultSet r,
+      db_->Execute("INSERT INTO archives VALUES (?, ?, ?, TRUE)",
+                   {db::Value::Int(archive_id), db::Value::Text(type),
+                    db::Value::Text(path_prefix)}));
+  (void)r;
+  return Status::Ok();
+}
+
+Status NameMapper::AddLocation(int64_t item_id, NameType type,
+                               int64_t archive_id,
+                               const std::string& rel_path) {
+  HEDC_ASSIGN_OR_RETURN(
+      db::ResultSet r,
+      db_->Execute(
+          "INSERT INTO location_entries VALUES (?, ?, ?, ?, ?)",
+          {db::Value::Int(EntryIds()->Next()), db::Value::Int(item_id),
+           db::Value::Text(NameTypeName(type)), db::Value::Int(archive_id),
+           db::Value::Text(rel_path)}));
+  (void)r;
+  return Status::Ok();
+}
+
+std::string NameMapper::RootFor(NameType type) const {
+  switch (type) {
+    case NameType::kFilename:
+      return config_.GetString("root.filename", "");
+    case NameType::kUrl:
+      return config_.GetString("root.url", "http://hedc/data");
+    case NameType::kTupleId:
+      return config_.GetString("root.tuple", "hedc://tuple");
+  }
+  return "";
+}
+
+Result<ResolvedName> NameMapper::Resolve(int64_t item_id, NameType type) {
+  // Query 1 (indexed on item_id): the location entry.
+  HEDC_ASSIGN_OR_RETURN(
+      db::ResultSet entries,
+      db_->Execute("SELECT archive_id, rel_path FROM location_entries "
+                   "WHERE item_id = ? AND name_type = ?",
+                   {db::Value::Int(item_id),
+                    db::Value::Text(NameTypeName(type))}));
+  if (entries.rows.empty()) {
+    return Status::NotFound(
+        StrFormat("no %s location for item %lld", NameTypeName(type),
+                  static_cast<long long>(item_id)));
+  }
+  int64_t archive_id = entries.Get(0, "archive_id").AsInt();
+  std::string rel_path = entries.Get(0, "rel_path").AsText();
+
+  // Query 2 (indexed on archive_id): archive type + current prefix.
+  HEDC_ASSIGN_OR_RETURN(
+      db::ResultSet arch,
+      db_->Execute("SELECT path_prefix, online FROM archives "
+                   "WHERE archive_id = ?",
+                   {db::Value::Int(archive_id)}));
+  if (arch.rows.empty()) {
+    return Status::Corruption(
+        StrFormat("location entry references unknown archive %lld",
+                  static_cast<long long>(archive_id)));
+  }
+  if (!arch.Get(0, "online").AsBool()) {
+    return Status::Unavailable(
+        StrFormat("archive %lld is offline",
+                  static_cast<long long>(archive_id)));
+  }
+
+  ResolvedName out;
+  out.type = type;
+  out.archive_id = archive_id;
+  out.rel_path =
+      rel_path + "/" + std::to_string(item_id);
+  std::string root = RootFor(type);
+  std::string prefix = arch.Get(0, "path_prefix").AsText();
+  out.name = root;
+  if (!out.name.empty() && !prefix.empty()) out.name += "/";
+  out.name += prefix;
+  if (!out.name.empty()) out.name += "/";
+  out.name += out.rel_path;
+  return out;
+}
+
+Result<std::vector<ResolvedName>> NameMapper::ResolveAll(int64_t item_id) {
+  HEDC_ASSIGN_OR_RETURN(
+      db::ResultSet entries,
+      db_->Execute("SELECT name_type FROM location_entries WHERE item_id = ?",
+                   {db::Value::Int(item_id)}));
+  std::vector<ResolvedName> out;
+  for (size_t i = 0; i < entries.num_rows(); ++i) {
+    HEDC_ASSIGN_OR_RETURN(
+        NameType type,
+        NameTypeFromText(entries.Get(i, "name_type").AsText()));
+    HEDC_ASSIGN_OR_RETURN(ResolvedName name, Resolve(item_id, type));
+    out.push_back(std::move(name));
+  }
+  return out;
+}
+
+Status NameMapper::RelocateArchive(int64_t from_archive,
+                                   int64_t to_archive) {
+  HEDC_ASSIGN_OR_RETURN(
+      db::ResultSet r,
+      db_->Execute("UPDATE location_entries SET archive_id = ? "
+                   "WHERE archive_id = ?",
+                   {db::Value::Int(to_archive),
+                    db::Value::Int(from_archive)}));
+  (void)r;
+  return Status::Ok();
+}
+
+Status NameMapper::Remount(int64_t archive_id,
+                           const std::string& new_prefix) {
+  HEDC_ASSIGN_OR_RETURN(
+      db::ResultSet r,
+      db_->Execute("UPDATE archives SET path_prefix = ? WHERE archive_id = ?",
+                   {db::Value::Text(new_prefix),
+                    db::Value::Int(archive_id)}));
+  if (r.affected_rows == 0) {
+    return Status::NotFound("archive " + std::to_string(archive_id));
+  }
+  return Status::Ok();
+}
+
+Status NameMapper::MoveItem(int64_t item_id, NameType type,
+                            int64_t new_archive,
+                            const std::string& new_rel_path) {
+  HEDC_ASSIGN_OR_RETURN(
+      db::ResultSet r,
+      db_->Execute("UPDATE location_entries SET archive_id = ?, "
+                   "rel_path = ? WHERE item_id = ? AND name_type = ?",
+                   {db::Value::Int(new_archive),
+                    db::Value::Text(new_rel_path), db::Value::Int(item_id),
+                    db::Value::Text(NameTypeName(type))}));
+  if (r.affected_rows == 0) {
+    return Status::NotFound(
+        StrFormat("no %s location for item %lld", NameTypeName(type),
+                  static_cast<long long>(item_id)));
+  }
+  return Status::Ok();
+}
+
+Status NameMapper::RemoveLocations(int64_t item_id) {
+  HEDC_ASSIGN_OR_RETURN(
+      db::ResultSet r,
+      db_->Execute("DELETE FROM location_entries WHERE item_id = ?",
+                   {db::Value::Int(item_id)}));
+  (void)r;
+  return Status::Ok();
+}
+
+}  // namespace hedc::archive

@@ -1,0 +1,84 @@
+// Dynamic name mapping (§4.3).
+//
+// Every data item is located by constructing a name of the form
+//   [type] [root] [path] [item_id]
+// where each element is determined dynamically per request:
+//  * the location table, queried by item id (indexed), yields the entries
+//    (name type, archive id, relative path) associated with the item;
+//  * the archive table, queried by archive id (indexed), yields the
+//    current archive type and path prefix;
+//  * the root comes from system configuration.
+// The cost is exactly two extra indexed queries; the payoff is that
+// administrators relocate files (disk repair, disk→tape migration, data
+// reorganization) by updating location tuples only, at run time.
+#ifndef HEDC_ARCHIVE_NAME_MAPPER_H_
+#define HEDC_ARCHIVE_NAME_MAPPER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/status.h"
+#include "db/database.h"
+
+namespace hedc::archive {
+
+enum class NameType { kFilename, kTupleId, kUrl };
+
+const char* NameTypeName(NameType type);
+
+struct ResolvedName {
+  NameType type = NameType::kFilename;
+  std::string name;       // fully constructed name
+  int64_t archive_id = 0;
+  std::string rel_path;   // [path][item_id] part, relative to the archive
+};
+
+class NameMapper {
+ public:
+  // `config` supplies the [root] elements: keys "root.filename",
+  // "root.url", "root.tuple" (defaults: "", "http://hedc/data",
+  // "hedc://tuple").
+  NameMapper(db::Database* db, Config config);
+
+  // Creates the location-section tables (idempotent):
+  //   archives(archive_id, archive_type, path_prefix, online)
+  //   location_entries(entry_id, item_id, name_type, archive_id, rel_path)
+  Status Init();
+
+  Status RegisterArchive(int64_t archive_id, const std::string& type,
+                         const std::string& path_prefix);
+
+  // Associates a name of `type` for `item_id`, stored in `archive_id`
+  // under `rel_path`.
+  Status AddLocation(int64_t item_id, NameType type, int64_t archive_id,
+                     const std::string& rel_path);
+
+  // Resolves one name: two indexed queries (location entry, then archive).
+  Result<ResolvedName> Resolve(int64_t item_id, NameType type);
+
+  // All names registered for an item.
+  Result<std::vector<ResolvedName>> ResolveAll(int64_t item_id);
+
+  // Relocation primitives — none of them touch domain-specific tuples.
+  // Moves every location entry from one archive to another.
+  Status RelocateArchive(int64_t from_archive, int64_t to_archive);
+  // Changes an archive's path prefix (e.g. new mount point).
+  Status Remount(int64_t archive_id, const std::string& new_prefix);
+  // Moves a single item's entry of `type` to a new archive/path.
+  Status MoveItem(int64_t item_id, NameType type, int64_t new_archive,
+                  const std::string& new_rel_path);
+
+  Status RemoveLocations(int64_t item_id);
+
+ private:
+  std::string RootFor(NameType type) const;
+
+  db::Database* db_;
+  Config config_;
+};
+
+}  // namespace hedc::archive
+
+#endif  // HEDC_ARCHIVE_NAME_MAPPER_H_

@@ -1,0 +1,214 @@
+#include "client/cache.h"
+
+#include <algorithm>
+
+#include "core/strings.h"
+
+namespace hedc::client {
+
+PathCache::PathCache(uint64_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes) {}
+
+std::string PathCache::PathFor(const ObjectAttributes& attrs) {
+  int64_t day = static_cast<int64_t>(attrs.creation_date / 86400.0);
+  return StrFormat("%s/%lld/%lld", attrs.type.c_str(),
+                   static_cast<long long>(day),
+                   static_cast<long long>(attrs.item_id));
+}
+
+Status PathCache::Put(const ObjectAttributes& attrs,
+                      const std::vector<uint8_t>& data) {
+  std::string path = PathFor(attrs);
+  if (!storage_.Exists(path)) insertion_order_.push_back(path);
+  HEDC_RETURN_IF_ERROR(storage_.Write(path, data));
+  EnforceCapacity();
+  return Status::Ok();
+}
+
+Result<std::vector<uint8_t>> PathCache::Get(const ObjectAttributes& attrs) {
+  Result<std::vector<uint8_t>> r = storage_.Read(PathFor(attrs));
+  if (r.ok()) {
+    ++hits_;
+  } else {
+    ++misses_;
+  }
+  return r;
+}
+
+bool PathCache::Contains(const ObjectAttributes& attrs) const {
+  return storage_.Exists(PathFor(attrs));
+}
+
+Status PathCache::Evict(const ObjectAttributes& attrs) {
+  std::string path = PathFor(attrs);
+  insertion_order_.erase(
+      std::remove(insertion_order_.begin(), insertion_order_.end(), path),
+      insertion_order_.end());
+  return storage_.Delete(path);
+}
+
+uint64_t PathCache::bytes_cached() const { return storage_.BytesStored(); }
+
+void PathCache::EnforceCapacity() {
+  while (storage_.BytesStored() > capacity_bytes_ &&
+         !insertion_order_.empty()) {
+    storage_.Delete(insertion_order_.front());
+    insertion_order_.erase(insertion_order_.begin());
+  }
+}
+
+DbCache::DbCache(uint64_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes) {}
+
+Status DbCache::Init() {
+  if (initialized_) return Status::Ok();
+  HEDC_ASSIGN_OR_RETURN(
+      db::ResultSet r1,
+      db_.Execute("CREATE TABLE IF NOT EXISTS cache_entries ("
+                  "item_id INT NOT NULL, obj_type TEXT, path TEXT, "
+                  "bytes INT, last_access REAL)"));
+  (void)r1;
+  Result<db::ResultSet> idx = db_.Execute(
+      "CREATE INDEX cache_by_item ON cache_entries (item_id) USING HASH");
+  if (!idx.ok() && idx.status().code() != StatusCode::kAlreadyExists) {
+    return idx.status();
+  }
+  HEDC_ASSIGN_OR_RETURN(
+      db::ResultSet r2,
+      db_.Execute("CREATE TABLE IF NOT EXISTS cache_metadata ("
+                  "meta_key TEXT NOT NULL, meta_value TEXT)"));
+  (void)r2;
+  Result<db::ResultSet> midx = db_.Execute(
+      "CREATE INDEX meta_by_key ON cache_metadata (meta_key) USING HASH");
+  if (!midx.ok() && midx.status().code() != StatusCode::kAlreadyExists) {
+    return midx.status();
+  }
+  initialized_ = true;
+  return Status::Ok();
+}
+
+Status DbCache::Put(const ObjectAttributes& attrs,
+                    const std::vector<uint8_t>& data) {
+  HEDC_RETURN_IF_ERROR(Init());
+  // Dynamic object reference: the path is whatever the local DM picked;
+  // here a counter-free deterministic path works too but is looked up via
+  // the local DB, never recomputed by clients.
+  std::string path =
+      StrFormat("obj/%s/%lld", attrs.type.c_str(),
+                static_cast<long long>(attrs.item_id));
+  HEDC_RETURN_IF_ERROR(Evict(attrs));  // idempotent replace
+  HEDC_RETURN_IF_ERROR(storage_.Write(path, data));
+  HEDC_ASSIGN_OR_RETURN(
+      db::ResultSet r,
+      db_.Execute("INSERT INTO cache_entries VALUES (?, ?, ?, ?, ?)",
+                  {db::Value::Int(attrs.item_id),
+                   db::Value::Text(attrs.type), db::Value::Text(path),
+                   db::Value::Int(static_cast<int64_t>(data.size())),
+                   db::Value::Int(++access_counter_)}));
+  (void)r;
+  EnforceCapacity();
+  return Status::Ok();
+}
+
+Result<std::vector<uint8_t>> DbCache::Get(const ObjectAttributes& attrs) {
+  HEDC_RETURN_IF_ERROR(Init());
+  HEDC_ASSIGN_OR_RETURN(
+      db::ResultSet rs,
+      db_.Execute("SELECT path FROM cache_entries WHERE item_id = ? "
+                  "AND obj_type = ?",
+                  {db::Value::Int(attrs.item_id),
+                   db::Value::Text(attrs.type)}));
+  if (rs.rows.empty()) {
+    ++misses_;
+    return Status::NotFound("cache miss");
+  }
+  Result<std::vector<uint8_t>> data =
+      storage_.Read(rs.Get(0, "path").AsText());
+  if (data.ok()) {
+    ++hits_;
+    // Touch for LRU eviction (monotonic access stamp).
+    db_.Execute(
+        "UPDATE cache_entries SET last_access = ? "
+        "WHERE item_id = ? AND obj_type = ?",
+        {db::Value::Int(++access_counter_), db::Value::Int(attrs.item_id),
+         db::Value::Text(attrs.type)});
+  } else {
+    ++misses_;
+  }
+  return data;
+}
+
+bool DbCache::Contains(const ObjectAttributes& attrs) const {
+  auto* self = const_cast<DbCache*>(this);
+  if (!self->Init().ok()) return false;
+  Result<db::ResultSet> rs = self->db_.Execute(
+      "SELECT COUNT(*) FROM cache_entries WHERE item_id = ? AND "
+      "obj_type = ?",
+      {db::Value::Int(attrs.item_id), db::Value::Text(attrs.type)});
+  return rs.ok() && rs.value().rows[0][0].AsInt() > 0;
+}
+
+Status DbCache::Evict(const ObjectAttributes& attrs) {
+  HEDC_RETURN_IF_ERROR(Init());
+  HEDC_ASSIGN_OR_RETURN(
+      db::ResultSet rs,
+      db_.Execute("SELECT path FROM cache_entries WHERE item_id = ? AND "
+                  "obj_type = ?",
+                  {db::Value::Int(attrs.item_id),
+                   db::Value::Text(attrs.type)}));
+  for (size_t i = 0; i < rs.num_rows(); ++i) {
+    storage_.Delete(rs.Get(i, "path").AsText());
+  }
+  HEDC_ASSIGN_OR_RETURN(
+      db::ResultSet del,
+      db_.Execute("DELETE FROM cache_entries WHERE item_id = ? AND "
+                  "obj_type = ?",
+                  {db::Value::Int(attrs.item_id),
+                   db::Value::Text(attrs.type)}));
+  (void)del;
+  return Status::Ok();
+}
+
+uint64_t DbCache::bytes_cached() const { return storage_.BytesStored(); }
+
+void DbCache::EnforceCapacity() {
+  while (storage_.BytesStored() > capacity_bytes_) {
+    // Evict the least-recently-touched entry.
+    Result<db::ResultSet> victim = db_.Execute(
+        "SELECT item_id, obj_type FROM cache_entries "
+        "ORDER BY last_access LIMIT 1");
+    if (!victim.ok() || victim.value().rows.empty()) return;
+    ObjectAttributes attrs;
+    attrs.item_id = victim.value().Get(0, "item_id").AsInt();
+    attrs.type = victim.value().Get(0, "obj_type").AsText();
+    if (!Evict(attrs).ok()) return;
+  }
+}
+
+Status DbCache::PutMetadata(const std::string& key,
+                            const std::string& value) {
+  HEDC_RETURN_IF_ERROR(Init());
+  HEDC_ASSIGN_OR_RETURN(
+      db::ResultSet del,
+      db_.Execute("DELETE FROM cache_metadata WHERE meta_key = ?",
+                  {db::Value::Text(key)}));
+  (void)del;
+  HEDC_ASSIGN_OR_RETURN(
+      db::ResultSet ins,
+      db_.Execute("INSERT INTO cache_metadata VALUES (?, ?)",
+                  {db::Value::Text(key), db::Value::Text(value)}));
+  (void)ins;
+  return Status::Ok();
+}
+
+Result<std::string> DbCache::GetMetadata(const std::string& key) {
+  HEDC_RETURN_IF_ERROR(Init());
+  HEDC_ASSIGN_OR_RETURN(
+      db::ResultSet rs,
+      db_.Execute("SELECT meta_value FROM cache_metadata WHERE meta_key = ?",
+                  {db::Value::Text(key)}));
+  if (rs.rows.empty()) return Status::NotFound("metadata " + key);
+  return rs.Get(0, "meta_value").AsText();
+}
+
+}  // namespace hedc::client

@@ -1,0 +1,111 @@
+// StreamCorder caching strategies (§6.2).
+//
+// v1 (PathCache): "caches not only images downloaded during browsing but
+// all large data-objects ... Cache access is accomplished through a local
+// DM component, which calculates a unique but static file system path for
+// each data-object. As this path is based on fixed object attributes,
+// such as type and creation date, the cache structure is predetermined."
+//
+// v2 (DbCache): "adds a local DBMS installation for dynamic object
+// references and meta data caching" — object retrieval/placement works
+// like the server DM's archive handling.
+#ifndef HEDC_CLIENT_CACHE_H_
+#define HEDC_CLIENT_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "archive/archive.h"
+#include "core/status.h"
+#include "db/database.h"
+
+namespace hedc::client {
+
+// Fixed object attributes that determine the static cache path.
+struct ObjectAttributes {
+  std::string type;        // "raw", "image", "view", ...
+  int64_t item_id = 0;
+  double creation_date = 0;  // observation day granularity
+};
+
+class ClientCache {
+ public:
+  virtual ~ClientCache() = default;
+
+  virtual Status Put(const ObjectAttributes& attrs,
+                     const std::vector<uint8_t>& data) = 0;
+  virtual Result<std::vector<uint8_t>> Get(const ObjectAttributes& attrs) = 0;
+  virtual bool Contains(const ObjectAttributes& attrs) const = 0;
+  virtual Status Evict(const ObjectAttributes& attrs) = 0;
+
+  virtual uint64_t bytes_cached() const = 0;
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+
+ protected:
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+// v1: deterministic path derived from fixed attributes.
+class PathCache : public ClientCache {
+ public:
+  // `capacity_bytes` bounds the cache; oldest-inserted entries are
+  // evicted first (the predetermined structure has no access metadata).
+  explicit PathCache(uint64_t capacity_bytes = 256 * 1024 * 1024);
+
+  // The unique static path: <type>/<day>/<item_id>.
+  static std::string PathFor(const ObjectAttributes& attrs);
+
+  Status Put(const ObjectAttributes& attrs,
+             const std::vector<uint8_t>& data) override;
+  Result<std::vector<uint8_t>> Get(const ObjectAttributes& attrs) override;
+  bool Contains(const ObjectAttributes& attrs) const override;
+  Status Evict(const ObjectAttributes& attrs) override;
+  uint64_t bytes_cached() const override;
+
+ private:
+  void EnforceCapacity();
+
+  uint64_t capacity_bytes_;
+  archive::DiskArchive storage_;
+  std::vector<std::string> insertion_order_;
+};
+
+// v2: local DBMS for dynamic object references + metadata caching. The
+// local schema mirrors the server's location tables, so lookup/placement
+// is the same code path as the server DM's archive handling.
+class DbCache : public ClientCache {
+ public:
+  explicit DbCache(uint64_t capacity_bytes = 256 * 1024 * 1024);
+
+  Status Put(const ObjectAttributes& attrs,
+             const std::vector<uint8_t>& data) override;
+  Result<std::vector<uint8_t>> Get(const ObjectAttributes& attrs) override;
+  bool Contains(const ObjectAttributes& attrs) const override;
+  Status Evict(const ObjectAttributes& attrs) override;
+  uint64_t bytes_cached() const override;
+
+  // Metadata caching: arbitrary key/value rows alongside the objects.
+  Status PutMetadata(const std::string& key, const std::string& value);
+  Result<std::string> GetMetadata(const std::string& key);
+
+  db::Database* local_db() { return &db_; }
+
+ private:
+  Status Init();
+  void EnforceCapacity();
+
+  uint64_t capacity_bytes_;
+  db::Database db_;          // local DBMS clone
+  archive::DiskArchive storage_;
+  bool initialized_ = false;
+  int64_t access_counter_ = 0;  // monotonic LRU stamp
+};
+
+}  // namespace hedc::client
+
+#endif  // HEDC_CLIENT_CACHE_H_

@@ -1,0 +1,254 @@
+#include "client/streamcorder.h"
+
+#include "archive/fits.h"
+#include "core/strings.h"
+#include "dm/hedc_schema.h"
+#include "rhessi/raw_unit.h"
+
+namespace hedc::client {
+
+StreamCorder::StreamCorder(dm::DataManager* server,
+                           dm::Session server_session, Options options)
+    : server_(server),
+      server_session_(std::move(server_session)),
+      options_(options) {
+  // Local clone of the HEDC server: same schema on an own DBMS.
+  local_db_ = std::make_unique<db::Database>();
+  dm::CreateFullSchema(local_db_.get());
+  local_archives_ = std::make_unique<archive::ArchiveManager>();
+  local_archives_->Register({1, archive::ArchiveType::kDisk, "local", true},
+                            std::make_unique<archive::DiskArchive>());
+  Config mapper_config;
+  mapper_config.Set("root.filename", "streamcorder");
+  local_mapper_ = std::make_unique<archive::NameMapper>(local_db_.get(),
+                                                        mapper_config);
+  local_mapper_->Init();
+  local_mapper_->RegisterArchive(1, "disk", "cache");
+  dm::DataManager::Options dm_options;
+  dm_options.pool.connection_setup_cost = 0;
+  dm_options.sessions.session_setup_cost = 0;
+  dm_options.async_workers = 1;
+  local_dm_ = std::make_unique<dm::DataManager>(
+      "streamcorder-local", local_db_.get(), local_archives_.get(),
+      local_mapper_.get(), server->clock(), dm_options);
+  dm::UserProfile local_user;
+  local_user.user_id = server_session_.profile.user_id;
+  local_user.name = server_session_.profile.name;
+  local_user.is_super = true;  // the local clone is fully owned
+  Result<dm::Session> local = local_dm_->sessions().GetOrCreate(
+      local_user, "127.0.0.1", "local", dm::SessionKind::kAnalysis);
+  if (local.ok()) local_session_ = local.value();
+
+  if (options_.cache_version == 1) {
+    cache_ = std::make_unique<PathCache>(options_.cache_capacity_bytes);
+  } else {
+    cache_ = std::make_unique<DbCache>(options_.cache_capacity_bytes);
+  }
+  registry_ = analysis::CreateStandardRegistry();
+}
+
+Result<std::vector<uint8_t>> StreamCorder::FetchRawUnit(int64_t unit_id) {
+  ObjectAttributes attrs{"raw", unit_id, 0};
+  Result<std::vector<uint8_t>> cached = cache_->Get(attrs);
+  if (cached.ok()) return cached;
+  // Peer-to-peer: a peer's cache may already hold the object (§10).
+  for (StreamCorder* peer : peers_) {
+    Result<std::vector<uint8_t>> from_peer = peer->ServeFromCache(attrs);
+    if (from_peer.ok()) {
+      ++peer_fetches_;
+      HEDC_RETURN_IF_ERROR(cache_->Put(attrs, from_peer.value()));
+      return from_peer;
+    }
+  }
+  HEDC_ASSIGN_OR_RETURN(std::vector<uint8_t> data,
+                        server_->io().ReadItemFile(unit_id));
+  ++server_fetches_;
+  HEDC_RETURN_IF_ERROR(cache_->Put(attrs, data));
+  return data;
+}
+
+void StreamCorder::AddPeer(StreamCorder* peer) {
+  if (peer != this) peers_.push_back(peer);
+}
+
+Result<std::vector<uint8_t>> StreamCorder::ServeFromCache(
+    const ObjectAttributes& attrs) {
+  if (!cache_->Contains(attrs)) {
+    return Status::NotFound("peer cache miss");
+  }
+  return cache_->Get(attrs);
+}
+
+Result<std::vector<double>> StreamCorder::FetchViewApproximation(
+    int64_t unit_id, double fraction) {
+  int64_t view_item = dm::ProcessLayer::ViewItemId(unit_id);
+  ObjectAttributes attrs{"view", view_item, 0};
+  Result<std::vector<uint8_t>> bytes = cache_->Get(attrs);
+  if (!bytes.ok()) {
+    bytes = server_->io().ReadItemFile(view_item);
+    if (!bytes.ok()) return bytes.status();
+    ++server_fetches_;
+    HEDC_RETURN_IF_ERROR(cache_->Put(attrs, bytes.value()));
+  }
+  HEDC_ASSIGN_OR_RETURN(archive::FitsFile fits,
+                        archive::FitsFile::Parse(bytes.value()));
+  const archive::FitsHdu* view = fits.FindHdu("VIEW");
+  if (view == nullptr) {
+    return Status::Corruption("view file missing VIEW HDU");
+  }
+  // Decoding happens on the client "to minimize the load at the server"
+  // (§6.3).
+  return wavelet::DecodeSignal(view->data, fraction);
+}
+
+Result<analysis::AnalysisProduct> StreamCorder::AnalyzeLocally(
+    int64_t unit_id, const std::string& routine,
+    const analysis::AnalysisParams& params) {
+  HEDC_ASSIGN_OR_RETURN(std::vector<uint8_t> packed, FetchRawUnit(unit_id));
+  HEDC_ASSIGN_OR_RETURN(rhessi::RawDataUnit unit,
+                        rhessi::RawDataUnit::Unpack(packed));
+  const analysis::AnalysisRoutine* impl = registry_->Get(routine);
+  if (impl == nullptr) return Status::NotFound("routine " + routine);
+  return impl->Run(unit.photons, params);
+}
+
+Result<int64_t> StreamCorder::UploadResult(
+    int64_t hle_id, const analysis::AnalysisProduct& product,
+    const analysis::AnalysisParams& params) {
+  dm::AnaRecord record;
+  record.hle_id = hle_id;
+  record.routine = product.routine;
+  record.parameters = params.Canonical();
+  record.status = "done";
+  record.image_bytes = static_cast<int64_t>(product.rendered.size());
+  record.log_excerpt = product.log;
+  record.notes = "uploaded from StreamCorder";
+  HEDC_ASSIGN_OR_RETURN(
+      int64_t ana_id,
+      server_->semantics().CreateAna(server_session_, record));
+  if (!product.rendered.empty()) {
+    HEDC_RETURN_IF_ERROR(server_->io().WriteItemFile(
+        2000000000 + ana_id, 1, "ana", product.rendered));
+  }
+  return ana_id;
+}
+
+Status StreamCorder::MirrorHle(int64_t hle_id) {
+  HEDC_ASSIGN_OR_RETURN(dm::HleRecord record,
+                        server_->semantics().GetHle(server_session_, hle_id));
+  // Insert into the local clone with the same id (clone semantics): go
+  // through the local semantic layer only if ids match; here we write the
+  // tuple directly to preserve the id.
+  HEDC_ASSIGN_OR_RETURN(
+      db::ResultSet r,
+      local_db_->Execute(
+          "INSERT INTO hle VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, "
+          "?, ?, ?, ?, ?, ?, ?)",
+          {db::Value::Int(record.hle_id), db::Value::Int(record.owner_id),
+           db::Value::Bool(record.is_public),
+           db::Value::Text(record.event_type),
+           db::Value::Real(record.t_start), db::Value::Real(record.t_end),
+           db::Value::Real(record.e_min), db::Value::Real(record.e_max),
+           db::Value::Real(record.peak_rate),
+           db::Value::Real(record.peak_energy),
+           db::Value::Int(record.photon_count),
+           db::Value::Int(record.unit_id),
+           db::Value::Int(record.calibration_version),
+           db::Value::Int(record.version),
+           db::Value::Int(record.superseded_by),
+           db::Value::Text(record.label), db::Value::Text(record.notes),
+           db::Value::Real(record.created_time),
+           db::Value::Text(record.source),
+           db::Value::Real(record.quality)}));
+  (void)r;
+  return Status::Ok();
+}
+
+Result<int64_t> StreamCorder::MirrorRepository() {
+  // 1. Every visible HLE.
+  HEDC_ASSIGN_OR_RETURN(
+      std::vector<dm::HleRecord> hles,
+      server_->semantics().ListHles(server_session_, -1e18, 1e18));
+  int64_t mirrored = 0;
+  for (const dm::HleRecord& hle : hles) {
+    if (LocalHle(hle.hle_id).ok()) continue;  // already mirrored
+    HEDC_RETURN_IF_ERROR(MirrorHle(hle.hle_id));
+    ++mirrored;
+  }
+  // 2. Raw-unit tuples and their files (cached locally, so analysis
+  // works fully offline afterwards).
+  HEDC_ASSIGN_OR_RETURN(
+      db::ResultSet units,
+      server_->database()->Execute("SELECT * FROM raw_units"));
+  for (size_t i = 0; i < units.num_rows(); ++i) {
+    int64_t unit_id = units.Get(i, "unit_id").AsInt();
+    Result<db::ResultSet> exists = local_db_->Execute(
+        "SELECT COUNT(*) FROM raw_units WHERE unit_id = ?",
+        {db::Value::Int(unit_id)});
+    if (exists.ok() && exists.value().rows[0][0].AsInt() == 0) {
+      HEDC_ASSIGN_OR_RETURN(
+          db::ResultSet ins,
+          local_db_->Execute(
+              "INSERT INTO raw_units VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+              {units.rows[i][0], units.rows[i][1], units.rows[i][2],
+               units.rows[i][3], units.rows[i][4], units.rows[i][5],
+               units.rows[i][6], units.rows[i][7], units.rows[i][8]}));
+      (void)ins;
+    }
+    FetchRawUnit(unit_id);  // populates the cache; best effort
+  }
+  // 3. Public catalogs with their membership.
+  HEDC_ASSIGN_OR_RETURN(
+      db::ResultSet catalogs,
+      server_->database()->Execute(
+          "SELECT * FROM catalogs WHERE is_public = TRUE"));
+  for (size_t i = 0; i < catalogs.num_rows(); ++i) {
+    int64_t catalog_id = catalogs.Get(i, "catalog_id").AsInt();
+    Result<db::ResultSet> exists = local_db_->Execute(
+        "SELECT COUNT(*) FROM catalogs WHERE catalog_id = ?",
+        {db::Value::Int(catalog_id)});
+    if (!exists.ok() || exists.value().rows[0][0].AsInt() > 0) continue;
+    HEDC_ASSIGN_OR_RETURN(
+        db::ResultSet ins,
+        local_db_->Execute("INSERT INTO catalogs VALUES (?, ?, ?, ?, ?, ?)",
+                           {catalogs.rows[i][0], catalogs.rows[i][1],
+                            catalogs.rows[i][2], catalogs.rows[i][3],
+                            catalogs.rows[i][4], catalogs.rows[i][5]}));
+    (void)ins;
+    HEDC_ASSIGN_OR_RETURN(
+        db::ResultSet members,
+        server_->database()->Execute(
+            "SELECT * FROM catalog_members WHERE catalog_id = ?",
+            {db::Value::Int(catalog_id)}));
+    for (size_t m = 0; m < members.num_rows(); ++m) {
+      local_db_->Execute("INSERT INTO catalog_members VALUES (?, ?, ?)",
+                         {members.rows[m][0], members.rows[m][1],
+                          members.rows[m][2]});
+    }
+  }
+  return mirrored;
+}
+
+Result<dm::HleRecord> StreamCorder::LocalHle(int64_t hle_id) {
+  return local_dm_->semantics().GetHle(local_session_, hle_id);
+}
+
+void StreamCorder::RegisterCordlet(std::unique_ptr<Cordlet> cordlet) {
+  cordlets_.push_back(std::move(cordlet));
+}
+
+std::vector<Cordlet*> StreamCorder::ModulesFor(
+    const std::string& data_type) const {
+  std::vector<Cordlet*> out;
+  for (const auto& cordlet : cordlets_) {
+    for (const std::string& type : cordlet->data_types()) {
+      if (type == data_type) {
+        out.push_back(cordlet.get());
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hedc::client

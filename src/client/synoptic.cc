@@ -1,0 +1,84 @@
+#include "client/synoptic.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "core/strings.h"
+
+namespace hedc::client {
+
+void SynopticSearch::AddRemoteArchive(const std::string& name,
+                                      archive::Archive* archive) {
+  archives_.emplace_back(name, archive);
+}
+
+std::string SynopticSearch::EntryPath(double observation_time,
+                                      const std::string& instrument) {
+  return StrFormat("synoptic/%014.3f_%s", observation_time,
+                   instrument.c_str());
+}
+
+bool SynopticSearch::ParseEntryPath(const std::string& path, double* time,
+                                    std::string* instrument) {
+  if (!StartsWith(path, "synoptic/")) return false;
+  std::string rest = path.substr(9);
+  size_t underscore = rest.find('_');
+  if (underscore == std::string::npos) return false;
+  if (!ParseDouble(rest.substr(0, underscore), time)) return false;
+  *instrument = rest.substr(underscore + 1);
+  return !instrument->empty();
+}
+
+SynopticResult SynopticSearch::Search(double t_lo, double t_hi) const {
+  SynopticResult result;
+  std::vector<std::vector<SynopticHit>> per_archive(archives_.size());
+  std::vector<bool> failed(archives_.size(), false);
+
+  // One thread per remote archive — issued in parallel like the paper's
+  // crawler.
+  std::vector<std::thread> threads;
+  threads.reserve(archives_.size());
+  for (size_t i = 0; i < archives_.size(); ++i) {
+    threads.emplace_back([this, i, t_lo, t_hi, &per_archive, &failed] {
+      const auto& [name, archive] = archives_[i];
+      std::vector<std::string> listing = archive->List();
+      if (listing.empty() &&
+          archive->type() == archive::ArchiveType::kRemote) {
+        // Distinguish empty-from-offline via a probe read.
+        auto* remote = dynamic_cast<archive::RemoteArchive*>(archive);
+        if (remote != nullptr && !remote->online()) {
+          failed[i] = true;
+          return;
+        }
+      }
+      for (const std::string& path : listing) {
+        double t = 0;
+        std::string instrument;
+        if (!ParseEntryPath(path, &t, &instrument)) continue;
+        if (t < t_lo || t > t_hi) continue;
+        per_archive[i].push_back(SynopticHit{name, t, instrument, path});
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (size_t i = 0; i < archives_.size(); ++i) {
+    if (failed[i]) {
+      result.unavailable.push_back(archives_[i].first);
+    } else {
+      result.hits.insert(result.hits.end(), per_archive[i].begin(),
+                         per_archive[i].end());
+    }
+  }
+  // Grouped by observation time for display.
+  std::sort(result.hits.begin(), result.hits.end(),
+            [](const SynopticHit& a, const SynopticHit& b) {
+              if (a.observation_time != b.observation_time) {
+                return a.observation_time < b.observation_time;
+              }
+              return a.archive_name < b.archive_name;
+            });
+  return result;
+}
+
+}  // namespace hedc::client

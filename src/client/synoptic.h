@@ -1,0 +1,59 @@
+// Synoptic search (§6.4): best-effort parallel queries against remote
+// archives, grouped by observation time.
+//
+// "First, online requests are issued to several remote archives in
+// parallel. Then the results are collected, grouped and displayed to the
+// user. Currently, the only search criterion is the observation time. ...
+// The service is best effort (if a query to a remote archive times out,
+// no results are available); query results are not cached, and there is
+// no data synchronization between HEDC and the remote archives."
+//
+// Remote archives store entries under "synoptic/<obs_time>_<instrument>".
+#ifndef HEDC_CLIENT_SYNOPTIC_H_
+#define HEDC_CLIENT_SYNOPTIC_H_
+
+#include <string>
+#include <vector>
+
+#include "archive/archive.h"
+#include "core/status.h"
+
+namespace hedc::client {
+
+struct SynopticHit {
+  std::string archive_name;   // which remote archive answered
+  double observation_time = 0;
+  std::string instrument;
+  std::string path;           // path within the remote archive
+};
+
+struct SynopticResult {
+  std::vector<SynopticHit> hits;       // sorted by observation time
+  std::vector<std::string> unavailable;  // archives that failed/timed out
+};
+
+class SynopticSearch {
+ public:
+  // Registers a remote archive under `name` (borrowed pointer).
+  void AddRemoteArchive(const std::string& name, archive::Archive* archive);
+
+  // Queries all archives in parallel for entries with observation time in
+  // [t_lo, t_hi]. Unreachable archives are reported, not fatal.
+  SynopticResult Search(double t_lo, double t_hi) const;
+
+  size_t num_archives() const { return archives_.size(); }
+
+  // Encodes the naming convention for stored synoptic entries.
+  static std::string EntryPath(double observation_time,
+                               const std::string& instrument);
+  // Parses an entry path; returns false if it is not a synoptic entry.
+  static bool ParseEntryPath(const std::string& path, double* time,
+                             std::string* instrument);
+
+ private:
+  std::vector<std::pair<std::string, archive::Archive*>> archives_;
+};
+
+}  // namespace hedc::client
+
+#endif  // HEDC_CLIENT_SYNOPTIC_H_

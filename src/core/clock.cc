@@ -1,0 +1,25 @@
+#include "core/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace hedc {
+
+Micros RealClock::Now() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void RealClock::SleepFor(Micros duration) {
+  if (duration > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(duration));
+  }
+}
+
+RealClock* RealClock::Instance() {
+  static RealClock* const kInstance = new RealClock();
+  return kInstance;
+}
+
+}  // namespace hedc

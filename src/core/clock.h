@@ -1,0 +1,56 @@
+// Clock abstraction: HEDC components take time from a Clock interface so
+// they can run either in real time (examples, integration tests) or in
+// virtual time inside the discrete-event testbed (benchmarks). This is the
+// hook that lets one code base serve both the live system and the
+// simulated 2003 evaluation environment.
+#ifndef HEDC_CORE_CLOCK_H_
+#define HEDC_CORE_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace hedc {
+
+// Microseconds since an arbitrary epoch.
+using Micros = int64_t;
+
+constexpr Micros kMicrosPerMilli = 1000;
+constexpr Micros kMicrosPerSecond = 1000 * 1000;
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual Micros Now() const = 0;
+  // Advances (or sleeps) for `duration` microseconds.
+  virtual void SleepFor(Micros duration) = 0;
+};
+
+// Wall-clock backed by std::chrono::steady_clock.
+class RealClock : public Clock {
+ public:
+  Micros Now() const override;
+  void SleepFor(Micros duration) override;
+
+  // Process-wide instance (trivially destructible access pattern).
+  static RealClock* Instance();
+};
+
+// Manually-advanced clock for tests and simulation glue.
+class VirtualClock : public Clock {
+ public:
+  explicit VirtualClock(Micros start = 0) : now_(start) {}
+
+  Micros Now() const override { return now_.load(std::memory_order_relaxed); }
+  void SleepFor(Micros duration) override { Advance(duration); }
+  void Advance(Micros delta) {
+    now_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Set(Micros t) { now_.store(t, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<Micros> now_;
+};
+
+}  // namespace hedc
+
+#endif  // HEDC_CORE_CLOCK_H_

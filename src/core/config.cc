@@ -1,0 +1,71 @@
+#include "core/config.h"
+
+#include "core/strings.h"
+
+namespace hedc {
+
+Result<Config> Config::Parse(std::string_view text) {
+  Config config;
+  size_t line_no = 0;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    ++line_no;
+    std::string_view line = Trim(raw_line);
+    if (!line.empty() && line.front() == '#') continue;
+    if (line.empty()) continue;
+    size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument(
+          StrFormat("config line %zu: missing '='", line_no));
+    }
+    std::string key(Trim(line.substr(0, eq)));
+    std::string value(Trim(line.substr(eq + 1)));
+    if (key.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("config line %zu: empty key", line_no));
+    }
+    config.values_[key] = value;
+  }
+  return config;
+}
+
+std::string Config::GetString(const std::string& key,
+                              const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+int64_t Config::GetInt(const std::string& key, int64_t fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  int64_t v;
+  return ParseInt64(it->second, &v) ? v : fallback;
+}
+
+double Config::GetDouble(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  double v;
+  return ParseDouble(it->second, &v) ? v : fallback;
+}
+
+bool Config::GetBool(const std::string& key, bool fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::string v = ToLower(it->second);
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  return fallback;
+}
+
+std::string Config::ToString() const {
+  std::string out;
+  for (const auto& [key, value] : values_) {
+    out += key;
+    out += " = ";
+    out += value;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace hedc

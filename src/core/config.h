@@ -1,0 +1,49 @@
+// Key-value configuration, parsed from "key = value" lines.
+//
+// The paper's name-mapping scheme obtains the [root] element "from the
+// system configuration files", and DM call redirection is driven by "local
+// configuration files" (§4.3, §5.4). Config is that file.
+#ifndef HEDC_CORE_CONFIG_H_
+#define HEDC_CORE_CONFIG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "core/status.h"
+
+namespace hedc {
+
+class Config {
+ public:
+  Config() = default;
+
+  // Parses newline-separated "key = value" pairs. '#' starts a comment.
+  // Later keys override earlier ones.
+  static Result<Config> Parse(std::string_view text);
+
+  void Set(const std::string& key, const std::string& value) {
+    values_[key] = value;
+  }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const;
+  int64_t GetInt(const std::string& key, int64_t fallback = 0) const;
+  double GetDouble(const std::string& key, double fallback = 0.0) const;
+  bool GetBool(const std::string& key, bool fallback = false) const;
+
+  const std::map<std::string, std::string>& values() const { return values_; }
+
+  // Serializes back to "key = value" lines (sorted by key).
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace hedc
+
+#endif  // HEDC_CORE_CONFIG_H_

@@ -1,0 +1,35 @@
+#include "core/crc32.h"
+
+namespace hedc {
+namespace {
+
+struct Crc32Table {
+  uint32_t entries[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+const Crc32Table& Table() {
+  static const Crc32Table* const kTable = new Crc32Table();
+  return *kTable;
+}
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t n, uint32_t seed) {
+  const Crc32Table& table = Table();
+  uint32_t c = seed ^ 0xffffffffu;
+  for (size_t i = 0; i < n; ++i) {
+    c = table.entries[(c ^ data[i]) & 0xff] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace hedc

@@ -1,0 +1,20 @@
+// CRC-32 (IEEE 802.3 polynomial) used by the WAL and archive containers to
+// detect torn or corrupted records.
+#ifndef HEDC_CORE_CRC32_H_
+#define HEDC_CORE_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hedc {
+
+uint32_t Crc32(const uint8_t* data, size_t n, uint32_t seed = 0);
+
+inline uint32_t Crc32(const std::vector<uint8_t>& data, uint32_t seed = 0) {
+  return Crc32(data.data(), data.size(), seed);
+}
+
+}  // namespace hedc
+
+#endif  // HEDC_CORE_CRC32_H_

@@ -1,0 +1,33 @@
+// Monotonic id generation for tuples, items, sessions and requests.
+#ifndef HEDC_CORE_IDS_H_
+#define HEDC_CORE_IDS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace hedc {
+
+// Thread-safe monotonically increasing id source starting at `start`.
+class IdGenerator {
+ public:
+  explicit IdGenerator(int64_t start = 1) : next_(start) {}
+
+  int64_t Next() { return next_.fetch_add(1, std::memory_order_relaxed); }
+
+  // Ensures future ids are strictly greater than `seen` (used by WAL
+  // recovery to resume id allocation past recovered tuples).
+  void AdvancePast(int64_t seen) {
+    int64_t current = next_.load(std::memory_order_relaxed);
+    while (current <= seen &&
+           !next_.compare_exchange_weak(current, seen + 1,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  std::atomic<int64_t> next_;
+};
+
+}  // namespace hedc
+
+#endif  // HEDC_CORE_IDS_H_

@@ -1,0 +1,49 @@
+#include "core/logging.h"
+
+#include <cstdio>
+
+namespace hedc {
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+Logger::Logger() {
+  sink_ = [](LogLevel level, const std::string& message) {
+    std::fprintf(stderr, "[%s] %s\n", LogLevelName(level), message.c_str());
+  };
+}
+
+Logger* Logger::Instance() {
+  static Logger* const kInstance = new Logger();
+  return kInstance;
+}
+
+void Logger::Log(LogLevel level, const std::string& message) {
+  if (level < min_level_) return;
+  Sink sink;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sink = sink_;
+  }
+  if (sink) sink(level, message);
+}
+
+Logger::Sink Logger::SetSink(Sink sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Sink prev = std::move(sink_);
+  sink_ = std::move(sink);
+  return prev;
+}
+
+}  // namespace hedc

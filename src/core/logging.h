@@ -1,0 +1,62 @@
+// Minimal leveled logger. HEDC's operational schema section stores "logs
+// and messages"; components log through this sink so tests can capture and
+// assert on operational events, and the DM can mirror them into the
+// operational tables.
+#ifndef HEDC_CORE_LOGGING_H_
+#define HEDC_CORE_LOGGING_H_
+
+#include <functional>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace hedc {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarning, kError };
+
+const char* LogLevelName(LogLevel level);
+
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  // Process-wide logger.
+  static Logger* Instance();
+
+  void Log(LogLevel level, const std::string& message);
+
+  // Replaces the sink (default writes to stderr). Returns previous sink.
+  Sink SetSink(Sink sink);
+  void SetMinLevel(LogLevel level) { min_level_ = level; }
+  LogLevel min_level() const { return min_level_; }
+
+ private:
+  Logger();
+
+  std::mutex mu_;
+  Sink sink_;
+  LogLevel min_level_ = LogLevel::kInfo;
+};
+
+// Stream-style helper: HEDC_LOG(kInfo) << "loaded " << n << " units";
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Instance()->Log(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace hedc
+
+#define HEDC_LOG(level) ::hedc::LogMessage(::hedc::LogLevel::level)
+
+#endif  // HEDC_CORE_LOGGING_H_

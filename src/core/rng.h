@@ -1,0 +1,104 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// All synthetic data (telemetry, workloads, fault injection) flows through
+// Rng so experiments are reproducible from a seed.
+#ifndef HEDC_CORE_RNG_H_
+#define HEDC_CORE_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace hedc {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s_[i] = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    if (hi <= lo) return lo;
+    uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(Next() % range);
+  }
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  // Exponential with the given mean (inter-arrival times).
+  double Exponential(double mean) {
+    double u = NextDouble();
+    if (u <= 0.0) u = 1e-300;
+    return -mean * std::log(u);
+  }
+
+  // Standard normal via Box-Muller.
+  double Normal(double mean = 0.0, double stddev = 1.0) {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 <= 0.0) u1 = 1e-300;
+    double z = std::sqrt(-2.0 * std::log(u1)) *
+               std::cos(2.0 * M_PI * u2);
+    return mean + stddev * z;
+  }
+
+  // Poisson-distributed count (Knuth for small lambda, normal approx above).
+  int64_t Poisson(double lambda) {
+    if (lambda <= 0.0) return 0;
+    if (lambda > 64.0) {
+      double v = Normal(lambda, std::sqrt(lambda));
+      return v < 0 ? 0 : static_cast<int64_t>(v + 0.5);
+    }
+    double l = std::exp(-lambda);
+    int64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= NextDouble();
+    } while (p > l);
+    return k - 1;
+  }
+
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+};
+
+}  // namespace hedc
+
+#endif  // HEDC_CORE_RNG_H_

@@ -1,0 +1,150 @@
+// Status and Result<T>: error handling without exceptions.
+//
+// Every fallible operation in HEDC returns a Status (or a Result<T> when it
+// also produces a value). Codes mirror the failure classes the paper's
+// middleware must distinguish: not-found vs. permission vs. timeout vs.
+// corruption, so that the PL's fault-tolerance logic can react per class.
+#ifndef HEDC_CORE_STATUS_H_
+#define HEDC_CORE_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace hedc {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kInvalidArgument,
+  kPermissionDenied,
+  kFailedPrecondition,
+  kTimeout,
+  kUnavailable,     // transient: retry may succeed (e.g. IDL server restart)
+  kCorruption,      // data integrity violation (bad checksum, torn record)
+  kResourceExhausted,
+  kUnimplemented,
+  kInternal,
+};
+
+// Human-readable name for a status code ("NotFound", "Timeout", ...).
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status PermissionDenied(std::string m) {
+    return Status(StatusCode::kPermissionDenied, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status Timeout(std::string m) {
+    return Status(StatusCode::kTimeout, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status Corruption(std::string m) {
+    return Status(StatusCode::kCorruption, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status Unimplemented(std::string m) {
+    return Status(StatusCode::kUnimplemented, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsPermissionDenied() const {
+    return code_ == StatusCode::kPermissionDenied;
+  }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// A value-or-error carrier. Access to value() requires ok().
+template <typename T>
+class Result {
+ public:
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {      // NOLINT
+    assert(!status_.ok() && "Result(Status) requires an error status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace hedc
+
+// Propagate a non-OK status to the caller.
+#define HEDC_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::hedc::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+// Evaluate a Result<T> expression; on error return its status, otherwise
+// bind the value to `lhs`.
+#define HEDC_ASSIGN_OR_RETURN(lhs, expr)              \
+  HEDC_ASSIGN_OR_RETURN_IMPL_(                        \
+      HEDC_STATUS_CONCAT_(_res, __LINE__), lhs, expr)
+#define HEDC_STATUS_CONCAT_INNER_(a, b) a##b
+#define HEDC_STATUS_CONCAT_(a, b) HEDC_STATUS_CONCAT_INNER_(a, b)
+#define HEDC_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#endif  // HEDC_CORE_STATUS_H_

@@ -1,0 +1,60 @@
+#include "core/thread_pool.h"
+
+namespace hedc {
+
+ThreadPool::ThreadPool(size_t num_threads, size_t queue_capacity)
+    : queue_(queue_capacity) {
+  if (num_threads == 0) num_threads = 1;
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+bool ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(wait_mu_);
+    if (shutdown_) return false;
+    ++pending_;
+  }
+  if (!queue_.Push(std::move(task))) {
+    std::lock_guard<std::mutex> lock(wait_mu_);
+    --pending_;
+    return false;
+  }
+  return true;
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(wait_mu_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(wait_mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+  }
+  queue_.Close();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::optional<std::function<void()>> task = queue_.Pop();
+    if (!task.has_value()) return;
+    (*task)();
+    {
+      std::lock_guard<std::mutex> lock(wait_mu_);
+      --pending_;
+      if (pending_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace hedc

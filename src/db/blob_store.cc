@@ -1,0 +1,75 @@
+#include "db/blob_store.h"
+
+#include <algorithm>
+
+namespace hedc::db {
+
+BlobStore::BlobStore(Database* db, size_t chunk_size)
+    : db_(db), chunk_size_(std::max<size_t>(chunk_size, 1)) {}
+
+Status BlobStore::Init() {
+  HEDC_ASSIGN_OR_RETURN(
+      ResultSet unused,
+      db_->Execute("CREATE TABLE IF NOT EXISTS lobs ("
+                   "lob_name TEXT NOT NULL, chunk_no INT NOT NULL, "
+                   "data BLOB)"));
+  (void)unused;
+  // Index for chunk retrieval by name; ignore AlreadyExists on re-init.
+  Result<ResultSet> idx =
+      db_->Execute("CREATE INDEX lobs_by_name ON lobs (lob_name) USING HASH");
+  if (!idx.ok() && idx.status().code() != StatusCode::kAlreadyExists) {
+    return idx.status();
+  }
+  return Status::Ok();
+}
+
+Status BlobStore::Put(const std::string& name,
+                      const std::vector<uint8_t>& data) {
+  HEDC_RETURN_IF_ERROR(Delete(name));
+  int64_t chunk_no = 0;
+  for (size_t off = 0; off < data.size() || chunk_no == 0;
+       off += chunk_size_) {
+    size_t n = std::min(chunk_size_, data.size() - off);
+    std::vector<uint8_t> chunk(data.begin() + off, data.begin() + off + n);
+    HEDC_ASSIGN_OR_RETURN(
+        ResultSet unused,
+        db_->Execute("INSERT INTO lobs (lob_name, chunk_no, data) "
+                     "VALUES (?, ?, ?)",
+                     {Value::Text(name), Value::Int(chunk_no),
+                      Value::Blob(std::move(chunk))}));
+    (void)unused;
+    ++chunk_no;
+    if (data.empty()) break;
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<uint8_t>> BlobStore::Get(const std::string& name) {
+  HEDC_ASSIGN_OR_RETURN(
+      ResultSet rs,
+      db_->Execute(
+          "SELECT chunk_no, data FROM lobs WHERE lob_name = ? "
+          "ORDER BY chunk_no",
+          {Value::Text(name)}));
+  if (rs.rows.empty()) {
+    return Status::NotFound("lob " + name);
+  }
+  std::vector<uint8_t> out;
+  for (size_t i = 0; i < rs.rows.size(); ++i) {
+    const Value& v = rs.Get(i, "data");
+    if (v.type() != ValueType::kBlob) continue;
+    const std::vector<uint8_t>& chunk = v.blob();
+    out.insert(out.end(), chunk.begin(), chunk.end());
+  }
+  return out;
+}
+
+Status BlobStore::Delete(const std::string& name) {
+  HEDC_ASSIGN_OR_RETURN(ResultSet unused,
+                        db_->Execute("DELETE FROM lobs WHERE lob_name = ?",
+                                     {Value::Text(name)}));
+  (void)unused;
+  return Status::Ok();
+}
+
+}  // namespace hedc::db

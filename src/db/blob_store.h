@@ -1,0 +1,45 @@
+// LOB emulation: stores large objects chunked across database rows.
+//
+// §4.2 rejects LOBs because (i) access is significantly slower than files
+// and (ii) "for the LOBs to be manageable, they must be reasonably small".
+// BlobStore reproduces that design alternative so the abl_lob_vs_file
+// bench can compare it against direct archive file reads.
+#ifndef HEDC_DB_BLOB_STORE_H_
+#define HEDC_DB_BLOB_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "db/database.h"
+
+namespace hedc::db {
+
+class BlobStore {
+ public:
+  // `chunk_size` mirrors "reasonably small" LOBs.
+  explicit BlobStore(Database* db, size_t chunk_size = 64 * 1024);
+
+  // Creates the backing table (idempotent).
+  Status Init();
+
+  // Stores `data` under `name`, replacing any previous value.
+  Status Put(const std::string& name, const std::vector<uint8_t>& data);
+
+  // Reassembles the blob through the SQL layer (chunk query + ordering),
+  // which is exactly the overhead the paper measured against files.
+  Result<std::vector<uint8_t>> Get(const std::string& name);
+
+  Status Delete(const std::string& name);
+
+  size_t chunk_size() const { return chunk_size_; }
+
+ private:
+  Database* db_;
+  size_t chunk_size_;
+};
+
+}  // namespace hedc::db
+
+#endif  // HEDC_DB_BLOB_STORE_H_

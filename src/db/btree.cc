@@ -1,0 +1,248 @@
+#include "db/btree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace hedc::db {
+
+struct BTreeIndex::Node {
+  bool leaf = true;
+  std::vector<Entry> entries;    // leaf: data entries; internal: separators
+  std::vector<Node*> children;   // internal only: entries.size() + 1
+  Node* next = nullptr;          // leaf chain
+};
+
+namespace {
+
+// Composite (key, row_id) comparison.
+int CompareComposite(const Value& a_key, int64_t a_id, const Value& b_key,
+                     int64_t b_id) {
+  int c = a_key.Compare(b_key);
+  if (c != 0) return c;
+  if (a_id < b_id) return -1;
+  if (a_id > b_id) return 1;
+  return 0;
+}
+
+}  // namespace
+
+int BTreeIndex::CompareEntry(const Entry& a, const Value& key,
+                             int64_t row_id) {
+  return CompareComposite(a.key, a.row_id, key, row_id);
+}
+
+BTreeIndex::BTreeIndex(int fanout) : fanout_(std::max(fanout, 4)) {
+  root_ = new Node();
+}
+
+BTreeIndex::~BTreeIndex() { FreeTree(root_); }
+
+void BTreeIndex::FreeTree(Node* node) {
+  if (node == nullptr) return;
+  for (Node* child : node->children) FreeTree(child);
+  delete node;
+}
+
+void BTreeIndex::SplitChild(Node* parent, int idx) {
+  Node* child = parent->children[idx];
+  Node* right = new Node();
+  right->leaf = child->leaf;
+  size_t mid = child->entries.size() / 2;
+
+  if (child->leaf) {
+    // B+-tree leaf split: right keeps the upper half; the separator is a
+    // copy of the first right entry.
+    right->entries.assign(child->entries.begin() + mid,
+                          child->entries.end());
+    child->entries.resize(mid);
+    right->next = child->next;
+    child->next = right;
+    parent->entries.insert(parent->entries.begin() + idx,
+                           right->entries.front());
+  } else {
+    // Internal split: the median separator moves up.
+    Entry median = child->entries[mid];
+    right->entries.assign(child->entries.begin() + mid + 1,
+                          child->entries.end());
+    right->children.assign(child->children.begin() + mid + 1,
+                           child->children.end());
+    child->entries.resize(mid);
+    child->children.resize(mid + 1);
+    parent->entries.insert(parent->entries.begin() + idx, std::move(median));
+  }
+  parent->children.insert(parent->children.begin() + idx + 1, right);
+}
+
+void BTreeIndex::Insert(const Value& key, int64_t row_id) {
+  if (static_cast<int>(root_->entries.size()) >= fanout_) {
+    Node* new_root = new Node();
+    new_root->leaf = false;
+    new_root->children.push_back(root_);
+    root_ = new_root;
+    SplitChild(root_, 0);
+  }
+  InsertNonFull(root_, key, row_id);
+  ++size_;
+}
+
+void BTreeIndex::InsertNonFull(Node* node, const Value& key,
+                               int64_t row_id) {
+  while (!node->leaf) {
+    // Child index: first separator strictly greater than the target.
+    size_t idx = 0;
+    while (idx < node->entries.size() &&
+           CompareEntry(node->entries[idx], key, row_id) <= 0) {
+      ++idx;
+    }
+    Node* child = node->children[idx];
+    if (static_cast<int>(child->entries.size()) >= fanout_) {
+      SplitChild(node, static_cast<int>(idx));
+      if (CompareEntry(node->entries[idx], key, row_id) <= 0) ++idx;
+      child = node->children[idx];
+    }
+    node = child;
+  }
+  auto it = std::lower_bound(
+      node->entries.begin(), node->entries.end(), 0,
+      [&](const Entry& e, int) { return CompareEntry(e, key, row_id) < 0; });
+  node->entries.insert(it, Entry{key, row_id});
+}
+
+BTreeIndex::Node* BTreeIndex::FindLeaf(const Value& key,
+                                       int64_t row_id) const {
+  Node* node = root_;
+  while (!node->leaf) {
+    size_t idx = 0;
+    while (idx < node->entries.size() &&
+           CompareEntry(node->entries[idx], key, row_id) <= 0) {
+      ++idx;
+    }
+    node = node->children[idx];
+  }
+  return node;
+}
+
+BTreeIndex::Node* BTreeIndex::LeftmostLeaf() const {
+  Node* node = root_;
+  while (!node->leaf) node = node->children.front();
+  return node;
+}
+
+bool BTreeIndex::Erase(const Value& key, int64_t row_id) {
+  Node* leaf = FindLeaf(key, row_id);
+  auto it = std::lower_bound(
+      leaf->entries.begin(), leaf->entries.end(), 0,
+      [&](const Entry& e, int) { return CompareEntry(e, key, row_id) < 0; });
+  if (it == leaf->entries.end() || CompareEntry(*it, key, row_id) != 0) {
+    return false;
+  }
+  // Lazy deletion: no rebalancing. Empty leaves remain in the chain and
+  // are skipped during scans; stale separators preserve ordering.
+  leaf->entries.erase(it);
+  --size_;
+  return true;
+}
+
+void BTreeIndex::Lookup(const Value& key, std::vector<int64_t>* out) const {
+  Scan(key, /*lo_inclusive=*/true, key, /*hi_inclusive=*/true,
+       [out](const Value&, int64_t row_id) {
+         out->push_back(row_id);
+         return true;
+       });
+}
+
+void BTreeIndex::Scan(
+    const std::optional<Value>& lo, bool lo_inclusive,
+    const std::optional<Value>& hi, bool hi_inclusive,
+    const std::function<bool(const Value&, int64_t)>& visit) const {
+  Node* leaf;
+  if (lo.has_value()) {
+    // Position at the first entry that can satisfy the lower bound.
+    int64_t probe_id = std::numeric_limits<int64_t>::min();
+    leaf = FindLeaf(*lo, probe_id);
+  } else {
+    leaf = LeftmostLeaf();
+  }
+  for (; leaf != nullptr; leaf = leaf->next) {
+    for (const Entry& e : leaf->entries) {
+      if (lo.has_value()) {
+        int c = e.key.Compare(*lo);
+        if (c < 0 || (c == 0 && !lo_inclusive)) continue;
+      }
+      if (hi.has_value()) {
+        int c = e.key.Compare(*hi);
+        if (c > 0 || (c == 0 && !hi_inclusive)) return;
+      }
+      if (!visit(e.key, e.row_id)) return;
+    }
+  }
+}
+
+int BTreeIndex::height() const {
+  int h = 1;
+  const Node* node = root_;
+  while (!node->leaf) {
+    node = node->children.front();
+    ++h;
+  }
+  return h;
+}
+
+bool BTreeIndex::CheckInvariants() const {
+  int leaf_depth = height();
+  if (!CheckNode(root_, nullptr, nullptr, 1, leaf_depth)) return false;
+  // Leaf chain must be globally sorted.
+  const Node* leaf = LeftmostLeaf();
+  const Entry* prev = nullptr;
+  size_t counted = 0;
+  for (; leaf != nullptr; leaf = leaf->next) {
+    for (const Entry& e : leaf->entries) {
+      if (prev != nullptr &&
+          CompareComposite(prev->key, prev->row_id, e.key, e.row_id) > 0) {
+        return false;
+      }
+      prev = &e;
+      ++counted;
+    }
+  }
+  return counted == size_;
+}
+
+bool BTreeIndex::CheckNode(const Node* node, const Entry* lo,
+                           const Entry* hi, int depth,
+                           int leaf_depth) const {
+  // Entries sorted within the node.
+  for (size_t i = 1; i < node->entries.size(); ++i) {
+    if (CompareComposite(node->entries[i - 1].key, node->entries[i - 1].row_id,
+                         node->entries[i].key, node->entries[i].row_id) > 0) {
+      return false;
+    }
+  }
+  // Entries within (lo, hi] window imposed by ancestors.
+  for (const Entry& e : node->entries) {
+    if (lo != nullptr &&
+        CompareComposite(e.key, e.row_id, lo->key, lo->row_id) < 0) {
+      return false;
+    }
+    if (hi != nullptr &&
+        CompareComposite(e.key, e.row_id, hi->key, hi->row_id) > 0) {
+      return false;
+    }
+  }
+  if (node->leaf) {
+    return depth == leaf_depth;
+  }
+  if (node->children.size() != node->entries.size() + 1) return false;
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    const Entry* child_lo = (i == 0) ? lo : &node->entries[i - 1];
+    const Entry* child_hi = (i == node->entries.size()) ? hi : &node->entries[i];
+    if (!CheckNode(node->children[i], child_lo, child_hi, depth + 1,
+                   leaf_depth)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace hedc::db

@@ -1,0 +1,74 @@
+// In-memory B+-tree index.
+//
+// Keys are (Value, row_id) pairs so duplicate column values are supported;
+// leaves are chained for range scans. The browse workload of §7 is "range
+// queries on indexed fields" plus count queries — both served here.
+#ifndef HEDC_DB_BTREE_H_
+#define HEDC_DB_BTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "db/value.h"
+
+namespace hedc::db {
+
+class BTreeIndex {
+ public:
+  // `fanout` is the max number of keys per node (>= 4).
+  explicit BTreeIndex(int fanout = 64);
+  ~BTreeIndex();
+
+  BTreeIndex(const BTreeIndex&) = delete;
+  BTreeIndex& operator=(const BTreeIndex&) = delete;
+
+  void Insert(const Value& key, int64_t row_id);
+  // Removes the exact (key, row_id) entry; returns true if present.
+  bool Erase(const Value& key, int64_t row_id);
+
+  // Appends all row ids whose key equals `key`.
+  void Lookup(const Value& key, std::vector<int64_t>* out) const;
+
+  // Appends row ids with key in the given range. Unset bounds are open.
+  // `visit` may stop the scan early by returning false.
+  void Scan(const std::optional<Value>& lo, bool lo_inclusive,
+            const std::optional<Value>& hi, bool hi_inclusive,
+            const std::function<bool(const Value&, int64_t)>& visit) const;
+
+  size_t size() const { return size_; }
+  int height() const;
+
+  // Validates B+-tree invariants (ordering, occupancy, leaf chaining);
+  // used by property tests.
+  bool CheckInvariants() const;
+
+ private:
+  struct Node;
+  struct Entry {
+    Value key;
+    int64_t row_id;
+  };
+
+  // Compares (key, row_id) composite.
+  static int CompareEntry(const Entry& a, const Value& key, int64_t row_id);
+
+  Node* root_;
+  int fanout_;
+  size_t size_ = 0;
+
+  void FreeTree(Node* node);
+  // Splits child `idx` of `parent` (child must be full).
+  void SplitChild(Node* parent, int idx);
+  void InsertNonFull(Node* node, const Value& key, int64_t row_id);
+  Node* FindLeaf(const Value& key, int64_t row_id) const;
+  Node* LeftmostLeaf() const;
+  bool CheckNode(const Node* node, const Entry* lo, const Entry* hi,
+                 int depth, int leaf_depth) const;
+};
+
+}  // namespace hedc::db
+
+#endif  // HEDC_DB_BTREE_H_

@@ -1,0 +1,740 @@
+#include "db/database.h"
+
+#include <algorithm>
+
+#include "core/strings.h"
+
+namespace hedc::db {
+
+namespace {
+
+std::string NormalizeName(std::string_view name) { return ToLower(name); }
+
+// Per-column sargable bounds extracted from the WHERE conjuncts.
+struct ColumnBounds {
+  std::optional<Value> eq;
+  std::optional<Value> lo;
+  bool lo_inclusive = true;
+  std::optional<Value> hi;
+  bool hi_inclusive = true;
+};
+
+// Collects AND-connected conjuncts.
+void CollectConjuncts(const Expr* e, std::vector<const Expr*>* out) {
+  if (e == nullptr) return;
+  if (e->kind == Expr::Kind::kBinary && e->bin_op == BinOp::kAnd) {
+    CollectConjuncts(e->left.get(), out);
+    CollectConjuncts(e->right.get(), out);
+    return;
+  }
+  out->push_back(e);
+}
+
+// If `e` is `col <op> literal` or `literal <op> col`, records the bound.
+void ExtractBound(const Expr* e,
+                  std::unordered_map<int, ColumnBounds>* bounds) {
+  if (e->kind != Expr::Kind::kBinary) return;
+  BinOp op = e->bin_op;
+  if (op != BinOp::kEq && op != BinOp::kLt && op != BinOp::kLe &&
+      op != BinOp::kGt && op != BinOp::kGe) {
+    return;
+  }
+  const Expr* col = nullptr;
+  const Expr* lit = nullptr;
+  bool flipped = false;
+  if (e->left->kind == Expr::Kind::kColumn &&
+      e->right->kind == Expr::Kind::kLiteral) {
+    col = e->left.get();
+    lit = e->right.get();
+  } else if (e->right->kind == Expr::Kind::kColumn &&
+             e->left->kind == Expr::Kind::kLiteral) {
+    col = e->right.get();
+    lit = e->left.get();
+    flipped = true;
+  } else {
+    return;
+  }
+  if (lit->literal.is_null()) return;
+  if (flipped) {
+    // literal < col  ≡  col > literal, etc.
+    switch (op) {
+      case BinOp::kLt:
+        op = BinOp::kGt;
+        break;
+      case BinOp::kLe:
+        op = BinOp::kGe;
+        break;
+      case BinOp::kGt:
+        op = BinOp::kLt;
+        break;
+      case BinOp::kGe:
+        op = BinOp::kLe;
+        break;
+      default:
+        break;
+    }
+  }
+  ColumnBounds& b = (*bounds)[col->column_index];
+  switch (op) {
+    case BinOp::kEq:
+      b.eq = lit->literal;
+      break;
+    case BinOp::kLt:
+      if (!b.hi || lit->literal.Compare(*b.hi) < 0) {
+        b.hi = lit->literal;
+        b.hi_inclusive = false;
+      }
+      break;
+    case BinOp::kLe:
+      if (!b.hi || lit->literal.Compare(*b.hi) < 0) {
+        b.hi = lit->literal;
+        b.hi_inclusive = true;
+      }
+      break;
+    case BinOp::kGt:
+      if (!b.lo || lit->literal.Compare(*b.lo) > 0) {
+        b.lo = lit->literal;
+        b.lo_inclusive = false;
+      }
+      break;
+    case BinOp::kGe:
+      if (!b.lo || lit->literal.Compare(*b.lo) > 0) {
+        b.lo = lit->literal;
+        b.lo_inclusive = true;
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+Value ResultSet::Get(size_t row, const std::string& column) const {
+  if (row >= rows.size()) return Value::Null();
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (EqualsIgnoreCase(columns[i], column)) {
+      return i < rows[row].size() ? rows[row][i] : Value::Null();
+    }
+  }
+  return Value::Null();
+}
+
+Status Database::OpenWal(const std::string& wal_path) {
+  std::vector<WalRecord> records;
+  Status read = WriteAheadLog::ReadAll(wal_path, &records);
+  if (!read.ok() && !read.IsNotFound()) return read;
+  // Replay into the catalog before enabling logging so replay itself is
+  // not re-logged.
+  for (const WalRecord& record : records) {
+    std::string key = NormalizeName(record.table);
+    switch (record.op) {
+      case WalOp::kCreateTable:
+        if (tables_.count(key) == 0) {
+          tables_[key] =
+              std::make_unique<Table>(record.table, record.schema);
+        }
+        break;
+      case WalOp::kCreateIndex: {
+        auto it = tables_.find(key);
+        if (it != tables_.end()) {
+          Status s = it->second->CreateIndex(
+              record.index_name, record.column,
+              record.hash_index ? IndexKind::kHash : IndexKind::kBTree);
+          if (!s.ok() && s.code() != StatusCode::kAlreadyExists) return s;
+        }
+        break;
+      }
+      case WalOp::kDropTable:
+        tables_.erase(key);
+        break;
+      case WalOp::kInsert: {
+        auto it = tables_.find(key);
+        if (it == tables_.end()) break;
+        HEDC_RETURN_IF_ERROR(
+            it->second->InsertWithId(record.row_id, record.row));
+        break;
+      }
+      case WalOp::kUpdate: {
+        auto it = tables_.find(key);
+        if (it == tables_.end()) break;
+        HEDC_RETURN_IF_ERROR(it->second->Update(record.row_id, record.row));
+        break;
+      }
+      case WalOp::kDelete: {
+        auto it = tables_.find(key);
+        if (it == tables_.end()) break;
+        HEDC_RETURN_IF_ERROR(it->second->Delete(record.row_id));
+        break;
+      }
+    }
+  }
+  HEDC_RETURN_IF_ERROR(wal_.Open(wal_path));
+  wal_enabled_ = true;
+  return Status::Ok();
+}
+
+Status Database::ResetWal(const std::string& wal_path) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (!wal_enabled_) {
+    return Status::FailedPrecondition("WAL is not enabled");
+  }
+  wal_.Close();
+  std::FILE* f = std::fopen(wal_path.c_str(), "wb");  // truncate
+  if (f == nullptr) {
+    return Status::Internal("cannot truncate WAL: " + wal_path);
+  }
+  std::fclose(f);
+  return wal_.Open(wal_path);
+}
+
+void Database::LogOrBuffer(WalRecord record) {
+  if (!wal_enabled_) return;
+  if (in_txn_) {
+    txn_wal_buffer_.push_back(std::move(record));
+  } else {
+    wal_.Append(record);
+  }
+}
+
+Status Database::Begin() {
+  std::lock_guard<std::mutex> lock(txn_mu_);
+  if (in_txn_) return Status::FailedPrecondition("transaction already open");
+  in_txn_ = true;
+  undo_log_.clear();
+  txn_wal_buffer_.clear();
+  return Status::Ok();
+}
+
+Status Database::Commit() {
+  std::lock_guard<std::mutex> lock(txn_mu_);
+  if (!in_txn_) return Status::FailedPrecondition("no open transaction");
+  for (const WalRecord& record : txn_wal_buffer_) {
+    HEDC_RETURN_IF_ERROR(wal_.is_open() ? wal_.Append(record) : Status::Ok());
+  }
+  txn_wal_buffer_.clear();
+  undo_log_.clear();
+  in_txn_ = false;
+  return Status::Ok();
+}
+
+Status Database::Rollback() {
+  std::lock_guard<std::mutex> txn_lock(txn_mu_);
+  if (!in_txn_) return Status::FailedPrecondition("no open transaction");
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  // Undo in reverse order.
+  for (auto it = undo_log_.rbegin(); it != undo_log_.rend(); ++it) {
+    auto table_it = tables_.find(NormalizeName(it->table));
+    if (table_it == tables_.end()) continue;
+    Table* table = table_it->second.get();
+    switch (it->op) {
+      case WalOp::kInsert:
+        table->Delete(it->row_id);
+        break;
+      case WalOp::kUpdate:
+        table->Update(it->row_id, it->old_row);
+        break;
+      case WalOp::kDelete:
+        table->InsertWithId(it->row_id, it->old_row);
+        break;
+      default:
+        break;
+    }
+  }
+  undo_log_.clear();
+  txn_wal_buffer_.clear();
+  in_txn_ = false;
+  return Status::Ok();
+}
+
+Table* Database::GetTable(const std::string& name) {
+  auto it = tables_.find(NormalizeName(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(NormalizeName(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [key, table] : tables_) names.push_back(table->name());
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Result<ResultSet> Database::Execute(std::string_view sql,
+                                    const std::vector<Value>& params) {
+  HEDC_ASSIGN_OR_RETURN(std::unique_ptr<Statement> stmt, ParseSql(sql));
+  return ExecuteStatement(*stmt, params);
+}
+
+Result<ResultSet> Database::ExecuteStatement(
+    const Statement& stmt, const std::vector<Value>& params) {
+  switch (stmt.kind) {
+    case Statement::Kind::kSelect:
+      stats_.queries.fetch_add(1, std::memory_order_relaxed);
+      return ExecSelect(stmt.select, params);
+    case Statement::Kind::kInsert:
+      stats_.updates.fetch_add(1, std::memory_order_relaxed);
+      return ExecInsert(stmt.insert, params);
+    case Statement::Kind::kUpdate:
+      stats_.updates.fetch_add(1, std::memory_order_relaxed);
+      return ExecUpdate(stmt.update, params);
+    case Statement::Kind::kDelete:
+      stats_.updates.fetch_add(1, std::memory_order_relaxed);
+      return ExecDelete(stmt.del, params);
+    case Statement::Kind::kCreateTable:
+      return ExecCreateTable(stmt.create_table);
+    case Statement::Kind::kCreateIndex:
+      return ExecCreateIndex(stmt.create_index);
+    case Statement::Kind::kDropTable:
+      return ExecDropTable(stmt.drop_table);
+    case Statement::Kind::kBegin: {
+      HEDC_RETURN_IF_ERROR(Begin());
+      return ResultSet{};
+    }
+    case Statement::Kind::kCommit: {
+      HEDC_RETURN_IF_ERROR(Commit());
+      return ResultSet{};
+    }
+    case Statement::Kind::kRollback: {
+      HEDC_RETURN_IF_ERROR(Rollback());
+      return ResultSet{};
+    }
+  }
+  return Status::Internal("unreachable statement kind");
+}
+
+Status Database::CollectCandidates(Table* table, const Expr* where,
+                                   std::vector<int64_t>* row_ids,
+                                   bool* used_index) {
+  *used_index = false;
+  if (where != nullptr) {
+    std::vector<const Expr*> conjuncts;
+    CollectConjuncts(where, &conjuncts);
+    std::unordered_map<int, ColumnBounds> bounds;
+    for (const Expr* c : conjuncts) ExtractBound(c, &bounds);
+
+    // Prefer an equality-indexed column, then a range-indexed column.
+    for (const auto& [col, b] : bounds) {
+      if (!b.eq.has_value()) continue;
+      const IndexDef* def =
+          table->FindIndex(static_cast<size_t>(col), /*need_range=*/false);
+      if (def == nullptr) continue;
+      table->IndexLookup(*def, *b.eq, row_ids);
+      *used_index = true;
+      stats_.index_scans.fetch_add(1, std::memory_order_relaxed);
+      return Status::Ok();
+    }
+    for (const auto& [col, b] : bounds) {
+      if (!b.lo.has_value() && !b.hi.has_value()) continue;
+      const IndexDef* def =
+          table->FindIndex(static_cast<size_t>(col), /*need_range=*/true);
+      if (def == nullptr) continue;
+      table->IndexRange(*def, b.lo, b.lo_inclusive, b.hi, b.hi_inclusive,
+                        row_ids);
+      *used_index = true;
+      stats_.index_scans.fetch_add(1, std::memory_order_relaxed);
+      return Status::Ok();
+    }
+  }
+  stats_.full_scans.fetch_add(1, std::memory_order_relaxed);
+  table->Scan([row_ids](int64_t row_id, const Row&) {
+    row_ids->push_back(row_id);
+    return true;
+  });
+  return Status::Ok();
+}
+
+Result<ResultSet> Database::ExecSelect(const SelectStmt& stmt,
+                                       const std::vector<Value>& params) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  Table* table = GetTable(stmt.table);
+  if (table == nullptr) return Status::NotFound("table " + stmt.table);
+  const Schema& schema = table->schema();
+
+  std::unique_ptr<Expr> where;
+  if (stmt.where != nullptr) {
+    where = stmt.where->Clone();
+    HEDC_RETURN_IF_ERROR(BindExpr(where.get(), schema, params));
+  }
+
+  bool used_index = false;
+  std::vector<int64_t> candidates;
+  HEDC_RETURN_IF_ERROR(
+      CollectCandidates(table, where.get(), &candidates, &used_index));
+
+  // Filter with the full predicate (residual included).
+  std::vector<std::pair<int64_t, Row>> matches;
+  for (int64_t row_id : candidates) {
+    Result<Row> row = table->Get(row_id);
+    if (!row.ok()) continue;  // concurrent delete between index and heap
+    stats_.rows_examined.fetch_add(1, std::memory_order_relaxed);
+    if (where != nullptr) {
+      HEDC_ASSIGN_OR_RETURN(Value keep, EvalExpr(*where, row.value()));
+      if (!keep.AsBool()) continue;
+    }
+    matches.emplace_back(row_id, std::move(row).value());
+  }
+
+  // ORDER BY before projection/limit.
+  if (!stmt.order_by.empty()) {
+    auto col = schema.ColumnIndex(stmt.order_by);
+    if (!col.has_value()) {
+      return Status::InvalidArgument("unknown ORDER BY column: " +
+                                     stmt.order_by);
+    }
+    size_t c = *col;
+    bool desc = stmt.order_desc;
+    std::stable_sort(matches.begin(), matches.end(),
+                     [c, desc](const auto& a, const auto& b) {
+                       int cmp = a.second[c].Compare(b.second[c]);
+                       return desc ? cmp > 0 : cmp < 0;
+                     });
+  }
+
+  ResultSet result;
+
+  bool has_agg = false;
+  for (const SelectItem& item : stmt.items) {
+    if (item.agg != AggFunc::kNone) has_agg = true;
+  }
+
+  if (has_agg || !stmt.group_by.empty()) {
+    // Aggregation path. Groups preserve first-seen order.
+    std::optional<size_t> group_col;
+    if (!stmt.group_by.empty()) {
+      group_col = schema.ColumnIndex(stmt.group_by);
+      if (!group_col.has_value()) {
+        return Status::InvalidArgument("unknown GROUP BY column: " +
+                                       stmt.group_by);
+      }
+    }
+    struct AggState {
+      int64_t count = 0;
+      double sum = 0;
+      bool any = false;
+      Value min, max;
+      Value group_key;
+    };
+    std::vector<AggState> groups;
+    std::unordered_map<std::string, size_t> group_index;
+
+    // Resolve aggregate column indexes once.
+    struct ItemPlan {
+      AggFunc agg;
+      int col = -1;
+    };
+    std::vector<ItemPlan> plans;
+    for (const SelectItem& item : stmt.items) {
+      ItemPlan plan{item.agg, -1};
+      if (!item.column.empty()) {
+        auto ci = schema.ColumnIndex(item.column);
+        if (!ci.has_value()) {
+          return Status::InvalidArgument("unknown column: " + item.column);
+        }
+        plan.col = static_cast<int>(*ci);
+      }
+      plans.push_back(plan);
+    }
+
+    // The dialect allows a single aggregated column per statement (every
+    // metadata query in the system satisfies this); the group state below
+    // tracks that one column.
+    int agg_col = -1;
+    for (const ItemPlan& plan : plans) {
+      if (plan.col < 0 || plan.agg == AggFunc::kNone) continue;
+      if (agg_col >= 0 && plan.col != agg_col) {
+        return Status::Unimplemented(
+            "multiple distinct aggregate columns in one SELECT");
+      }
+      agg_col = plan.col;
+    }
+
+    for (const auto& [row_id, row] : matches) {
+      std::string key =
+          group_col.has_value() ? row[*group_col].AsText() : "";
+      auto [it, inserted] = group_index.try_emplace(key, groups.size());
+      if (inserted) {
+        groups.emplace_back();
+        if (group_col.has_value()) {
+          groups.back().group_key = row[*group_col];
+        }
+      }
+      AggState& g = groups[it->second];
+      ++g.count;
+      if (agg_col >= 0) {
+        const Value& v = row[agg_col];
+        if (!v.is_null()) {
+          g.sum += v.AsReal();
+          if (!g.any || v.Compare(g.min) < 0) g.min = v;
+          if (!g.any || v.Compare(g.max) > 0) g.max = v;
+          g.any = true;
+        }
+      }
+    }
+
+    for (const SelectItem& item : stmt.items) result.columns.push_back(item.alias);
+    for (AggState& g : groups) {
+      Row out_row;
+      for (size_t i = 0; i < stmt.items.size(); ++i) {
+        const ItemPlan& plan = plans[i];
+        switch (plan.agg) {
+          case AggFunc::kCountStar:
+          case AggFunc::kCount:
+            out_row.push_back(Value::Int(g.count));
+            break;
+          case AggFunc::kMin:
+            out_row.push_back(g.any ? g.min : Value::Null());
+            break;
+          case AggFunc::kMax:
+            out_row.push_back(g.any ? g.max : Value::Null());
+            break;
+          case AggFunc::kSum:
+            out_row.push_back(g.any ? Value::Real(g.sum) : Value::Null());
+            break;
+          case AggFunc::kAvg:
+            out_row.push_back(
+                g.count > 0 && g.any
+                    ? Value::Real(g.sum / static_cast<double>(g.count))
+                    : Value::Null());
+            break;
+          case AggFunc::kNone:
+            // Non-aggregated item: only valid as the GROUP BY column.
+            out_row.push_back(g.group_key);
+            break;
+        }
+      }
+      result.rows.push_back(std::move(out_row));
+    }
+    if (groups.empty() && !group_col.has_value()) {
+      // Aggregate over empty input still yields one row (COUNT=0 etc.).
+      Row out_row;
+      for (const ItemPlan& plan : plans) {
+        out_row.push_back(plan.agg == AggFunc::kCount ||
+                                  plan.agg == AggFunc::kCountStar
+                              ? Value::Int(0)
+                              : Value::Null());
+      }
+      result.rows.push_back(std::move(out_row));
+    }
+  } else {
+    // Plain projection.
+    std::vector<int> proj;
+    if (stmt.star) {
+      for (size_t i = 0; i < schema.num_columns(); ++i) {
+        result.columns.push_back(schema.column(i).name);
+        proj.push_back(static_cast<int>(i));
+      }
+    } else {
+      for (const SelectItem& item : stmt.items) {
+        auto ci = schema.ColumnIndex(item.column);
+        if (!ci.has_value()) {
+          return Status::InvalidArgument("unknown column: " + item.column);
+        }
+        result.columns.push_back(item.alias);
+        proj.push_back(static_cast<int>(*ci));
+      }
+    }
+    for (const auto& [row_id, row] : matches) {
+      Row out_row;
+      out_row.reserve(proj.size());
+      for (int c : proj) out_row.push_back(row[c]);
+      result.rows.push_back(std::move(out_row));
+    }
+  }
+
+  if (stmt.limit >= 0 &&
+      result.rows.size() > static_cast<size_t>(stmt.limit)) {
+    result.rows.resize(stmt.limit);
+  }
+  return result;
+}
+
+Result<ResultSet> Database::ExecInsert(const InsertStmt& stmt,
+                                       const std::vector<Value>& params) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  Table* table = GetTable(stmt.table);
+  if (table == nullptr) return Status::NotFound("table " + stmt.table);
+  const Schema& schema = table->schema();
+
+  // Column mapping.
+  std::vector<size_t> targets;
+  if (stmt.columns.empty()) {
+    for (size_t i = 0; i < schema.num_columns(); ++i) targets.push_back(i);
+  } else {
+    for (const std::string& name : stmt.columns) {
+      auto ci = schema.ColumnIndex(name);
+      if (!ci.has_value()) {
+        return Status::InvalidArgument("unknown column: " + name);
+      }
+      targets.push_back(*ci);
+    }
+  }
+
+  ResultSet result;
+  for (const auto& value_exprs : stmt.rows) {
+    if (value_exprs.size() != targets.size()) {
+      return Status::InvalidArgument("VALUES arity mismatch");
+    }
+    Row row(schema.num_columns(), Value::Null());
+    for (size_t i = 0; i < value_exprs.size(); ++i) {
+      std::unique_ptr<Expr> e = value_exprs[i]->Clone();
+      HEDC_RETURN_IF_ERROR(BindExpr(e.get(), schema, params));
+      HEDC_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, Row{}));
+      row[targets[i]] = std::move(v);
+    }
+    HEDC_ASSIGN_OR_RETURN(int64_t row_id, table->Insert(std::move(row)));
+    Result<Row> inserted = table->Get(row_id);
+    LogOrBuffer(WalRecord{WalOp::kInsert, table->name(), row_id,
+                          inserted.ok() ? inserted.value() : Row{},
+                          Schema{}, "", "", false});
+    if (in_txn_) {
+      undo_log_.push_back(UndoOp{WalOp::kInsert, table->name(), row_id, {}});
+    }
+    result.last_insert_row_id = row_id;
+    ++result.affected_rows;
+  }
+  return result;
+}
+
+Result<ResultSet> Database::ExecUpdate(const UpdateStmt& stmt,
+                                       const std::vector<Value>& params) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  Table* table = GetTable(stmt.table);
+  if (table == nullptr) return Status::NotFound("table " + stmt.table);
+  const Schema& schema = table->schema();
+
+  std::unique_ptr<Expr> where;
+  if (stmt.where != nullptr) {
+    where = stmt.where->Clone();
+    HEDC_RETURN_IF_ERROR(BindExpr(where.get(), schema, params));
+  }
+  // Bind assignment expressions.
+  std::vector<std::pair<size_t, std::unique_ptr<Expr>>> assigns;
+  for (const auto& [col_name, expr] : stmt.assignments) {
+    auto ci = schema.ColumnIndex(col_name);
+    if (!ci.has_value()) {
+      return Status::InvalidArgument("unknown column: " + col_name);
+    }
+    std::unique_ptr<Expr> bound = expr->Clone();
+    HEDC_RETURN_IF_ERROR(BindExpr(bound.get(), schema, params));
+    assigns.emplace_back(*ci, std::move(bound));
+  }
+
+  bool used_index = false;
+  std::vector<int64_t> candidates;
+  HEDC_RETURN_IF_ERROR(
+      CollectCandidates(table, where.get(), &candidates, &used_index));
+
+  ResultSet result;
+  for (int64_t row_id : candidates) {
+    Result<Row> current = table->Get(row_id);
+    if (!current.ok()) continue;
+    if (where != nullptr) {
+      HEDC_ASSIGN_OR_RETURN(Value keep, EvalExpr(*where, current.value()));
+      if (!keep.AsBool()) continue;
+    }
+    Row updated = current.value();
+    for (const auto& [col, expr] : assigns) {
+      HEDC_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr, current.value()));
+      updated[col] = std::move(v);
+    }
+    Row old_row;
+    HEDC_RETURN_IF_ERROR(table->Update(row_id, std::move(updated), &old_row));
+    Result<Row> new_row = table->Get(row_id);
+    LogOrBuffer(WalRecord{WalOp::kUpdate, table->name(), row_id,
+                          new_row.ok() ? new_row.value() : Row{}, Schema{},
+                          "", "", false});
+    if (in_txn_) {
+      undo_log_.push_back(
+          UndoOp{WalOp::kUpdate, table->name(), row_id, std::move(old_row)});
+    }
+    ++result.affected_rows;
+  }
+  return result;
+}
+
+Result<ResultSet> Database::ExecDelete(const DeleteStmt& stmt,
+                                       const std::vector<Value>& params) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  Table* table = GetTable(stmt.table);
+  if (table == nullptr) return Status::NotFound("table " + stmt.table);
+  const Schema& schema = table->schema();
+
+  std::unique_ptr<Expr> where;
+  if (stmt.where != nullptr) {
+    where = stmt.where->Clone();
+    HEDC_RETURN_IF_ERROR(BindExpr(where.get(), schema, params));
+  }
+
+  bool used_index = false;
+  std::vector<int64_t> candidates;
+  HEDC_RETURN_IF_ERROR(
+      CollectCandidates(table, where.get(), &candidates, &used_index));
+
+  ResultSet result;
+  for (int64_t row_id : candidates) {
+    Result<Row> current = table->Get(row_id);
+    if (!current.ok()) continue;
+    if (where != nullptr) {
+      HEDC_ASSIGN_OR_RETURN(Value keep, EvalExpr(*where, current.value()));
+      if (!keep.AsBool()) continue;
+    }
+    Row old_row;
+    HEDC_RETURN_IF_ERROR(table->Delete(row_id, &old_row));
+    LogOrBuffer(WalRecord{WalOp::kDelete, table->name(), row_id, Row{},
+                          Schema{}, "", "", false});
+    if (in_txn_) {
+      undo_log_.push_back(
+          UndoOp{WalOp::kDelete, table->name(), row_id, std::move(old_row)});
+    }
+    ++result.affected_rows;
+  }
+  return result;
+}
+
+Result<ResultSet> Database::ExecCreateTable(const CreateTableStmt& stmt) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::string key = NormalizeName(stmt.table);
+  if (tables_.count(key) > 0) {
+    if (stmt.if_not_exists) return ResultSet{};
+    return Status::AlreadyExists("table " + stmt.table);
+  }
+  tables_[key] = std::make_unique<Table>(stmt.table, stmt.schema);
+  LogOrBuffer(WalRecord{WalOp::kCreateTable, stmt.table, 0, Row{},
+                        stmt.schema, "", "", false});
+  return ResultSet{};
+}
+
+Result<ResultSet> Database::ExecCreateIndex(const CreateIndexStmt& stmt) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  Table* table = GetTable(stmt.table);
+  if (table == nullptr) return Status::NotFound("table " + stmt.table);
+  HEDC_RETURN_IF_ERROR(table->CreateIndex(
+      stmt.index_name, stmt.column,
+      stmt.hash ? IndexKind::kHash : IndexKind::kBTree));
+  LogOrBuffer(WalRecord{WalOp::kCreateIndex, stmt.table, 0, Row{}, Schema{},
+                        stmt.index_name, stmt.column, stmt.hash});
+  return ResultSet{};
+}
+
+Result<ResultSet> Database::ExecDropTable(const DropTableStmt& stmt) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::string key = NormalizeName(stmt.table);
+  auto it = tables_.find(key);
+  if (it == tables_.end()) {
+    if (stmt.if_exists) return ResultSet{};
+    return Status::NotFound("table " + stmt.table);
+  }
+  tables_.erase(it);
+  LogOrBuffer(WalRecord{WalOp::kDropTable, stmt.table, 0, Row{}, Schema{},
+                        "", "", false});
+  return ResultSet{};
+}
+
+}  // namespace hedc::db

@@ -1,0 +1,128 @@
+// Database: catalog + SQL executor + transactions.
+//
+// Plays the role Oracle plays in HEDC: it stores only metadata (the actual
+// science data lives in the archive's file system) and serves the indexed
+// point/range/count queries the DM issues. Thread-safe: SELECTs take a
+// shared lock, DML takes an exclusive lock per database.
+#ifndef HEDC_DB_DATABASE_H_
+#define HEDC_DB_DATABASE_H_
+
+#include <atomic>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/status.h"
+#include "db/sql.h"
+#include "db/table.h"
+#include "db/wal.h"
+
+namespace hedc::db {
+
+// Tabular statement result. DML statements report affected row count.
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+  int64_t affected_rows = 0;
+  int64_t last_insert_row_id = 0;
+
+  size_t num_rows() const { return rows.size(); }
+  // Value at (row, named column); Null when out of range/unknown.
+  Value Get(size_t row, const std::string& column) const;
+};
+
+// Execution statistics for the evaluation harness.
+struct DbStats {
+  std::atomic<int64_t> queries{0};        // SELECT statements
+  std::atomic<int64_t> updates{0};        // INSERT/UPDATE/DELETE statements
+  std::atomic<int64_t> full_scans{0};     // table scans (no usable index)
+  std::atomic<int64_t> index_scans{0};    // index-assisted accesses
+  std::atomic<int64_t> rows_examined{0};
+};
+
+class Database {
+ public:
+  Database() = default;
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // Enables durability: appends every committed mutation to `wal_path` and
+  // (if the file already has records) replays them first.
+  Status OpenWal(const std::string& wal_path);
+
+  // Truncates and reopens the WAL (used by checkpointing after a
+  // snapshot has captured the current state). Requires an open WAL.
+  Status ResetWal(const std::string& wal_path);
+  bool wal_enabled() const { return wal_enabled_; }
+
+  // Parses and executes one statement. `params` bind '?' markers in order.
+  Result<ResultSet> Execute(std::string_view sql,
+                            const std::vector<Value>& params = {});
+
+  // Executes a pre-parsed statement (prepared-statement path; the
+  // statement is not consumed and can be re-executed with new params).
+  Result<ResultSet> ExecuteStatement(const Statement& stmt,
+                                     const std::vector<Value>& params);
+
+  // Explicit transactions (single writer at a time). DML inside a
+  // transaction is applied immediately but undone on Rollback; WAL records
+  // are buffered until Commit.
+  Status Begin();
+  Status Commit();
+  Status Rollback();
+  bool in_transaction() const { return in_txn_; }
+
+  // Direct table access for substrates that bypass SQL (BlobStore, tests).
+  Table* GetTable(const std::string& name);
+  const Table* GetTable(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+  DbStats& stats() { return stats_; }
+
+ private:
+  struct UndoOp {
+    WalOp op;  // inverse action is derived from this
+    std::string table;
+    int64_t row_id = 0;
+    Row old_row;
+  };
+
+  Result<ResultSet> ExecSelect(const SelectStmt& stmt,
+                               const std::vector<Value>& params);
+  Result<ResultSet> ExecInsert(const InsertStmt& stmt,
+                               const std::vector<Value>& params);
+  Result<ResultSet> ExecUpdate(const UpdateStmt& stmt,
+                               const std::vector<Value>& params);
+  Result<ResultSet> ExecDelete(const DeleteStmt& stmt,
+                               const std::vector<Value>& params);
+  Result<ResultSet> ExecCreateTable(const CreateTableStmt& stmt);
+  Result<ResultSet> ExecCreateIndex(const CreateIndexStmt& stmt);
+  Result<ResultSet> ExecDropTable(const DropTableStmt& stmt);
+
+  // Collects matching row ids for `where` on `table`, using an index when
+  // a sargable conjunct exists, else a full scan. Returned ids still need
+  // residual predicate evaluation (done by caller via `residual`).
+  Status CollectCandidates(Table* table, const Expr* where,
+                           std::vector<int64_t>* row_ids, bool* used_index);
+
+  void LogOrBuffer(WalRecord record);
+
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  WriteAheadLog wal_;
+  bool wal_enabled_ = false;
+
+  std::mutex txn_mu_;  // serializes explicit transactions
+  bool in_txn_ = false;
+  std::vector<UndoOp> undo_log_;
+  std::vector<WalRecord> txn_wal_buffer_;
+
+  DbStats stats_;
+};
+
+}  // namespace hedc::db
+
+#endif  // HEDC_DB_DATABASE_H_

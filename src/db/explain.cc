@@ -1,0 +1,134 @@
+#include "db/explain.h"
+
+#include <optional>
+#include <unordered_map>
+
+#include "core/strings.h"
+#include "db/expr.h"
+#include "db/sql.h"
+#include "db/table.h"
+
+namespace hedc::db {
+
+namespace {
+
+// Mirrors the executor's sargability analysis (database.cc); kept in sync
+// by the ExplainMatchesExecutor tests.
+struct Bounds {
+  bool has_eq = false;
+  bool has_range = false;
+};
+
+void CollectConjuncts(const Expr* e, std::vector<const Expr*>* out) {
+  if (e == nullptr) return;
+  if (e->kind == Expr::Kind::kBinary && e->bin_op == BinOp::kAnd) {
+    CollectConjuncts(e->left.get(), out);
+    CollectConjuncts(e->right.get(), out);
+    return;
+  }
+  out->push_back(e);
+}
+
+void ExtractBound(const Expr* e, std::unordered_map<int, Bounds>* bounds) {
+  if (e->kind != Expr::Kind::kBinary) return;
+  BinOp op = e->bin_op;
+  if (op != BinOp::kEq && op != BinOp::kLt && op != BinOp::kLe &&
+      op != BinOp::kGt && op != BinOp::kGe) {
+    return;
+  }
+  const Expr* col = nullptr;
+  const Expr* lit = nullptr;
+  if (e->left->kind == Expr::Kind::kColumn &&
+      e->right->kind == Expr::Kind::kLiteral) {
+    col = e->left.get();
+    lit = e->right.get();
+  } else if (e->right->kind == Expr::Kind::kColumn &&
+             e->left->kind == Expr::Kind::kLiteral) {
+    col = e->right.get();
+    lit = e->left.get();
+  } else {
+    return;
+  }
+  if (lit->literal.is_null()) return;
+  Bounds& b = (*bounds)[col->column_index];
+  if (op == BinOp::kEq) {
+    b.has_eq = true;
+  } else {
+    b.has_range = true;
+  }
+}
+
+}  // namespace
+
+std::string QueryPlan::ToString() const {
+  switch (access) {
+    case Access::kFullScan:
+      return StrFormat("FULL SCAN %s%s", table.c_str(),
+                       has_residual ? " WHERE <predicate>" : "");
+    case Access::kIndexPoint:
+      return StrFormat("INDEX POINT %s.%s (%s)%s", table.c_str(),
+                       column.c_str(), index_name.c_str(),
+                       has_residual ? " + residual" : "");
+    case Access::kIndexRange:
+      return StrFormat("INDEX RANGE %s.%s (%s)%s", table.c_str(),
+                       column.c_str(), index_name.c_str(),
+                       has_residual ? " + residual" : "");
+  }
+  return "?";
+}
+
+Result<QueryPlan> ExplainSelect(Database* db, std::string_view sql,
+                                const std::vector<Value>& params) {
+  HEDC_ASSIGN_OR_RETURN(std::unique_ptr<Statement> stmt, ParseSql(sql));
+  if (stmt->kind != Statement::Kind::kSelect) {
+    return Status::InvalidArgument("EXPLAIN supports SELECT only");
+  }
+  const SelectStmt& select = stmt->select;
+  Table* table = db->GetTable(select.table);
+  if (table == nullptr) return Status::NotFound("table " + select.table);
+
+  QueryPlan plan;
+  plan.table = table->name();
+  if (select.where == nullptr) {
+    plan.access = QueryPlan::Access::kFullScan;
+    return plan;
+  }
+  std::unique_ptr<Expr> where = select.where->Clone();
+  // Pad parameters so planning never fails on unbound markers.
+  std::vector<Value> padded = params;
+  padded.resize(static_cast<size_t>(stmt->num_params), Value::Int(0));
+  HEDC_RETURN_IF_ERROR(BindExpr(where.get(), table->schema(), padded));
+
+  std::vector<const Expr*> conjuncts;
+  CollectConjuncts(where.get(), &conjuncts);
+  std::unordered_map<int, Bounds> bounds;
+  for (const Expr* c : conjuncts) ExtractBound(c, &bounds);
+  plan.has_residual = true;  // the executor always re-checks the predicate
+
+  // Same preference order as the executor: indexed equality first, then
+  // indexed range, else scan.
+  for (const auto& [col, b] : bounds) {
+    if (!b.has_eq) continue;
+    const IndexDef* def =
+        table->FindIndex(static_cast<size_t>(col), /*need_range=*/false);
+    if (def == nullptr) continue;
+    plan.access = QueryPlan::Access::kIndexPoint;
+    plan.index_name = def->name;
+    plan.column = table->schema().column(def->column).name;
+    return plan;
+  }
+  for (const auto& [col, b] : bounds) {
+    if (!b.has_range) continue;
+    const IndexDef* def =
+        table->FindIndex(static_cast<size_t>(col), /*need_range=*/true);
+    if (def == nullptr) continue;
+    plan.access = QueryPlan::Access::kIndexRange;
+    plan.index_name = def->name;
+    plan.column = table->schema().column(def->column).name;
+    return plan;
+  }
+  plan.access = QueryPlan::Access::kFullScan;
+  return plan;
+}
+
+}  // namespace hedc::db

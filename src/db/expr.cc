@@ -1,0 +1,250 @@
+#include "db/expr.h"
+
+#include "core/strings.h"
+
+namespace hedc::db {
+
+std::unique_ptr<Expr> Expr::Literal(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Column(std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kColumn;
+  e->column = std::move(name);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Param(int index) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kParam;
+  e->param_index = index;
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Unary(UnOp op, std::unique_ptr<Expr> operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kUnary;
+  e->un_op = op;
+  e->left = std::move(operand);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Binary(BinOp op, std::unique_ptr<Expr> l,
+                                   std::unique_ptr<Expr> r) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kBinary;
+  e->bin_op = op;
+  e->left = std::move(l);
+  e->right = std::move(r);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->literal = literal;
+  e->column = column;
+  e->column_index = column_index;
+  e->param_index = param_index;
+  e->bin_op = bin_op;
+  e->un_op = un_op;
+  if (left) e->left = left->Clone();
+  if (right) e->right = right->Clone();
+  for (const auto& item : list) e->list.push_back(item->Clone());
+  return e;
+}
+
+Status BindExpr(Expr* expr, const Schema& schema,
+                const std::vector<Value>& params) {
+  switch (expr->kind) {
+    case Expr::Kind::kLiteral:
+      return Status::Ok();
+    case Expr::Kind::kColumn: {
+      auto idx = schema.ColumnIndex(expr->column);
+      if (!idx.has_value()) {
+        return Status::InvalidArgument("unknown column: " + expr->column);
+      }
+      expr->column_index = static_cast<int>(*idx);
+      return Status::Ok();
+    }
+    case Expr::Kind::kParam: {
+      if (expr->param_index < 0 ||
+          expr->param_index >= static_cast<int>(params.size())) {
+        return Status::InvalidArgument(
+            StrFormat("parameter %d not bound", expr->param_index + 1));
+      }
+      // Substitute: parameters become literals for this execution.
+      expr->literal = params[expr->param_index];
+      expr->kind = Expr::Kind::kLiteral;
+      return Status::Ok();
+    }
+    case Expr::Kind::kUnary:
+      return BindExpr(expr->left.get(), schema, params);
+    case Expr::Kind::kBinary:
+      HEDC_RETURN_IF_ERROR(BindExpr(expr->left.get(), schema, params));
+      return BindExpr(expr->right.get(), schema, params);
+    case Expr::Kind::kInList: {
+      HEDC_RETURN_IF_ERROR(BindExpr(expr->left.get(), schema, params));
+      for (auto& item : expr->list) {
+        HEDC_RETURN_IF_ERROR(BindExpr(item.get(), schema, params));
+      }
+      return Status::Ok();
+    }
+  }
+  return Status::Internal("unreachable expr kind");
+}
+
+bool LikeMatch(std::string_view text, std::string_view pattern) {
+  // Iterative wildcard match with backtracking over the last '%'.
+  size_t t = 0, p = 0;
+  size_t star_p = std::string_view::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string_view::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+namespace {
+
+Result<Value> EvalBinary(const Expr& expr, const Row& row) {
+  // Short-circuit logical operators.
+  if (expr.bin_op == BinOp::kAnd || expr.bin_op == BinOp::kOr) {
+    HEDC_ASSIGN_OR_RETURN(Value lhs, EvalExpr(*expr.left, row));
+    bool l = lhs.AsBool();
+    if (expr.bin_op == BinOp::kAnd && !l) return Value::Bool(false);
+    if (expr.bin_op == BinOp::kOr && l) return Value::Bool(true);
+    HEDC_ASSIGN_OR_RETURN(Value rhs, EvalExpr(*expr.right, row));
+    return Value::Bool(rhs.AsBool());
+  }
+
+  HEDC_ASSIGN_OR_RETURN(Value lhs, EvalExpr(*expr.left, row));
+  HEDC_ASSIGN_OR_RETURN(Value rhs, EvalExpr(*expr.right, row));
+
+  switch (expr.bin_op) {
+    case BinOp::kEq:
+      if (lhs.is_null() || rhs.is_null()) return Value::Bool(false);
+      return Value::Bool(lhs.Compare(rhs) == 0);
+    case BinOp::kNe:
+      if (lhs.is_null() || rhs.is_null()) return Value::Bool(false);
+      return Value::Bool(lhs.Compare(rhs) != 0);
+    case BinOp::kLt:
+      if (lhs.is_null() || rhs.is_null()) return Value::Bool(false);
+      return Value::Bool(lhs.Compare(rhs) < 0);
+    case BinOp::kLe:
+      if (lhs.is_null() || rhs.is_null()) return Value::Bool(false);
+      return Value::Bool(lhs.Compare(rhs) <= 0);
+    case BinOp::kGt:
+      if (lhs.is_null() || rhs.is_null()) return Value::Bool(false);
+      return Value::Bool(lhs.Compare(rhs) > 0);
+    case BinOp::kGe:
+      if (lhs.is_null() || rhs.is_null()) return Value::Bool(false);
+      return Value::Bool(lhs.Compare(rhs) >= 0);
+    case BinOp::kLike:
+      if (lhs.is_null() || rhs.is_null()) return Value::Bool(false);
+      return Value::Bool(LikeMatch(lhs.AsText(), rhs.AsText()));
+    case BinOp::kAdd:
+    case BinOp::kSub:
+    case BinOp::kMul:
+    case BinOp::kDiv: {
+      if (lhs.is_null() || rhs.is_null()) return Value::Null();
+      bool both_int = lhs.type() == ValueType::kInt &&
+                      rhs.type() == ValueType::kInt;
+      if (expr.bin_op == BinOp::kAdd && (lhs.type() == ValueType::kText ||
+                                         rhs.type() == ValueType::kText)) {
+        // '+' on text concatenates (convenience for templating queries).
+        return Value::Text(lhs.AsText() + rhs.AsText());
+      }
+      double a = lhs.AsReal();
+      double b = rhs.AsReal();
+      double r = 0;
+      switch (expr.bin_op) {
+        case BinOp::kAdd:
+          r = a + b;
+          break;
+        case BinOp::kSub:
+          r = a - b;
+          break;
+        case BinOp::kMul:
+          r = a * b;
+          break;
+        case BinOp::kDiv:
+          if (b == 0) return Status::InvalidArgument("division by zero");
+          r = a / b;
+          break;
+        default:
+          break;
+      }
+      if (both_int && expr.bin_op != BinOp::kDiv) {
+        return Value::Int(static_cast<int64_t>(r));
+      }
+      return Value::Real(r);
+    }
+    default:
+      return Status::Internal("unhandled binary op");
+  }
+}
+
+}  // namespace
+
+Result<Value> EvalExpr(const Expr& expr, const Row& row) {
+  switch (expr.kind) {
+    case Expr::Kind::kLiteral:
+      return expr.literal;
+    case Expr::Kind::kColumn:
+      if (expr.column_index < 0 ||
+          expr.column_index >= static_cast<int>(row.size())) {
+        return Status::Internal("unbound column: " + expr.column);
+      }
+      return row[expr.column_index];
+    case Expr::Kind::kParam:
+      return Status::Internal("unbound parameter");
+    case Expr::Kind::kUnary: {
+      HEDC_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr.left, row));
+      switch (expr.un_op) {
+        case UnOp::kNot:
+          return Value::Bool(!v.AsBool());
+        case UnOp::kNeg:
+          if (v.type() == ValueType::kInt) return Value::Int(-v.AsInt());
+          return Value::Real(-v.AsReal());
+        case UnOp::kIsNull:
+          return Value::Bool(v.is_null());
+        case UnOp::kIsNotNull:
+          return Value::Bool(!v.is_null());
+      }
+      return Status::Internal("unhandled unary op");
+    }
+    case Expr::Kind::kBinary:
+      return EvalBinary(expr, row);
+    case Expr::Kind::kInList: {
+      HEDC_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr.left, row));
+      if (v.is_null()) return Value::Bool(false);
+      for (const auto& item : expr.list) {
+        HEDC_ASSIGN_OR_RETURN(Value candidate, EvalExpr(*item, row));
+        if (!candidate.is_null() && v.Compare(candidate) == 0) {
+          return Value::Bool(true);
+        }
+      }
+      return Value::Bool(false);
+    }
+  }
+  return Status::Internal("unreachable expr kind");
+}
+
+}  // namespace hedc::db

@@ -1,0 +1,71 @@
+// Expression trees for WHERE clauses and UPDATE assignments.
+#ifndef HEDC_DB_EXPR_H_
+#define HEDC_DB_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "db/schema.h"
+#include "db/value.h"
+
+namespace hedc::db {
+
+enum class BinOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kLike,
+};
+
+enum class UnOp { kNot, kNeg, kIsNull, kIsNotNull };
+
+struct Expr {
+  enum class Kind { kLiteral, kColumn, kParam, kUnary, kBinary, kInList };
+
+  Kind kind = Kind::kLiteral;
+  Value literal;                  // kLiteral
+  std::string column;             // kColumn
+  int column_index = -1;          // resolved by Bind()
+  int param_index = -1;           // kParam: position of '?' in the statement
+  BinOp bin_op = BinOp::kEq;      // kBinary
+  UnOp un_op = UnOp::kNot;        // kUnary
+  std::unique_ptr<Expr> left;
+  std::unique_ptr<Expr> right;
+  std::vector<std::unique_ptr<Expr>> list;  // kInList: right-hand values
+
+  static std::unique_ptr<Expr> Literal(Value v);
+  static std::unique_ptr<Expr> Column(std::string name);
+  static std::unique_ptr<Expr> Param(int index);
+  static std::unique_ptr<Expr> Unary(UnOp op, std::unique_ptr<Expr> operand);
+  static std::unique_ptr<Expr> Binary(BinOp op, std::unique_ptr<Expr> l,
+                                      std::unique_ptr<Expr> r);
+
+  // Deep copy (plans cache bound copies).
+  std::unique_ptr<Expr> Clone() const;
+};
+
+// Resolves column references against `schema` and parameter markers
+// against `params`. Fails on unknown columns / out-of-range parameters.
+Status BindExpr(Expr* expr, const Schema& schema,
+                const std::vector<Value>& params);
+
+// Evaluates a bound expression against a row.
+Result<Value> EvalExpr(const Expr& expr, const Row& row);
+
+// SQL LIKE with '%' (any run) and '_' (any single char).
+bool LikeMatch(std::string_view text, std::string_view pattern);
+
+}  // namespace hedc::db
+
+#endif  // HEDC_DB_EXPR_H_

@@ -1,0 +1,76 @@
+// Equality-only hash index (point lookups on ids, e.g. the location
+// tables keyed by item_id — the "two extra database queries on an indexed
+// field" of §4.3 are served here).
+#ifndef HEDC_DB_HASH_INDEX_H_
+#define HEDC_DB_HASH_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "db/value.h"
+
+namespace hedc::db {
+
+class HashIndex {
+ public:
+  void Insert(const Value& key, int64_t row_id) {
+    buckets_[KeyOf(key)].push_back(row_id);
+    ++size_;
+  }
+
+  bool Erase(const Value& key, int64_t row_id) {
+    auto it = buckets_.find(KeyOf(key));
+    if (it == buckets_.end()) return false;
+    auto& ids = it->second;
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (ids[i] == row_id) {
+        ids[i] = ids.back();
+        ids.pop_back();
+        if (ids.empty()) buckets_.erase(it);
+        --size_;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void Lookup(const Value& key, std::vector<int64_t>* out) const {
+    auto it = buckets_.find(KeyOf(key));
+    if (it == buckets_.end()) return;
+    out->insert(out->end(), it->second.begin(), it->second.end());
+  }
+
+  size_t size() const { return size_; }
+
+ private:
+  // Values that compare equal must map to the same bucket key; AsText of
+  // the canonical rendering plus the type class achieves that for the
+  // numeric coercions Value::Compare performs.
+  static std::string KeyOf(const Value& v) {
+    switch (v.type()) {
+      case ValueType::kInt:
+      case ValueType::kReal:
+      case ValueType::kBool: {
+        double d = v.AsReal();
+        char buf[40];
+        snprintf(buf, sizeof(buf), "n:%.17g", d);
+        return buf;
+      }
+      case ValueType::kText:
+        return "t:" + v.text();
+      case ValueType::kNull:
+        return "0:";
+      case ValueType::kBlob:
+        return "b:" + std::to_string(v.Hash());
+    }
+    return "";
+  }
+
+  std::unordered_map<std::string, std::vector<int64_t>> buckets_;
+  size_t size_ = 0;
+};
+
+}  // namespace hedc::db
+
+#endif  // HEDC_DB_HASH_INDEX_H_

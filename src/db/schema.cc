@@ -1,0 +1,103 @@
+#include "db/schema.h"
+
+#include "core/strings.h"
+
+namespace hedc::db {
+
+std::optional<size_t> Schema::ColumnIndex(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<size_t> Schema::PrimaryKeyIndex() const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].primary_key) return i;
+  }
+  return std::nullopt;
+}
+
+Status Schema::ValidateRow(const Row& row) const {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("row has %zu values, schema has %zu columns", row.size(),
+                  columns_.size()));
+  }
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const ColumnDef& col = columns_[i];
+    const Value& v = row[i];
+    if (v.is_null()) {
+      if (col.not_null || col.primary_key) {
+        return Status::InvalidArgument(
+            StrFormat("NULL in NOT NULL column '%s'", col.name.c_str()));
+      }
+      continue;
+    }
+    switch (col.type) {
+      case ValueType::kInt:
+      case ValueType::kReal:
+      case ValueType::kBool:
+        if (v.type() == ValueType::kBlob) {
+          return Status::InvalidArgument(
+              StrFormat("blob value in numeric column '%s'",
+                        col.name.c_str()));
+        }
+        break;
+      case ValueType::kText:
+        if (v.type() == ValueType::kBlob) {
+          return Status::InvalidArgument(StrFormat(
+              "blob value in text column '%s'", col.name.c_str()));
+        }
+        break;
+      case ValueType::kBlob:
+        if (v.type() != ValueType::kBlob) {
+          return Status::InvalidArgument(StrFormat(
+              "non-blob value in blob column '%s'", col.name.c_str()));
+        }
+        break;
+      case ValueType::kNull:
+        break;
+    }
+  }
+  return Status::Ok();
+}
+
+void Schema::CoerceRow(Row* row) const {
+  for (size_t i = 0; i < columns_.size() && i < row->size(); ++i) {
+    Value& v = (*row)[i];
+    if (v.is_null()) continue;
+    switch (columns_[i].type) {
+      case ValueType::kInt:
+        if (v.type() != ValueType::kInt) v = Value::Int(v.AsInt());
+        break;
+      case ValueType::kReal:
+        if (v.type() != ValueType::kReal) v = Value::Real(v.AsReal());
+        break;
+      case ValueType::kBool:
+        if (v.type() != ValueType::kBool) v = Value::Bool(v.AsBool());
+        break;
+      case ValueType::kText:
+        if (v.type() != ValueType::kText) v = Value::Text(v.AsText());
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ' ';
+    out += ValueTypeName(columns_[i].type);
+    if (columns_[i].primary_key) out += " PRIMARY KEY";
+    if (columns_[i].not_null) out += " NOT NULL";
+  }
+  out += ')';
+  return out;
+}
+
+}  // namespace hedc::db

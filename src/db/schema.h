@@ -1,0 +1,53 @@
+// Table schemas for the metadata database.
+#ifndef HEDC_DB_SCHEMA_H_
+#define HEDC_DB_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "db/value.h"
+
+namespace hedc::db {
+
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kText;
+  bool not_null = false;
+  bool primary_key = false;
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns)
+      : columns_(std::move(columns)) {}
+
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+
+  // Case-insensitive column lookup; nullopt if absent.
+  std::optional<size_t> ColumnIndex(std::string_view name) const;
+
+  // Index of the PRIMARY KEY column, if declared.
+  std::optional<size_t> PrimaryKeyIndex() const;
+
+  // Validates a row against this schema: arity, NOT NULL, loose type
+  // compatibility (ints accepted into REAL columns, etc.).
+  Status ValidateRow(const Row& row) const;
+
+  // Coerces row values to the declared column types in place (e.g. an int
+  // literal inserted into a REAL column becomes a real).
+  void CoerceRow(Row* row) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace hedc::db
+
+#endif  // HEDC_DB_SCHEMA_H_

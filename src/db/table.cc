@@ -1,0 +1,221 @@
+#include "db/table.h"
+
+#include <algorithm>
+
+#include "core/strings.h"
+
+namespace hedc::db {
+
+Result<int64_t> Table::Insert(Row row) {
+  schema_.CoerceRow(&row);
+  HEDC_RETURN_IF_ERROR(schema_.ValidateRow(row));
+  HEDC_RETURN_IF_ERROR(CheckPrimaryKey(row, /*ignore_row_id=*/-1));
+  int64_t row_id = next_row_id_++;
+  IndexInsert(row_id, row);
+  rows_.emplace(row_id, std::move(row));
+  ++live_rows_;
+  return row_id;
+}
+
+Status Table::InsertWithId(int64_t row_id, Row row) {
+  schema_.CoerceRow(&row);
+  HEDC_RETURN_IF_ERROR(schema_.ValidateRow(row));
+  if (rows_.count(row_id) > 0) {
+    return Status::AlreadyExists(
+        StrFormat("row %lld already present", (long long)row_id));
+  }
+  IndexInsert(row_id, row);
+  rows_.emplace(row_id, std::move(row));
+  ++live_rows_;
+  next_row_id_ = std::max(next_row_id_, row_id + 1);
+  return Status::Ok();
+}
+
+Status Table::Update(int64_t row_id, Row row, Row* old_row) {
+  auto it = rows_.find(row_id);
+  if (it == rows_.end()) {
+    return Status::NotFound(
+        StrFormat("row %lld in table %s", (long long)row_id, name_.c_str()));
+  }
+  schema_.CoerceRow(&row);
+  HEDC_RETURN_IF_ERROR(schema_.ValidateRow(row));
+  HEDC_RETURN_IF_ERROR(CheckPrimaryKey(row, row_id));
+  IndexErase(row_id, it->second);
+  if (old_row != nullptr) *old_row = std::move(it->second);
+  it->second = std::move(row);
+  IndexInsert(row_id, it->second);
+  return Status::Ok();
+}
+
+Status Table::Delete(int64_t row_id, Row* old_row) {
+  auto it = rows_.find(row_id);
+  if (it == rows_.end()) {
+    return Status::NotFound(
+        StrFormat("row %lld in table %s", (long long)row_id, name_.c_str()));
+  }
+  IndexErase(row_id, it->second);
+  if (old_row != nullptr) *old_row = std::move(it->second);
+  rows_.erase(it);
+  --live_rows_;
+  return Status::Ok();
+}
+
+Result<Row> Table::Get(int64_t row_id) const {
+  auto it = rows_.find(row_id);
+  if (it == rows_.end()) {
+    return Status::NotFound(
+        StrFormat("row %lld in table %s", (long long)row_id, name_.c_str()));
+  }
+  return it->second;
+}
+
+bool Table::Exists(int64_t row_id) const { return rows_.count(row_id) > 0; }
+
+void Table::Scan(
+    const std::function<bool(int64_t, const Row&)>& visit) const {
+  for (const auto& [row_id, row] : rows_) {
+    if (!visit(row_id, row)) return;
+  }
+}
+
+Status Table::CreateIndex(const std::string& index_name,
+                          const std::string& column_name, IndexKind kind) {
+  for (const IndexDef& def : index_defs_) {
+    if (EqualsIgnoreCase(def.name, index_name)) {
+      return Status::AlreadyExists("index " + index_name);
+    }
+  }
+  auto col = schema_.ColumnIndex(column_name);
+  if (!col.has_value()) {
+    return Status::NotFound("column " + column_name + " in " + name_);
+  }
+  IndexDef def{index_name, *col, kind};
+  index_defs_.push_back(def);
+  if (kind == IndexKind::kBTree) {
+    btrees_.push_back(std::make_unique<BTreeIndex>());
+    hashes_.push_back(nullptr);
+  } else {
+    btrees_.push_back(nullptr);
+    hashes_.push_back(std::make_unique<HashIndex>());
+  }
+  // Backfill from existing rows.
+  size_t slot = index_defs_.size() - 1;
+  for (const auto& [row_id, row] : rows_) {
+    const Value& key = row[def.column];
+    if (btrees_[slot] != nullptr) {
+      btrees_[slot]->Insert(key, row_id);
+    } else {
+      hashes_[slot]->Insert(key, row_id);
+    }
+  }
+  return Status::Ok();
+}
+
+const IndexDef* Table::FindIndex(size_t column, bool need_range) const {
+  const IndexDef* hash_match = nullptr;
+  for (size_t i = 0; i < index_defs_.size(); ++i) {
+    if (index_defs_[i].column != column) continue;
+    if (index_defs_[i].kind == IndexKind::kBTree) return &index_defs_[i];
+    hash_match = &index_defs_[i];
+  }
+  return need_range ? nullptr : hash_match;
+}
+
+const BTreeIndex* Table::btree(const std::string& index_name) const {
+  for (size_t i = 0; i < index_defs_.size(); ++i) {
+    if (EqualsIgnoreCase(index_defs_[i].name, index_name)) {
+      return btrees_[i].get();
+    }
+  }
+  return nullptr;
+}
+
+const HashIndex* Table::hash(const std::string& index_name) const {
+  for (size_t i = 0; i < index_defs_.size(); ++i) {
+    if (EqualsIgnoreCase(index_defs_[i].name, index_name)) {
+      return hashes_[i].get();
+    }
+  }
+  return nullptr;
+}
+
+void Table::IndexLookup(const IndexDef& def, const Value& key,
+                        std::vector<int64_t>* out) const {
+  for (size_t i = 0; i < index_defs_.size(); ++i) {
+    if (&index_defs_[i] != &def) continue;
+    if (btrees_[i] != nullptr) {
+      btrees_[i]->Lookup(key, out);
+    } else {
+      hashes_[i]->Lookup(key, out);
+    }
+    return;
+  }
+}
+
+void Table::IndexRange(const IndexDef& def, const std::optional<Value>& lo,
+                       bool lo_inclusive, const std::optional<Value>& hi,
+                       bool hi_inclusive, std::vector<int64_t>* out) const {
+  for (size_t i = 0; i < index_defs_.size(); ++i) {
+    if (&index_defs_[i] != &def) continue;
+    if (btrees_[i] != nullptr) {
+      btrees_[i]->Scan(lo, lo_inclusive, hi, hi_inclusive,
+                       [out](const Value&, int64_t row_id) {
+                         out->push_back(row_id);
+                         return true;
+                       });
+    }
+    return;
+  }
+}
+
+void Table::IndexInsert(int64_t row_id, const Row& row) {
+  for (size_t i = 0; i < index_defs_.size(); ++i) {
+    const Value& key = row[index_defs_[i].column];
+    if (btrees_[i] != nullptr) {
+      btrees_[i]->Insert(key, row_id);
+    } else {
+      hashes_[i]->Insert(key, row_id);
+    }
+  }
+}
+
+void Table::IndexErase(int64_t row_id, const Row& row) {
+  for (size_t i = 0; i < index_defs_.size(); ++i) {
+    const Value& key = row[index_defs_[i].column];
+    if (btrees_[i] != nullptr) {
+      btrees_[i]->Erase(key, row_id);
+    } else {
+      hashes_[i]->Erase(key, row_id);
+    }
+  }
+}
+
+Status Table::CheckPrimaryKey(const Row& row, int64_t ignore_row_id) {
+  auto pk = schema_.PrimaryKeyIndex();
+  if (!pk.has_value()) return Status::Ok();
+  const Value& key = row[*pk];
+  // Use an index on the pk column when available, else scan.
+  const IndexDef* def = FindIndex(*pk, /*need_range=*/false);
+  if (def != nullptr) {
+    std::vector<int64_t> ids;
+    IndexLookup(*def, key, &ids);
+    for (int64_t id : ids) {
+      if (id != ignore_row_id) {
+        return Status::AlreadyExists(
+            StrFormat("duplicate primary key %s in table %s",
+                      key.AsText().c_str(), name_.c_str()));
+      }
+    }
+    return Status::Ok();
+  }
+  for (const auto& [row_id, existing] : rows_) {
+    if (row_id != ignore_row_id && existing[*pk] == key) {
+      return Status::AlreadyExists(
+          StrFormat("duplicate primary key %s in table %s",
+                    key.AsText().c_str(), name_.c_str()));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace hedc::db

@@ -1,0 +1,103 @@
+// Heap table with secondary indexes.
+//
+// Rows live in a slotted in-memory heap addressed by row id; B+-tree or
+// hash indexes can be attached per column and are maintained on every
+// mutation. All mutations are single-writer (guarded by Database's
+// per-table latch at the executor level).
+#ifndef HEDC_DB_TABLE_H_
+#define HEDC_DB_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/status.h"
+#include "db/btree.h"
+#include "db/hash_index.h"
+#include "db/schema.h"
+#include "db/value.h"
+
+namespace hedc::db {
+
+enum class IndexKind { kBTree, kHash };
+
+struct IndexDef {
+  std::string name;
+  size_t column = 0;
+  IndexKind kind = IndexKind::kBTree;
+};
+
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return live_rows_; }
+
+  // Inserts a row; returns its row id. Enforces schema + primary-key
+  // uniqueness.
+  Result<int64_t> Insert(Row row);
+
+  // Replaces the row at `row_id`. The previous image is returned through
+  // `old_row` if non-null (used for undo logging).
+  Status Update(int64_t row_id, Row row, Row* old_row = nullptr);
+
+  // Deletes a row; previous image returned via `old_row` if non-null.
+  Status Delete(int64_t row_id, Row* old_row = nullptr);
+
+  // Fetches a row copy by id.
+  Result<Row> Get(int64_t row_id) const;
+  bool Exists(int64_t row_id) const;
+
+  // Full scan; `visit` returns false to stop.
+  void Scan(const std::function<bool(int64_t, const Row&)>& visit) const;
+
+  // Index management. Column is named; fails if absent or duplicated.
+  Status CreateIndex(const std::string& index_name,
+                     const std::string& column_name, IndexKind kind);
+  // Finds an index on `column`, preferring B+-tree (supports ranges).
+  const IndexDef* FindIndex(size_t column, bool need_range) const;
+
+  const std::vector<IndexDef>& indexes() const { return index_defs_; }
+  const BTreeIndex* btree(const std::string& index_name) const;
+  const HashIndex* hash(const std::string& index_name) const;
+
+  // Row ids via index lookup (point) and range scan.
+  void IndexLookup(const IndexDef& def, const Value& key,
+                   std::vector<int64_t>* out) const;
+  void IndexRange(const IndexDef& def, const std::optional<Value>& lo,
+                  bool lo_inclusive, const std::optional<Value>& hi,
+                  bool hi_inclusive, std::vector<int64_t>* out) const;
+
+  // Re-inserts a row with a specific id (WAL recovery path).
+  Status InsertWithId(int64_t row_id, Row row);
+
+  int64_t max_row_id() const { return next_row_id_ - 1; }
+
+ private:
+  void IndexInsert(int64_t row_id, const Row& row);
+  void IndexErase(int64_t row_id, const Row& row);
+  Status CheckPrimaryKey(const Row& row, int64_t ignore_row_id);
+
+  std::string name_;
+  Schema schema_;
+  std::unordered_map<int64_t, Row> rows_;
+  int64_t next_row_id_ = 1;
+  size_t live_rows_ = 0;
+
+  std::vector<IndexDef> index_defs_;
+  std::vector<std::unique_ptr<BTreeIndex>> btrees_;  // parallel, null if hash
+  std::vector<std::unique_ptr<HashIndex>> hashes_;   // parallel, null if btree
+};
+
+}  // namespace hedc::db
+
+#endif  // HEDC_DB_TABLE_H_

@@ -1,0 +1,184 @@
+#include "db/value.h"
+
+#include <cstdio>
+#include <functional>
+
+#include "core/strings.h"
+
+namespace hedc::db {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return "INT";
+    case ValueType::kReal:
+      return "REAL";
+    case ValueType::kText:
+      return "TEXT";
+    case ValueType::kBool:
+      return "BOOL";
+    case ValueType::kBlob:
+      return "BLOB";
+  }
+  return "?";
+}
+
+int64_t Value::AsInt() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return std::get<int64_t>(data_);
+    case ValueType::kReal:
+      return static_cast<int64_t>(std::get<double>(data_));
+    case ValueType::kBool:
+      return std::get<bool>(data_) ? 1 : 0;
+    case ValueType::kText: {
+      int64_t v = 0;
+      ParseInt64(std::get<std::string>(data_), &v);
+      return v;
+    }
+    default:
+      return 0;
+  }
+}
+
+double Value::AsReal() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return static_cast<double>(std::get<int64_t>(data_));
+    case ValueType::kReal:
+      return std::get<double>(data_);
+    case ValueType::kBool:
+      return std::get<bool>(data_) ? 1.0 : 0.0;
+    case ValueType::kText: {
+      double v = 0.0;
+      ParseDouble(std::get<std::string>(data_), &v);
+      return v;
+    }
+    default:
+      return 0.0;
+  }
+}
+
+bool Value::AsBool() const {
+  switch (type()) {
+    case ValueType::kBool:
+      return std::get<bool>(data_);
+    case ValueType::kInt:
+      return std::get<int64_t>(data_) != 0;
+    case ValueType::kReal:
+      return std::get<double>(data_) != 0.0;
+    case ValueType::kText:
+      return !std::get<std::string>(data_).empty();
+    default:
+      return false;
+  }
+}
+
+std::string Value::AsText() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return std::to_string(std::get<int64_t>(data_));
+    case ValueType::kReal: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.10g", std::get<double>(data_));
+      return buf;
+    }
+    case ValueType::kText:
+      return std::get<std::string>(data_);
+    case ValueType::kBool:
+      return std::get<bool>(data_) ? "TRUE" : "FALSE";
+    case ValueType::kBlob:
+      return StrFormat("<blob %zu bytes>",
+                       std::get<std::vector<uint8_t>>(data_).size());
+  }
+  return "";
+}
+
+namespace {
+
+bool IsNumeric(ValueType type) {
+  return type == ValueType::kInt || type == ValueType::kReal ||
+         type == ValueType::kBool;
+}
+
+int CompareDoubles(double a, double b) {
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  ValueType a = type();
+  ValueType b = other.type();
+  if (a == ValueType::kNull || b == ValueType::kNull) {
+    if (a == b) return 0;
+    return a == ValueType::kNull ? -1 : 1;
+  }
+  if (a == ValueType::kInt && b == ValueType::kInt) {
+    int64_t x = std::get<int64_t>(data_);
+    int64_t y = std::get<int64_t>(other.data_);
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  if (IsNumeric(a) && IsNumeric(b)) {
+    return CompareDoubles(AsReal(), other.AsReal());
+  }
+  // Text compared against numeric: coerce text to number.
+  if (IsNumeric(a) && b == ValueType::kText) {
+    return CompareDoubles(AsReal(), other.AsReal());
+  }
+  if (a == ValueType::kText && IsNumeric(b)) {
+    return CompareDoubles(AsReal(), other.AsReal());
+  }
+  if (a == ValueType::kText && b == ValueType::kText) {
+    return text().compare(other.text());
+  }
+  if (a == ValueType::kBlob && b == ValueType::kBlob) {
+    const auto& x = blob();
+    const auto& y = other.blob();
+    if (x < y) return -1;
+    if (y < x) return 1;
+    return 0;
+  }
+  // Mixed non-comparable types: order by type tag for index stability.
+  return static_cast<int>(a) - static_cast<int>(b);
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9e3779b9;
+    case ValueType::kInt:
+      return std::hash<int64_t>{}(std::get<int64_t>(data_));
+    case ValueType::kReal: {
+      double d = std::get<double>(data_);
+      // Hash integral reals as their integer so 3 and 3.0 collide (they
+      // compare equal).
+      if (d == static_cast<double>(static_cast<int64_t>(d))) {
+        return std::hash<int64_t>{}(static_cast<int64_t>(d));
+      }
+      return std::hash<double>{}(d);
+    }
+    case ValueType::kText:
+      return std::hash<std::string>{}(std::get<std::string>(data_));
+    case ValueType::kBool:
+      return std::hash<int64_t>{}(std::get<bool>(data_) ? 1 : 0);
+    case ValueType::kBlob: {
+      const auto& b = std::get<std::vector<uint8_t>>(data_);
+      size_t h = 1469598103934665603ull;
+      for (uint8_t byte : b) {
+        h ^= byte;
+        h *= 1099511628211ull;
+      }
+      return h;
+    }
+  }
+  return 0;
+}
+
+}  // namespace hedc::db

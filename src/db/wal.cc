@@ -1,0 +1,258 @@
+#include "db/wal.h"
+
+#include "core/crc32.h"
+#include "core/strings.h"
+
+namespace hedc::db {
+
+void EncodeValue(const Value& v, ByteBuffer* out) {
+  out->PutU8(static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt:
+      out->PutSignedVarint(v.AsInt());
+      break;
+    case ValueType::kReal:
+      out->PutF64(v.AsReal());
+      break;
+    case ValueType::kText:
+      out->PutString(v.text());
+      break;
+    case ValueType::kBool:
+      out->PutU8(v.AsBool() ? 1 : 0);
+      break;
+    case ValueType::kBlob:
+      out->PutVarint(v.blob().size());
+      out->PutBytes(v.blob().data(), v.blob().size());
+      break;
+  }
+}
+
+Status DecodeValue(ByteReader* in, Value* out) {
+  uint8_t tag;
+  HEDC_RETURN_IF_ERROR(in->GetU8(&tag));
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull:
+      *out = Value::Null();
+      return Status::Ok();
+    case ValueType::kInt: {
+      int64_t v;
+      HEDC_RETURN_IF_ERROR(in->GetSignedVarint(&v));
+      *out = Value::Int(v);
+      return Status::Ok();
+    }
+    case ValueType::kReal: {
+      double v;
+      HEDC_RETURN_IF_ERROR(in->GetF64(&v));
+      *out = Value::Real(v);
+      return Status::Ok();
+    }
+    case ValueType::kText: {
+      std::string s;
+      HEDC_RETURN_IF_ERROR(in->GetString(&s));
+      *out = Value::Text(std::move(s));
+      return Status::Ok();
+    }
+    case ValueType::kBool: {
+      uint8_t b;
+      HEDC_RETURN_IF_ERROR(in->GetU8(&b));
+      *out = Value::Bool(b != 0);
+      return Status::Ok();
+    }
+    case ValueType::kBlob: {
+      uint64_t n;
+      HEDC_RETURN_IF_ERROR(in->GetVarint(&n));
+      std::vector<uint8_t> bytes(n);
+      HEDC_RETURN_IF_ERROR(in->GetBytes(bytes.data(), n));
+      *out = Value::Blob(std::move(bytes));
+      return Status::Ok();
+    }
+  }
+  return Status::Corruption(StrFormat("bad value tag %u", tag));
+}
+
+void EncodeRow(const Row& row, ByteBuffer* out) {
+  out->PutVarint(row.size());
+  for (const Value& v : row) EncodeValue(v, out);
+}
+
+Status DecodeRow(ByteReader* in, Row* out) {
+  uint64_t n;
+  HEDC_RETURN_IF_ERROR(in->GetVarint(&n));
+  out->clear();
+  out->reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    Value v;
+    HEDC_RETURN_IF_ERROR(DecodeValue(in, &v));
+    out->push_back(std::move(v));
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+void EncodeSchema(const Schema& schema, ByteBuffer* out) {
+  out->PutVarint(schema.num_columns());
+  for (const ColumnDef& col : schema.columns()) {
+    out->PutString(col.name);
+    out->PutU8(static_cast<uint8_t>(col.type));
+    out->PutU8((col.not_null ? 1 : 0) | (col.primary_key ? 2 : 0));
+  }
+}
+
+Status DecodeSchema(ByteReader* in, Schema* out) {
+  uint64_t n;
+  HEDC_RETURN_IF_ERROR(in->GetVarint(&n));
+  std::vector<ColumnDef> cols;
+  cols.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    ColumnDef col;
+    HEDC_RETURN_IF_ERROR(in->GetString(&col.name));
+    uint8_t type;
+    HEDC_RETURN_IF_ERROR(in->GetU8(&type));
+    col.type = static_cast<ValueType>(type);
+    uint8_t flags;
+    HEDC_RETURN_IF_ERROR(in->GetU8(&flags));
+    col.not_null = (flags & 1) != 0;
+    col.primary_key = (flags & 2) != 0;
+    cols.push_back(std::move(col));
+  }
+  *out = Schema(std::move(cols));
+  return Status::Ok();
+}
+
+}  // namespace
+
+void WriteAheadLog::EncodeRecord(const WalRecord& record, ByteBuffer* out) {
+  out->PutU8(static_cast<uint8_t>(record.op));
+  out->PutString(record.table);
+  switch (record.op) {
+    case WalOp::kCreateTable:
+      EncodeSchema(record.schema, out);
+      break;
+    case WalOp::kCreateIndex:
+      out->PutString(record.index_name);
+      out->PutString(record.column);
+      out->PutU8(record.hash_index ? 1 : 0);
+      break;
+    case WalOp::kDropTable:
+      break;
+    case WalOp::kInsert:
+    case WalOp::kUpdate:
+      out->PutSignedVarint(record.row_id);
+      EncodeRow(record.row, out);
+      break;
+    case WalOp::kDelete:
+      out->PutSignedVarint(record.row_id);
+      break;
+  }
+}
+
+Status WriteAheadLog::DecodeRecord(ByteReader* in, WalRecord* out) {
+  uint8_t op;
+  HEDC_RETURN_IF_ERROR(in->GetU8(&op));
+  out->op = static_cast<WalOp>(op);
+  HEDC_RETURN_IF_ERROR(in->GetString(&out->table));
+  switch (out->op) {
+    case WalOp::kCreateTable:
+      return DecodeSchema(in, &out->schema);
+    case WalOp::kCreateIndex: {
+      HEDC_RETURN_IF_ERROR(in->GetString(&out->index_name));
+      HEDC_RETURN_IF_ERROR(in->GetString(&out->column));
+      uint8_t hash;
+      HEDC_RETURN_IF_ERROR(in->GetU8(&hash));
+      out->hash_index = hash != 0;
+      return Status::Ok();
+    }
+    case WalOp::kDropTable:
+      return Status::Ok();
+    case WalOp::kInsert:
+    case WalOp::kUpdate:
+      HEDC_RETURN_IF_ERROR(in->GetSignedVarint(&out->row_id));
+      return DecodeRow(in, &out->row);
+    case WalOp::kDelete:
+      return in->GetSignedVarint(&out->row_id);
+  }
+  return Status::Corruption(StrFormat("bad WAL opcode %u", op));
+}
+
+WriteAheadLog::~WriteAheadLog() { Close(); }
+
+Status WriteAheadLog::Open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) return Status::FailedPrecondition("WAL already open");
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::Internal("cannot open WAL file: " + path);
+  }
+  return Status::Ok();
+}
+
+void WriteAheadLog::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Status WriteAheadLog::Append(const WalRecord& record) {
+  ByteBuffer payload;
+  EncodeRecord(record, &payload);
+  ByteBuffer frame;
+  frame.PutU32(Crc32(payload.data()));
+  frame.PutU32(static_cast<uint32_t>(payload.size()));
+  frame.PutBytes(payload.data().data(), payload.size());
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return Status::FailedPrecondition("WAL not open");
+  size_t written =
+      std::fwrite(frame.data().data(), 1, frame.size(), file_);
+  if (written != frame.size()) return Status::Internal("WAL write failed");
+  std::fflush(file_);
+  return Status::Ok();
+}
+
+Status WriteAheadLog::ReadAll(const std::string& path,
+                              std::vector<WalRecord>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("WAL file: " + path);
+  std::vector<uint8_t> contents;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    contents.insert(contents.end(), buf, buf + n);
+  }
+  std::fclose(f);
+
+  ByteReader reader(contents);
+  while (!reader.AtEnd()) {
+    uint32_t crc, len;
+    size_t frame_start = reader.position();
+    if (!reader.GetU32(&crc).ok() || !reader.GetU32(&len).ok() ||
+        len > reader.remaining()) {
+      // Torn trailing record: tolerated (crash mid-append).
+      if (frame_start == 0) {
+        return Status::Corruption("WAL header unreadable");
+      }
+      return Status::Ok();
+    }
+    std::vector<uint8_t> payload(len);
+    HEDC_RETURN_IF_ERROR(reader.GetBytes(payload.data(), len));
+    if (Crc32(payload) != crc) {
+      // Checksum mismatch at the tail is a torn write; in the middle it is
+      // real corruption.
+      if (reader.AtEnd()) return Status::Ok();
+      return Status::Corruption(
+          StrFormat("WAL record CRC mismatch at offset %zu", frame_start));
+    }
+    ByteReader payload_reader(payload);
+    WalRecord record;
+    HEDC_RETURN_IF_ERROR(DecodeRecord(&payload_reader, &record));
+    out->push_back(std::move(record));
+  }
+  return Status::Ok();
+}
+
+}  // namespace hedc::db

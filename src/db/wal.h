@@ -1,0 +1,79 @@
+// Redo log ("database redo logs ... stored on the A1000 with tape backup",
+// §2.3). Append-only file of CRC-framed records; recovery replays them
+// into an empty Database. Records belonging to an explicit transaction are
+// buffered and only flushed at COMMIT, so an interrupted transaction never
+// reaches the log.
+#ifndef HEDC_DB_WAL_H_
+#define HEDC_DB_WAL_H_
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/bytes.h"
+#include "core/status.h"
+#include "db/schema.h"
+#include "db/table.h"
+#include "db/value.h"
+
+namespace hedc::db {
+
+enum class WalOp : uint8_t {
+  kCreateTable = 1,
+  kCreateIndex = 2,
+  kDropTable = 3,
+  kInsert = 4,
+  kUpdate = 5,
+  kDelete = 6,
+};
+
+struct WalRecord {
+  WalOp op;
+  std::string table;
+  int64_t row_id = 0;
+  Row row;               // insert/update payload
+  Schema schema;         // create table
+  std::string index_name;  // create index
+  std::string column;      // create index
+  bool hash_index = false;
+};
+
+// Value <-> bytes codec shared by the WAL and tests.
+void EncodeValue(const Value& v, ByteBuffer* out);
+Status DecodeValue(ByteReader* in, Value* out);
+void EncodeRow(const Row& row, ByteBuffer* out);
+Status DecodeRow(ByteReader* in, Row* out);
+
+class WriteAheadLog {
+ public:
+  WriteAheadLog() = default;
+  ~WriteAheadLog();
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  // Opens (creating or appending) the log file at `path`.
+  Status Open(const std::string& path);
+  void Close();
+  bool is_open() const { return file_ != nullptr; }
+
+  // Appends one record and flushes.
+  Status Append(const WalRecord& record);
+
+  // Reads every valid record from `path`. Stops cleanly at the first torn
+  // record (partial trailing write) but fails on mid-file corruption.
+  static Status ReadAll(const std::string& path,
+                        std::vector<WalRecord>* out);
+
+  static void EncodeRecord(const WalRecord& record, ByteBuffer* out);
+  static Status DecodeRecord(ByteReader* in, WalRecord* out);
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::mutex mu_;
+};
+
+}  // namespace hedc::db
+
+#endif  // HEDC_DB_WAL_H_

@@ -1,0 +1,34 @@
+// The HEDC metadata schema (§4.1).
+//
+// Two independent parts:
+//  * GENERIC — administrative section (configuration, services, clients,
+//    predefined queries, users), operational section (logs, lineage,
+//    archive status, usage statistics), location section (owned by
+//    archive::NameMapper).
+//  * DOMAIN-SPECIFIC (RHESSI) — raw data units, high-level events (HLE),
+//    analyses (ANA), catalogs and catalog membership. "It is
+//    straightforward to change the RHESSI specific part of the schema"
+//    without touching the generic part.
+#ifndef HEDC_DM_HEDC_SCHEMA_H_
+#define HEDC_DM_HEDC_SCHEMA_H_
+
+#include "core/status.h"
+#include "db/database.h"
+
+namespace hedc::dm {
+
+// Creates the generic schema part: users, services, clients,
+// predefined_queries, config_params (administrative); op_logs, lineage,
+// archive_status, usage_stats (operational). Idempotent.
+Status CreateGenericSchema(db::Database* db);
+
+// Creates the RHESSI-specific part: raw_units, hle, ana, catalogs,
+// catalog_members, plus their indexes. Idempotent.
+Status CreateRhessiSchema(db::Database* db);
+
+// Both parts.
+Status CreateFullSchema(db::Database* db);
+
+}  // namespace hedc::dm
+
+#endif  // HEDC_DM_HEDC_SCHEMA_H_

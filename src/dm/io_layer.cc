@@ -1,0 +1,102 @@
+#include "dm/io_layer.h"
+
+#include "core/strings.h"
+
+namespace hedc::dm {
+
+IoLayer::IoLayer(db::Database* db, db::ConnectionPool* pool,
+                 archive::ArchiveManager* archives,
+                 archive::NameMapper* mapper)
+    : db_(db), pool_(pool), archives_(archives), mapper_(mapper) {}
+
+void IoLayer::RouteTable(const std::string& table, db::Database* target,
+                         db::ConnectionPool* target_pool) {
+  routes_[ToLower(table)] = {target, target_pool};
+}
+
+db::Database* IoLayer::DatabaseFor(const std::string& table) const {
+  auto it = routes_.find(ToLower(table));
+  return it == routes_.end() ? db_ : it->second.first;
+}
+
+Result<db::ResultSet> IoLayer::Query(const QuerySpec& spec) {
+  std::vector<db::Value> params;
+  HEDC_ASSIGN_OR_RETURN(std::string sql, spec.ToSql(&params));
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  auto it = routes_.find(ToLower(spec.table()));
+  db::ConnectionPool* pool = it == routes_.end() ? pool_ : it->second.second;
+  if (pool != nullptr) {
+    db::PooledConnection conn = pool->Acquire(db::PoolKind::kQuery);
+    Result<db::ResultSet> result = conn->Execute(sql, params);
+    // "Connections are immediately released by sessions after the result
+    // set has been copied" (§5.3) — PooledConnection does that on scope
+    // exit; Release() documents the intent.
+    conn.Release();
+    return result;
+  }
+  return DatabaseFor(spec.table())->Execute(sql, params);
+}
+
+Result<db::ResultSet> IoLayer::Update(const std::string& table,
+                                      std::string_view sql,
+                                      const std::vector<db::Value>& params) {
+  updates_.fetch_add(1, std::memory_order_relaxed);
+  auto it = routes_.find(ToLower(table));
+  db::ConnectionPool* pool = it == routes_.end() ? pool_ : it->second.second;
+  if (pool != nullptr) {
+    db::PooledConnection conn = pool->Acquire(db::PoolKind::kUpdate);
+    return conn->Execute(sql, params);
+  }
+  return DatabaseFor(table)->Execute(sql, params);
+}
+
+Result<std::vector<uint8_t>> IoLayer::ReadItemFile(int64_t item_id) {
+  HEDC_ASSIGN_OR_RETURN(
+      archive::ResolvedName name,
+      mapper_->Resolve(item_id, archive::NameType::kFilename));
+  archive::Archive* arch = archives_->Get(name.archive_id);
+  if (arch == nullptr) {
+    return Status::Unavailable(
+        StrFormat("archive %lld offline or unknown",
+                  static_cast<long long>(name.archive_id)));
+  }
+  HEDC_ASSIGN_OR_RETURN(std::vector<uint8_t> data, arch->Read(name.rel_path));
+  file_reads_.fetch_add(1, std::memory_order_relaxed);
+  bytes_read_.fetch_add(static_cast<int64_t>(data.size()),
+                        std::memory_order_relaxed);
+  return data;
+}
+
+Status IoLayer::WriteItemFile(int64_t item_id, int64_t archive_id,
+                              const std::string& rel_path,
+                              const std::vector<uint8_t>& data) {
+  archive::Archive* arch = archives_->Get(archive_id);
+  if (arch == nullptr) {
+    return Status::Unavailable(
+        StrFormat("archive %lld offline or unknown",
+                  static_cast<long long>(archive_id)));
+  }
+  // Physical path mirrors the name-mapping scheme: rel_path/item_id.
+  std::string path = rel_path + "/" + std::to_string(item_id);
+  HEDC_RETURN_IF_ERROR(arch->Write(path, data));
+  HEDC_RETURN_IF_ERROR(mapper_->AddLocation(
+      item_id, archive::NameType::kFilename, archive_id, rel_path));
+  file_writes_.fetch_add(1, std::memory_order_relaxed);
+  bytes_written_.fetch_add(static_cast<int64_t>(data.size()),
+                           std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status IoLayer::DeleteItemFile(int64_t item_id) {
+  HEDC_ASSIGN_OR_RETURN(
+      archive::ResolvedName name,
+      mapper_->Resolve(item_id, archive::NameType::kFilename));
+  archive::Archive* arch = archives_->Get(name.archive_id);
+  if (arch != nullptr) {
+    Status s = arch->Delete(name.rel_path);
+    if (!s.ok() && !s.IsNotFound()) return s;
+  }
+  return mapper_->RemoveLocations(item_id);
+}
+
+}  // namespace hedc::dm

@@ -1,0 +1,87 @@
+// The DM I/O layer (§5.2): "abstracts from the actual storage type and
+// location. All data accesses happen through this layer. It manages
+// database access, file system manipulation, database connections and
+// performs general resource management. Operations like dynamic name
+// construction are also done at this layer. ... The layer supports
+// dynamic partitioning of the load so that, e.g., data requests for
+// certain parts of a database schema are routed to a different DBMS."
+#ifndef HEDC_DM_IO_LAYER_H_
+#define HEDC_DM_IO_LAYER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "archive/archive.h"
+#include "archive/name_mapper.h"
+#include "core/status.h"
+#include "db/connection.h"
+#include "db/database.h"
+#include "dm/query_spec.h"
+
+namespace hedc::dm {
+
+class IoLayer {
+ public:
+  // `db` is the default metadata DBMS; `archives` and `mapper` serve the
+  // file side. All pointers are borrowed and must outlive the layer.
+  IoLayer(db::Database* db, db::ConnectionPool* pool,
+          archive::ArchiveManager* archives, archive::NameMapper* mapper);
+
+  // --- vertical partitioning -------------------------------------------
+  // Routes all accesses for `table` to another DBMS (e.g. "separate
+  // processing from browsing clients", §5.2).
+  void RouteTable(const std::string& table, db::Database* target,
+                  db::ConnectionPool* target_pool);
+  db::Database* DatabaseFor(const std::string& table) const;
+
+  // --- database access --------------------------------------------------
+  // Executes a verified QuerySpec through the query connection pool.
+  Result<db::ResultSet> Query(const QuerySpec& spec);
+  // Raw SQL update path through the update pool (inserts/updates/deletes).
+  Result<db::ResultSet> Update(const std::string& table,
+                               std::string_view sql,
+                               const std::vector<db::Value>& params);
+
+  // --- file access -------------------------------------------------------
+  // Reads the file registered for `item_id` (name mapping + archive read).
+  Result<std::vector<uint8_t>> ReadItemFile(int64_t item_id);
+  // Stores `data` on `archive_id` under `rel_path` and registers the
+  // filename location for `item_id`.
+  Status WriteItemFile(int64_t item_id, int64_t archive_id,
+                       const std::string& rel_path,
+                       const std::vector<uint8_t>& data);
+  Status DeleteItemFile(int64_t item_id);
+
+  archive::NameMapper* name_mapper() { return mapper_; }
+  archive::ArchiveManager* archives() { return archives_; }
+
+  // I/O statistics for the evaluation harness.
+  int64_t queries_executed() const { return queries_; }
+  int64_t updates_executed() const { return updates_; }
+  int64_t files_read() const { return file_reads_; }
+  int64_t files_written() const { return file_writes_; }
+  int64_t bytes_read() const { return bytes_read_; }
+  int64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  db::Database* db_;
+  db::ConnectionPool* pool_;
+  archive::ArchiveManager* archives_;
+  archive::NameMapper* mapper_;
+  std::map<std::string, std::pair<db::Database*, db::ConnectionPool*>>
+      routes_;
+
+  std::atomic<int64_t> queries_{0};
+  std::atomic<int64_t> updates_{0};
+  std::atomic<int64_t> file_reads_{0};
+  std::atomic<int64_t> file_writes_{0};
+  std::atomic<int64_t> bytes_read_{0};
+  std::atomic<int64_t> bytes_written_{0};
+};
+
+}  // namespace hedc::dm
+
+#endif  // HEDC_DM_IO_LAYER_H_

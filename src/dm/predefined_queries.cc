@@ -1,0 +1,99 @@
+#include "dm/predefined_queries.h"
+
+#include "db/sql.h"
+
+namespace hedc::dm {
+
+PredefinedQueryService::PredefinedQueryService(db::Database* db) : db_(db) {
+  // Seed past existing registrations (shared DBMS across nodes).
+  Result<db::ResultSet> max =
+      db_->Execute("SELECT MAX(query_id) FROM predefined_queries");
+  if (max.ok() && !max.value().rows.empty()) {
+    ids_.AdvancePast(max.value().rows[0][0].AsInt());
+  }
+}
+
+Status PredefinedQueryService::ValidateSelectOnly(const std::string& sql) {
+  HEDC_ASSIGN_OR_RETURN(std::unique_ptr<db::Statement> stmt,
+                        db::ParseSql(sql));
+  if (stmt->kind != db::Statement::Kind::kSelect) {
+    return Status::InvalidArgument(
+        "predefined queries must be SELECT statements");
+  }
+  return Status::Ok();
+}
+
+Result<int64_t> PredefinedQueryService::Register(
+    const std::string& name, const std::string& description,
+    const std::string& sql) {
+  HEDC_RETURN_IF_ERROR(ValidateSelectOnly(sql));
+  HEDC_ASSIGN_OR_RETURN(
+      db::ResultSet existing,
+      db_->Execute("SELECT COUNT(*) FROM predefined_queries WHERE name = ?",
+                   {db::Value::Text(name)}));
+  if (existing.rows[0][0].AsInt() > 0) {
+    return Status::AlreadyExists("predefined query " + name);
+  }
+  int64_t id = ids_.Next();
+  HEDC_ASSIGN_OR_RETURN(
+      db::ResultSet r,
+      db_->Execute("INSERT INTO predefined_queries VALUES (?, ?, ?, ?)",
+                   {db::Value::Int(id), db::Value::Text(name),
+                    db::Value::Text(description), db::Value::Text(sql)}));
+  (void)r;
+  return id;
+}
+
+Result<PredefinedQuery> PredefinedQueryService::Get(const std::string& name) {
+  HEDC_ASSIGN_OR_RETURN(
+      db::ResultSet rs,
+      db_->Execute("SELECT * FROM predefined_queries WHERE name = ?",
+                   {db::Value::Text(name)}));
+  if (rs.rows.empty()) {
+    return Status::NotFound("predefined query " + name);
+  }
+  PredefinedQuery q;
+  q.query_id = rs.Get(0, "query_id").AsInt();
+  q.name = rs.Get(0, "name").AsText();
+  q.description = rs.Get(0, "description").AsText();
+  q.sql = rs.Get(0, "sql").AsText();
+  return q;
+}
+
+Result<std::vector<PredefinedQuery>> PredefinedQueryService::List() {
+  HEDC_ASSIGN_OR_RETURN(
+      db::ResultSet rs,
+      db_->Execute("SELECT * FROM predefined_queries ORDER BY name"));
+  std::vector<PredefinedQuery> out;
+  for (size_t i = 0; i < rs.num_rows(); ++i) {
+    PredefinedQuery q;
+    q.query_id = rs.Get(i, "query_id").AsInt();
+    q.name = rs.Get(i, "name").AsText();
+    q.description = rs.Get(i, "description").AsText();
+    q.sql = rs.Get(i, "sql").AsText();
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+Result<db::ResultSet> PredefinedQueryService::Run(
+    const Session& session, const std::string& name,
+    const std::vector<db::Value>& params) {
+  if (!session.profile.can_browse) {
+    return Status::PermissionDenied("browse rights required");
+  }
+  HEDC_ASSIGN_OR_RETURN(PredefinedQuery q, Get(name));
+  return db_->Execute(q.sql, params);
+}
+
+Result<db::ResultSet> PredefinedQueryService::RunAdHoc(
+    const Session& session, const std::string& sql,
+    const std::vector<db::Value>& params) {
+  if (!session.profile.is_super) {
+    return Status::PermissionDenied("ad-hoc SQL requires a super account");
+  }
+  HEDC_RETURN_IF_ERROR(ValidateSelectOnly(sql));
+  return db_->Execute(sql, params);
+}
+
+}  // namespace hedc::dm

@@ -1,0 +1,58 @@
+// Predefined queries (§1: "For searching the meta data, users can use
+// either visual tools ..., predefined queries, or their own SQL
+// queries"). Administrators register vetted, parameterized SELECTs in
+// the administrative schema section; users run them by name with bound
+// parameters. Arbitrary user SQL is allowed read-only for super users.
+#ifndef HEDC_DM_PREDEFINED_QUERIES_H_
+#define HEDC_DM_PREDEFINED_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/status.h"
+#include "db/database.h"
+#include "dm/session.h"
+
+namespace hedc::dm {
+
+struct PredefinedQuery {
+  int64_t query_id = 0;
+  std::string name;
+  std::string description;
+  std::string sql;  // SELECT with '?' parameters
+};
+
+class PredefinedQueryService {
+ public:
+  explicit PredefinedQueryService(db::Database* db);
+
+  // Registers a query; only SELECT statements are accepted (the service
+  // must never become a write channel). Fails on duplicate names.
+  Result<int64_t> Register(const std::string& name,
+                           const std::string& description,
+                           const std::string& sql);
+
+  Result<PredefinedQuery> Get(const std::string& name);
+  Result<std::vector<PredefinedQuery>> List();
+
+  // Runs the named query with bound parameters. Requires browse rights.
+  Result<db::ResultSet> Run(const Session& session, const std::string& name,
+                            const std::vector<db::Value>& params);
+
+  // "their own SQL queries": free-form read-only SQL for super users
+  // (the paper exposes raw SQL only to advanced accounts).
+  Result<db::ResultSet> RunAdHoc(const Session& session,
+                                 const std::string& sql,
+                                 const std::vector<db::Value>& params);
+
+ private:
+  static Status ValidateSelectOnly(const std::string& sql);
+
+  db::Database* db_;
+  IdGenerator ids_{1};
+};
+
+}  // namespace hedc::dm
+
+#endif  // HEDC_DM_PREDEFINED_QUERIES_H_

@@ -1,0 +1,101 @@
+#include "dm/query_spec.h"
+
+#include <cctype>
+
+namespace hedc::dm {
+
+namespace {
+
+bool IsSafeIdentifier(const std::string& name) {
+  if (name.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(name[0])) && name[0] != '_') {
+    return false;
+  }
+  for (char c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') {
+      return false;
+    }
+  }
+  return true;
+}
+
+const char* OpToSql(CondOp op) {
+  switch (op) {
+    case CondOp::kEq:
+      return "=";
+    case CondOp::kNe:
+      return "<>";
+    case CondOp::kLt:
+      return "<";
+    case CondOp::kLe:
+      return "<=";
+    case CondOp::kGt:
+      return ">";
+    case CondOp::kGe:
+      return ">=";
+    case CondOp::kLike:
+      return "LIKE";
+  }
+  return "=";
+}
+
+}  // namespace
+
+Result<std::string> QuerySpec::ToSql(std::vector<db::Value>* params) const {
+  if (!IsSafeIdentifier(table_)) {
+    return Status::InvalidArgument("unsafe table name: " + table_);
+  }
+  std::string sql = "SELECT ";
+  if (count_only_) {
+    sql += "COUNT(*)";
+  } else if (fields_.empty()) {
+    sql += "*";
+  } else {
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (!IsSafeIdentifier(fields_[i])) {
+        return Status::InvalidArgument("unsafe field name: " + fields_[i]);
+      }
+      if (i > 0) sql += ", ";
+      sql += fields_[i];
+    }
+  }
+  sql += " FROM ";
+  sql += table_;
+
+  params->clear();
+  bool first = true;
+  for (const Condition& cond : conditions_) {
+    if (!IsSafeIdentifier(cond.field)) {
+      return Status::InvalidArgument("unsafe field name: " + cond.field);
+    }
+    sql += first ? " WHERE " : " AND ";
+    first = false;
+    sql += cond.field;
+    sql += ' ';
+    sql += OpToSql(cond.op);
+    sql += " ?";
+    params->push_back(cond.value);
+  }
+  if (!raw_predicate_.empty()) {
+    sql += first ? " WHERE " : " AND ";
+    first = false;
+    sql += "(";
+    sql += raw_predicate_;
+    sql += ")";
+  }
+  if (!order_by_.empty()) {
+    if (!IsSafeIdentifier(order_by_)) {
+      return Status::InvalidArgument("unsafe order field: " + order_by_);
+    }
+    sql += " ORDER BY ";
+    sql += order_by_;
+    if (order_desc_) sql += " DESC";
+  }
+  if (limit_ >= 0) {
+    sql += " LIMIT ";
+    sql += std::to_string(limit_);
+  }
+  return sql;
+}
+
+}  // namespace hedc::dm

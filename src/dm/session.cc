@@ -1,0 +1,100 @@
+#include "dm/session.h"
+
+#include <algorithm>
+
+#include "core/strings.h"
+
+namespace hedc::dm {
+
+const char* SessionKindName(SessionKind kind) {
+  switch (kind) {
+    case SessionKind::kAnalysis:
+      return "analysis";
+    case SessionKind::kHle:
+      return "hle";
+    case SessionKind::kCatalog:
+      return "catalog";
+  }
+  return "?";
+}
+
+std::string SessionManager::KeyOf(const std::string& ip,
+                                  const std::string& cookie,
+                                  SessionKind kind) const {
+  return ip + "|" + cookie + "|" + SessionKindName(kind);
+}
+
+Result<Session> SessionManager::GetOrCreate(const UserProfile& profile,
+                                            const std::string& client_ip,
+                                            const std::string& cookie,
+                                            SessionKind kind) {
+  std::string key = KeyOf(client_ip, cookie, kind);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (options_.caching_enabled) {
+      auto it = cache_.find(key);
+      if (it != cache_.end()) {
+        ++cache_hits_;
+        it->second.last_used = clock_->Now();
+        lru_.remove(key);
+        lru_.push_front(key);
+        return it->second;
+      }
+    }
+  }
+
+  // Creation pays the setup cost (outside the lock: it is the dominant
+  // cost and must not serialize unrelated lookups).
+  clock_->SleepFor(options_.session_setup_cost);
+  Session session;
+  session.session_id = ids_.Next();
+  session.profile = profile;
+  session.kind = kind;
+  session.client_ip = client_ip;
+  session.cookie = cookie;
+  session.created_at = clock_->Now();
+  session.last_used = session.created_at;
+  // Scope reads: non-super users see public tuples or their own (§5.5:
+  // "the system typically appends the user id to all queries").
+  if (profile.is_super) {
+    session.view_predicate = "";
+  } else {
+    session.view_predicate = StrFormat(
+        "(is_public = TRUE OR owner_id = %lld)",
+        static_cast<long long>(profile.user_id));
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++sessions_created_;
+  if (options_.caching_enabled) {
+    cache_[key] = session;
+    lru_.push_front(key);
+    EvictIfNeeded();
+  }
+  return session;
+}
+
+void SessionManager::Invalidate(const std::string& client_ip,
+                                const std::string& cookie) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (SessionKind kind : {SessionKind::kAnalysis, SessionKind::kHle,
+                           SessionKind::kCatalog}) {
+    std::string key = KeyOf(client_ip, cookie, kind);
+    cache_.erase(key);
+    lru_.remove(key);
+  }
+}
+
+size_t SessionManager::CacheSize() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+void SessionManager::EvictIfNeeded() {
+  while (cache_.size() > options_.max_sessions && !lru_.empty()) {
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+}  // namespace hedc::dm

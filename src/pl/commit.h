@@ -1,0 +1,22 @@
+// Commit-phase glue: persists an analysis product through the DM
+// ("Results are written back into HEDC (through the DM component)").
+// Stores the rendered image as a file (referenced via the location
+// tables) and the ANA tuple + lineage in the metadata DB.
+#ifndef HEDC_PL_COMMIT_H_
+#define HEDC_PL_COMMIT_H_
+
+#include "dm/dm.h"
+#include "pl/frontend.h"
+
+namespace hedc::pl {
+
+// Builds a Frontend::Committer bound to `dm`, writing image files to
+// `image_archive_id` under "ana". The committing session defines the
+// owner of the created ANA tuples.
+Frontend::Committer MakeDmCommitter(dm::DataManager* dm,
+                                    dm::Session session,
+                                    int64_t image_archive_id);
+
+}  // namespace hedc::pl
+
+#endif  // HEDC_PL_COMMIT_H_

@@ -1,0 +1,315 @@
+#include "pl/frontend.h"
+
+#include <algorithm>
+
+#include "analysis/routine.h"
+#include "core/strings.h"
+
+namespace hedc::pl {
+
+void GlobalDirectory::Register(const std::string& name,
+                               IdlServerManager* manager,
+                               const std::string& location) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Entry& entry : entries_) {
+    if (entry.name == name) {
+      entry.manager = manager;
+      entry.location = location;
+      entry.online = true;
+      return;
+    }
+  }
+  entries_.push_back(Entry{name, manager, location, true});
+}
+
+Status GlobalDirectory::SetOnline(const std::string& name, bool online) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Entry& entry : entries_) {
+    if (entry.name == name) {
+      entry.online = online;
+      return Status::Ok();
+    }
+  }
+  return Status::NotFound("service " + name);
+}
+
+std::vector<IdlServerManager*> GlobalDirectory::OnlineManagers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<IdlServerManager*> out;
+  for (const Entry& entry : entries_) {
+    if (entry.online && entry.manager != nullptr) {
+      out.push_back(entry.manager);
+    }
+  }
+  return out;
+}
+
+std::vector<GlobalDirectory::Entry> GlobalDirectory::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
+double DurationPredictor::PredictSeconds(const std::string& routine,
+                                         double work_units) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = rates_.find(routine);
+  double rate = it == rates_.end() ? default_rate_ : it->second;
+  return rate > 0 ? work_units / rate : 0;
+}
+
+void DurationPredictor::Observe(const std::string& routine,
+                                double work_units, double seconds) {
+  if (seconds <= 0 || work_units <= 0) return;
+  double observed_rate = work_units / seconds;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = rates_.try_emplace(routine, observed_rate);
+  if (!inserted) {
+    it->second = alpha_ * observed_rate + (1 - alpha_) * it->second;
+  }
+}
+
+const char* RequestStateName(RequestState state) {
+  switch (state) {
+    case RequestState::kQueued:
+      return "queued";
+    case RequestState::kEstimated:
+      return "estimated";
+    case RequestState::kExecuting:
+      return "executing";
+    case RequestState::kDelivered:
+      return "delivered";
+    case RequestState::kCommitted:
+      return "committed";
+    case RequestState::kFailed:
+      return "failed";
+    case RequestState::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+Frontend::Frontend(GlobalDirectory* directory, DurationPredictor* predictor,
+                   Clock* clock, Committer committer, Options options)
+    : directory_(directory),
+      predictor_(predictor),
+      clock_(clock),
+      committer_(std::move(committer)),
+      options_(options) {
+  size_t n = std::max<size_t>(options_.dispatcher_threads, 1);
+  dispatchers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    dispatchers_.emplace_back([this] { DispatcherLoop(); });
+  }
+}
+
+Frontend::~Frontend() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& t : dispatchers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+Result<double> Frontend::Estimate(const ProcessingRequest& request) {
+  // The estimation phase consults the registry-backed work model through
+  // the predictor; it must not touch an interpreter.
+  auto registry = analysis::CreateStandardRegistry();
+  const analysis::AnalysisRoutine* routine =
+      registry->Get(request.routine);
+  double work = routine != nullptr
+                    ? routine->EstimateWorkUnits(request.photons.size(),
+                                                 request.params)
+                    : static_cast<double>(request.photons.size());
+  return predictor_->PredictSeconds(request.routine, work);
+}
+
+Result<int64_t> Frontend::Submit(ProcessingRequest request) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (shutdown_) return Status::Unavailable("front end shut down");
+  if (queue_.size() >= options_.max_queue) {
+    return Status::ResourceExhausted("request queue full");
+  }
+  int64_t id = next_request_id_++;
+  request.request_id = id;
+  auto slot = std::make_unique<Slot>();
+  slot->request = std::move(request);
+  slot->outcome.state = RequestState::kQueued;
+  slot->outcome.submitted_at = clock_->Now();
+  if (!slot->request.skip_estimation) {
+    lock.unlock();
+    Result<double> predicted = Estimate(slot->request);
+    lock.lock();
+    if (predicted.ok()) {
+      slot->outcome.predicted_seconds = predicted.value();
+      slot->outcome.state = RequestState::kEstimated;
+    }
+  }
+  slots_[id] = std::move(slot);
+  queue_.push_back(id);
+  queue_cv_.notify_one();
+  return id;
+}
+
+int64_t Frontend::PopNext() {
+  // Priority scheduling: highest priority first, FIFO within a class.
+  int best_priority = INT32_MIN;
+  size_t best_index = queue_.size();
+  for (size_t i = 0; i < queue_.size(); ++i) {
+    auto it = slots_.find(queue_[i]);
+    if (it == slots_.end()) continue;
+    int p = it->second->request.priority;
+    if (p > best_priority) {
+      best_priority = p;
+      best_index = i;
+    }
+  }
+  if (best_index >= queue_.size()) return -1;
+  int64_t id = queue_[best_index];
+  queue_.erase(queue_.begin() + static_cast<long>(best_index));
+  return id;
+}
+
+void Frontend::Finish(Slot* slot, RequestState state, Status status) {
+  slot->outcome.state = state;
+  slot->outcome.terminal = true;
+  slot->outcome.status = std::move(status);
+  slot->outcome.finished_at = clock_->Now();
+  ++completed_;
+  done_cv_.notify_all();
+}
+
+void Frontend::DispatcherLoop() {
+  while (true) {
+    Slot* slot = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (shutdown_ && queue_.empty()) return;
+      int64_t id = PopNext();
+      if (id < 0) continue;
+      slot = slots_[id].get();
+      if (slot->cancel_requested) {
+        Finish(slot, RequestState::kCancelled,
+               Status::FailedPrecondition("cancelled while queued"));
+        continue;
+      }
+      slot->outcome.state = RequestState::kExecuting;
+      slot->outcome.started_at = clock_->Now();
+    }
+
+    // --- execution phase (outside the lock) ---------------------------
+    std::vector<IdlServerManager*> managers = directory_->OnlineManagers();
+    if (managers.empty()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      Finish(slot, RequestState::kFailed,
+             Status::Unavailable("no processing services online"));
+      continue;
+    }
+    size_t pick =
+        dispatch_counter_.fetch_add(1, std::memory_order_relaxed) %
+        managers.size();
+    // Prefer a manager with an idle interpreter (least-loaded fallback to
+    // round-robin).
+    IdlServerManager* manager = managers[pick];
+    for (size_t i = 0; i < managers.size(); ++i) {
+      if (managers[(pick + i) % managers.size()]->idle_servers() > 0) {
+        manager = managers[(pick + i) % managers.size()];
+        break;
+      }
+    }
+
+    Micros exec_start = clock_->Now();
+    Result<analysis::AnalysisProduct> product = manager->Invoke(
+        slot->request.routine, slot->request.photons, slot->request.params);
+    Micros exec_end = clock_->Now();
+
+    if (!product.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      Finish(slot, RequestState::kFailed, product.status());
+      continue;
+    }
+    // Feed the predictor with the observed rate.
+    {
+      auto registry = analysis::CreateStandardRegistry();
+      const analysis::AnalysisRoutine* routine =
+          registry->Get(slot->request.routine);
+      if (routine != nullptr && exec_end > exec_start) {
+        predictor_->Observe(
+            slot->request.routine,
+            routine->EstimateWorkUnits(slot->request.photons.size(),
+                                       slot->request.params),
+            static_cast<double>(exec_end - exec_start) / kMicrosPerSecond);
+      }
+    }
+
+    // --- delivery phase ------------------------------------------------
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (slot->cancel_requested) {
+        // Cancellation cleanup: discard the product before commit.
+        Finish(slot, RequestState::kCancelled,
+               Status::FailedPrecondition("cancelled before commit"));
+        continue;
+      }
+      slot->outcome.product = std::move(product).value();
+      slot->outcome.state = RequestState::kDelivered;
+    }
+
+    // --- commit phase ----------------------------------------------------
+    if (slot->request.skip_commit || !committer_) {
+      std::lock_guard<std::mutex> lock(mu_);
+      Finish(slot, RequestState::kDelivered, Status::Ok());
+      continue;
+    }
+    Result<int64_t> ana_id =
+        committer_(slot->request, slot->outcome.product);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!ana_id.ok()) {
+      Finish(slot, RequestState::kFailed, ana_id.status());
+    } else {
+      slot->outcome.committed_ana_id = ana_id.value();
+      Finish(slot, RequestState::kCommitted, Status::Ok());
+    }
+  }
+}
+
+RequestOutcome Frontend::Wait(int64_t request_id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = slots_.find(request_id);
+  if (it == slots_.end()) {
+    RequestOutcome outcome;
+    outcome.state = RequestState::kFailed;
+    outcome.status = Status::NotFound(
+        StrFormat("request %lld", static_cast<long long>(request_id)));
+    return outcome;
+  }
+  Slot* slot = it->second.get();
+  done_cv_.wait(lock, [slot] { return slot->outcome.terminal; });
+  return slot->outcome;
+}
+
+Status Frontend::Cancel(int64_t request_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(request_id);
+  if (it == slots_.end()) {
+    return Status::NotFound(
+        StrFormat("request %lld", static_cast<long long>(request_id)));
+  }
+  it->second->cancel_requested = true;
+  return Status::Ok();
+}
+
+Result<RequestState> Frontend::GetState(int64_t request_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(request_id);
+  if (it == slots_.end()) {
+    return Status::NotFound(
+        StrFormat("request %lld", static_cast<long long>(request_id)));
+  }
+  return it->second->outcome.state;
+}
+
+}  // namespace hedc::pl

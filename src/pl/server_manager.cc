@@ -1,0 +1,105 @@
+#include "pl/server_manager.h"
+
+namespace hedc::pl {
+
+IdlServerManager::IdlServerManager(std::string host_name, Options options)
+    : host_name_(std::move(host_name)), options_(options) {
+  workers_ = std::make_unique<ThreadPool>(options_.worker_threads);
+}
+
+IdlServerManager::~IdlServerManager() { workers_->Shutdown(); }
+
+Status IdlServerManager::AddServer(std::unique_ptr<IdlServer> server) {
+  if (server->state() == ServerState::kStopped) {
+    HEDC_RETURN_IF_ERROR(server->Start());
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  servers_.push_back(std::move(server));
+  return Status::Ok();
+}
+
+Status IdlServerManager::RemoveServer() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < servers_.size(); ++i) {
+    if (servers_[i]->state() != ServerState::kBusy) {
+      servers_[i]->Stop();
+      servers_.erase(servers_.begin() + static_cast<long>(i));
+      return Status::Ok();
+    }
+  }
+  return Status::FailedPrecondition("all interpreters are busy");
+}
+
+size_t IdlServerManager::num_servers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return servers_.size();
+}
+
+int IdlServerManager::idle_servers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int idle = 0;
+  for (const auto& server : servers_) {
+    if (server->state() == ServerState::kIdle) ++idle;
+  }
+  return idle;
+}
+
+IdlServer* IdlServerManager::AcquireIdle() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& server : servers_) {
+    if (server->state() == ServerState::kIdle) return server.get();
+    if (server->state() == ServerState::kCrashed) {
+      // Opportunistic recovery: restart crashed interpreters on the way.
+      if (server->Restart().ok()) {
+        ++restarts_;
+        return server.get();
+      }
+    }
+  }
+  return nullptr;
+}
+
+Result<analysis::AnalysisProduct> IdlServerManager::Invoke(
+    const std::string& routine, const rhessi::PhotonList& photons,
+    const analysis::AnalysisParams& params) {
+  Status last_error = Status::Unavailable("no interpreters configured");
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    IdlServer* server = AcquireIdle();
+    if (server == nullptr) {
+      return Status::ResourceExhausted(host_name_ +
+                                       ": no idle IDL interpreter");
+    }
+    Result<analysis::AnalysisProduct> result =
+        server->Invoke(routine, photons, params);
+    if (result.ok()) return result;
+    last_error = result.status();
+    if (last_error.code() == StatusCode::kNotFound ||
+        last_error.code() == StatusCode::kInvalidArgument) {
+      return last_error;  // not recoverable by retry
+    }
+    if (server->state() == ServerState::kCrashed) {
+      if (server->Restart().ok()) ++restarts_;
+    }
+    // kTimeout/kUnavailable: retry on a (restarted) interpreter.
+  }
+  return last_error;
+}
+
+std::future<Result<analysis::AnalysisProduct>> IdlServerManager::InvokeAsync(
+    std::string routine, rhessi::PhotonList photons,
+    analysis::AnalysisParams params) {
+  auto task = std::make_shared<
+      std::packaged_task<Result<analysis::AnalysisProduct>()>>(
+      [this, routine = std::move(routine), photons = std::move(photons),
+       params = std::move(params)] {
+        return Invoke(routine, photons, params);
+      });
+  std::future<Result<analysis::AnalysisProduct>> future = task->get_future();
+  if (!workers_->Submit([task] { (*task)(); })) {
+    // Pool shut down: run inline so the future is always satisfied.
+    (*task)();
+  }
+  return future;
+}
+
+}  // namespace hedc::pl

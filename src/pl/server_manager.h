@@ -1,0 +1,66 @@
+// IDL server manager (§5.1): owns the interpreters of one processing
+// host, provides synchronous and asynchronous invocation and the fault
+// handling around them — crashed interpreters are restarted and the call
+// retried; repeated failure surfaces to the caller. "IDL server managers
+// can be dynamically added and removed as needed without halting the
+// system."
+#ifndef HEDC_PL_SERVER_MANAGER_H_
+#define HEDC_PL_SERVER_MANAGER_H_
+
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "pl/idl_server.h"
+
+namespace hedc::pl {
+
+class IdlServerManager {
+ public:
+  struct Options {
+    int max_retries = 2;  // restart-and-retry attempts after a crash
+    size_t worker_threads = 2;
+  };
+
+  IdlServerManager(std::string host_name, Options options);
+  ~IdlServerManager();
+
+  const std::string& host_name() const { return host_name_; }
+
+  // Adds a started interpreter to the pool.
+  Status AddServer(std::unique_ptr<IdlServer> server);
+  // Removes (stops) one idle interpreter; fails if none can be removed.
+  Status RemoveServer();
+  size_t num_servers() const;
+  int idle_servers() const;
+
+  // Synchronous invocation with fault tolerance: picks an idle server,
+  // restarts + retries on crash, propagates timeouts.
+  Result<analysis::AnalysisProduct> Invoke(
+      const std::string& routine, const rhessi::PhotonList& photons,
+      const analysis::AnalysisParams& params);
+
+  // Asynchronous invocation on the manager's worker pool.
+  std::future<Result<analysis::AnalysisProduct>> InvokeAsync(
+      std::string routine, rhessi::PhotonList photons,
+      analysis::AnalysisParams params);
+
+  int64_t restarts() const { return restarts_; }
+
+ private:
+  IdlServer* AcquireIdle();
+
+  std::string host_name_;
+  Options options_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<IdlServer>> servers_;
+  std::unique_ptr<ThreadPool> workers_;
+  int64_t restarts_ = 0;
+};
+
+}  // namespace hedc::pl
+
+#endif  // HEDC_PL_SERVER_MANAGER_H_

@@ -1,0 +1,55 @@
+// Automatic event detection over raw photon lists.
+//
+// §2.2: when raw data units reach HEDC "they are once more searched for
+// interesting events, using programs that detect a wider range of events
+// such as solar flares, gamma ray bursts, or quiet periods". The detector
+// is rate-threshold based over 1-second bins with a hardness-ratio test
+// to separate GRBs (hard, short) from flares (soft, long).
+#ifndef HEDC_RHESSI_EVENT_DETECT_H_
+#define HEDC_RHESSI_EVENT_DETECT_H_
+
+#include <vector>
+
+#include "rhessi/photon.h"
+#include "rhessi/telemetry.h"
+
+namespace hedc::rhessi {
+
+struct DetectedEvent {
+  EventKind kind = EventKind::kFlare;
+  double t_start = 0;
+  double t_end = 0;
+  double peak_rate = 0;       // photons/s in the peak bin
+  double peak_energy_kev = 0; // mean energy over the event
+  int64_t photon_count = 0;
+};
+
+struct DetectOptions {
+  double bin_sec = 1.0;
+  // Rate must exceed background * threshold_factor to open an event.
+  double threshold_factor = 3.0;
+  // Events shorter than this are GRB candidates (if hard).
+  double grb_max_duration_sec = 20.0;
+  // Hardness: fraction of photons above 100 keV for a GRB call.
+  double grb_hard_fraction = 0.5;
+  // Gaps below threshold longer than this close an event.
+  double close_gap_sec = 10.0;
+  // Stretches below background*quiet_factor at least this long become
+  // quiet-period events.
+  double quiet_min_duration_sec = 300.0;
+  double quiet_factor = 0.5;
+};
+
+// `photons` must be time-sorted. Background is estimated as the median
+// bin rate.
+std::vector<DetectedEvent> DetectEvents(const PhotonList& photons,
+                                        const DetectOptions& options = {});
+
+// Matching score against ground truth: fraction of injected flare/GRB
+// events overlapped by a detection of the same kind.
+double DetectionRecall(const std::vector<InjectedEvent>& truth,
+                       const std::vector<DetectedEvent>& detected);
+
+}  // namespace hedc::rhessi
+
+#endif  // HEDC_RHESSI_EVENT_DETECT_H_

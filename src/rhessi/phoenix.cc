@@ -1,0 +1,145 @@
+#include "rhessi/phoenix.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "core/bytes.h"
+#include "core/strings.h"
+
+namespace hedc::rhessi {
+
+archive::FitsFile PhoenixSpectrogram::ToFits() const {
+  archive::FitsFile fits;
+  archive::FitsHdu& primary = fits.primary();
+  primary.SetCard("TELESCOP", "PHOENIX-2", "Bleien broadband spectrometer");
+  primary.SetCard("SPEC_ID", std::to_string(spectrum_id), "");
+  primary.SetCard("TSTART", StrFormat("%.6f", t_start), "");
+  primary.SetCard("TSTOP", StrFormat("%.6f", t_end), "");
+  primary.SetCard("FREQ_LO", StrFormat("%.3f", freq_lo_mhz), "MHz");
+  primary.SetCard("FREQ_HI", StrFormat("%.3f", freq_hi_mhz), "MHz");
+  primary.SetCard("NTIME", std::to_string(time_bins), "");
+  primary.SetCard("NFREQ", std::to_string(freq_channels), "");
+  archive::FitsHdu& data = fits.AddHdu("SPECTRUM");
+  ByteBuffer buffer;
+  for (float v : intensity) {
+    buffer.PutU32(std::bit_cast<uint32_t>(v));
+  }
+  data.data = std::move(buffer).TakeData();
+  return fits;
+}
+
+Result<PhoenixSpectrogram> PhoenixSpectrogram::FromFits(
+    const archive::FitsFile& fits) {
+  if (fits.hdus().empty()) {
+    return Status::Corruption("Phoenix FITS has no primary HDU");
+  }
+  const archive::FitsHdu& primary = fits.hdus().front();
+  const archive::FitsCard* telescope = primary.FindCard("TELESCOP");
+  if (telescope == nullptr || telescope->value != "PHOENIX-2") {
+    return Status::InvalidArgument("not a Phoenix-2 spectrogram");
+  }
+  PhoenixSpectrogram spectrum;
+  spectrum.spectrum_id = primary.GetIntCard("SPEC_ID");
+  spectrum.t_start = primary.GetRealCard("TSTART");
+  spectrum.t_end = primary.GetRealCard("TSTOP");
+  spectrum.freq_lo_mhz = primary.GetRealCard("FREQ_LO");
+  spectrum.freq_hi_mhz = primary.GetRealCard("FREQ_HI");
+  spectrum.time_bins = static_cast<size_t>(primary.GetIntCard("NTIME"));
+  spectrum.freq_channels =
+      static_cast<size_t>(primary.GetIntCard("NFREQ"));
+  const archive::FitsHdu* data = fits.FindHdu("SPECTRUM");
+  if (data == nullptr) {
+    return Status::Corruption("Phoenix FITS missing SPECTRUM HDU");
+  }
+  size_t expected = spectrum.time_bins * spectrum.freq_channels;
+  if (data->data.size() != expected * 4) {
+    return Status::Corruption("Phoenix spectrum size mismatch");
+  }
+  ByteReader reader(data->data);
+  spectrum.intensity.resize(expected);
+  for (size_t i = 0; i < expected; ++i) {
+    uint32_t bits = 0;
+    HEDC_RETURN_IF_ERROR(reader.GetU32(&bits));
+    spectrum.intensity[i] = std::bit_cast<float>(bits);
+  }
+  return spectrum;
+}
+
+PhoenixSpectrogram GeneratePhoenixSpectrogram(const PhoenixOptions& options) {
+  Rng rng(options.seed);
+  PhoenixSpectrogram spectrum;
+  spectrum.t_start = options.t_start;
+  spectrum.t_end = options.t_start + options.duration_sec;
+  spectrum.time_bins = options.time_bins;
+  spectrum.freq_channels = options.freq_channels;
+  spectrum.intensity.assign(options.time_bins * options.freq_channels, 0);
+
+  // Noisy background.
+  for (float& v : spectrum.intensity) {
+    v = static_cast<float>(
+        std::max(0.0, rng.Normal(options.background_level,
+                                 options.background_level * 0.15)));
+  }
+  // Type-III-like bursts: start at high frequency, drift to low over a
+  // few seconds (plasma emission moving outward).
+  for (int b = 0; b < options.num_bursts; ++b) {
+    size_t t0 = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(options.time_bins) * 3 / 4));
+    double drift_bins = rng.Uniform(5, 25);  // time bins to cross the band
+    double amplitude = options.background_level * rng.Uniform(8, 25);
+    for (size_t f = 0; f < options.freq_channels; ++f) {
+      // Higher channel index = lower frequency; the burst reaches it
+      // later.
+      double center = static_cast<double>(t0) +
+                      drift_bins * static_cast<double>(f) /
+                          static_cast<double>(options.freq_channels);
+      for (size_t t = 0; t < options.time_bins; ++t) {
+        double d = (static_cast<double>(t) - center) / 2.0;
+        spectrum.intensity[f * options.time_bins + t] +=
+            static_cast<float>(amplitude * std::exp(-d * d));
+      }
+    }
+  }
+  return spectrum;
+}
+
+std::vector<RadioBurst> DetectRadioBursts(const PhoenixSpectrogram& spectrum,
+                                          double threshold_factor) {
+  std::vector<RadioBurst> out;
+  if (spectrum.time_bins == 0 || spectrum.freq_channels == 0) return out;
+  // Band-integrated lightcurve.
+  std::vector<double> total(spectrum.time_bins, 0.0);
+  for (size_t f = 0; f < spectrum.freq_channels; ++f) {
+    for (size_t t = 0; t < spectrum.time_bins; ++t) {
+      total[t] += spectrum.At(f, t);
+    }
+  }
+  std::vector<double> sorted = total;
+  std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                   sorted.end());
+  double median = sorted[sorted.size() / 2];
+  double threshold = median * threshold_factor;
+  double bin_sec = (spectrum.t_end - spectrum.t_start) /
+                   static_cast<double>(spectrum.time_bins);
+
+  size_t t = 0;
+  while (t < spectrum.time_bins) {
+    if (total[t] <= threshold) {
+      ++t;
+      continue;
+    }
+    size_t start = t;
+    double peak = 0;
+    while (t < spectrum.time_bins && total[t] > threshold) {
+      peak = std::max(peak, total[t]);
+      ++t;
+    }
+    out.push_back(RadioBurst{
+        spectrum.t_start + static_cast<double>(start) * bin_sec,
+        spectrum.t_start + static_cast<double>(t) * bin_sec, peak});
+  }
+  return out;
+}
+
+}  // namespace hedc::rhessi

@@ -1,0 +1,71 @@
+// Phoenix-2 broadband radio spectrometer support (§2.2).
+//
+// "around 25 GB of measurements taken by the Phoenix-2 Broadband
+// Spectrometer in Bleien, Switzerland are available at HEDC. The Phoenix
+// catalog contains spectrograms for around 3000 identified solar events
+// and is part of the extended catalog."
+//
+// A second, structurally different instrument: data are
+// frequency x time dynamic spectra rather than photon lists. Its
+// presence exercises the paper's central claim — a new data source needs
+// only a new domain-specific schema slice and loader; the generic parts
+// (name mapping, catalogs, access control, archives) are untouched.
+#ifndef HEDC_RHESSI_PHOENIX_H_
+#define HEDC_RHESSI_PHOENIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "archive/fits.h"
+#include "core/rng.h"
+#include "core/status.h"
+
+namespace hedc::rhessi {
+
+struct PhoenixSpectrogram {
+  int64_t spectrum_id = 0;
+  double t_start = 0;          // observation window [s]
+  double t_end = 0;
+  double freq_lo_mhz = 100;    // Phoenix-2 band: 0.1 - 4 GHz
+  double freq_hi_mhz = 4000;
+  size_t time_bins = 0;
+  size_t freq_channels = 0;
+  std::vector<float> intensity;  // row-major [freq][time], arbitrary units
+
+  float At(size_t freq, size_t time) const {
+    return intensity[freq * time_bins + time];
+  }
+
+  archive::FitsFile ToFits() const;
+  static Result<PhoenixSpectrogram> FromFits(const archive::FitsFile& fits);
+};
+
+struct PhoenixOptions {
+  double t_start = 0;
+  double duration_sec = 900;
+  size_t time_bins = 256;
+  size_t freq_channels = 64;
+  int num_bursts = 2;          // type-III-like drifting radio bursts
+  double background_level = 1.0;
+  uint64_t seed = 1;
+};
+
+// Synthesizes a dynamic spectrum with frequency-drifting solar radio
+// bursts over a noisy background.
+PhoenixSpectrogram GeneratePhoenixSpectrogram(const PhoenixOptions& options);
+
+// Detected radio burst: time interval + drift.
+struct RadioBurst {
+  double t_start = 0;
+  double t_end = 0;
+  double peak_intensity = 0;
+};
+
+// Simple burst finder: time bins whose band-integrated intensity exceeds
+// `threshold_factor` times the median.
+std::vector<RadioBurst> DetectRadioBursts(const PhoenixSpectrogram& spectrum,
+                                          double threshold_factor = 3.0);
+
+}  // namespace hedc::rhessi
+
+#endif  // HEDC_RHESSI_PHOENIX_H_

@@ -1,0 +1,150 @@
+#include "rhessi/telemetry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hedc::rhessi {
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kFlare:
+      return "flare";
+    case EventKind::kGammaRayBurst:
+      return "grb";
+    case EventKind::kQuiet:
+      return "quiet";
+    case EventKind::kSaaTransit:
+      return "saa";
+  }
+  return "?";
+}
+
+namespace {
+
+// Draws a photon energy from a power-law dN/dE ~ E^-gamma between
+// [lo, hi] keV via inverse-CDF sampling.
+double PowerLawEnergy(Rng* rng, double gamma, double lo, double hi) {
+  double u = rng->NextDouble();
+  double one_minus = 1.0 - gamma;
+  if (std::fabs(one_minus) < 1e-9) {
+    return lo * std::pow(hi / lo, u);
+  }
+  double a = std::pow(lo, one_minus);
+  double b = std::pow(hi, one_minus);
+  return std::pow(a + u * (b - a), 1.0 / one_minus);
+}
+
+void EmitPhotons(Rng* rng, double t0, double t1, double rate, double gamma,
+                 double e_lo, double e_hi, PhotonList* out) {
+  if (rate <= 0 || t1 <= t0) return;
+  double t = t0;
+  while (true) {
+    t += rng->Exponential(1.0 / rate);
+    if (t >= t1) break;
+    PhotonEvent p;
+    p.time_sec = t;
+    p.energy_kev = static_cast<float>(PowerLawEnergy(rng, gamma, e_lo, e_hi));
+    p.detector = static_cast<uint8_t>(rng->UniformInt(0, kNumCollimators - 1));
+    p.segment = rng->Bernoulli(0.7) ? 0 : 1;
+    out->push_back(p);
+  }
+}
+
+// Fast-rise-exponential-decay flare profile emitted as piecewise-constant
+// Poisson segments of `step` seconds.
+void EmitFred(Rng* rng, double t_start, double rise, double decay,
+              double peak_rate, double gamma, double e_lo, double e_hi,
+              double duration, PhotonList* out) {
+  const double step = 0.5;
+  for (double t = 0; t < duration; t += step) {
+    double rate;
+    if (t < rise) {
+      rate = peak_rate * (t / rise);
+    } else {
+      rate = peak_rate * std::exp(-(t - rise) / decay);
+    }
+    EmitPhotons(rng, t_start + t, t_start + std::min(t + step, duration),
+                rate, gamma, e_lo, e_hi, out);
+  }
+}
+
+}  // namespace
+
+Telemetry GenerateTelemetry(const TelemetryOptions& options) {
+  Rng rng(options.seed);
+  Telemetry telemetry;
+
+  // SAA transit windows first: detectors are effectively off inside them
+  // ("transits through the South Atlantic Anomaly", §3.2).
+  std::vector<std::pair<double, double>> saa_windows;
+  int64_t num_saa =
+      rng.Poisson(options.saa_per_hour * options.duration_sec / 3600.0);
+  for (int64_t i = 0; i < num_saa; ++i) {
+    double start = rng.Uniform(0, options.duration_sec);
+    double len = rng.Uniform(300, 900);  // 5-15 minute transits
+    double end = std::min(start + len, options.duration_sec);
+    saa_windows.emplace_back(start, end);
+    telemetry.truth.push_back(
+        InjectedEvent{EventKind::kSaaTransit, start, end, 0, 0});
+  }
+  auto in_saa = [&saa_windows](double t) {
+    for (const auto& [s, e] : saa_windows) {
+      if (t >= s && t < e) return true;
+    }
+    return false;
+  };
+
+  // Quiet background over the whole observation (soft power law).
+  EmitPhotons(&rng, 0, options.duration_sec, options.background_rate,
+              /*gamma=*/2.0, kMinEnergyKev, 300.0, &telemetry.photons);
+
+  // Solar flares: minutes-long FRED profiles, soft spectra (3-100 keV).
+  int64_t num_flares =
+      rng.Poisson(options.flares_per_hour * options.duration_sec / 3600.0);
+  for (int64_t i = 0; i < num_flares; ++i) {
+    double start = rng.Uniform(0, options.duration_sec * 0.95);
+    double rise = rng.Uniform(5, 30);
+    double decay = rng.Uniform(30, 180);
+    double duration = std::min(rise + 5 * decay,
+                               options.duration_sec - start);
+    double peak = options.background_rate * rng.Uniform(5, 40);
+    EmitFred(&rng, start, rise, decay, peak, /*gamma=*/3.0, kMinEnergyKev,
+             100.0, duration, &telemetry.photons);
+    telemetry.truth.push_back(InjectedEvent{EventKind::kFlare, start,
+                                            start + duration, peak, 25.0});
+  }
+
+  // Gamma-ray bursts: short, hard (non-solar, §3.2).
+  int64_t num_grbs =
+      rng.Poisson(options.grbs_per_hour * options.duration_sec / 3600.0);
+  for (int64_t i = 0; i < num_grbs; ++i) {
+    double start = rng.Uniform(0, options.duration_sec * 0.99);
+    double duration = rng.Uniform(0.2, 15.0);
+    double peak = options.background_rate * rng.Uniform(10, 60);
+    EmitFred(&rng, start, duration * 0.2, duration * 0.3, peak,
+             /*gamma=*/1.5, 100.0, kMaxEnergyKev,
+             std::min(duration, options.duration_sec - start),
+             &telemetry.photons);
+    telemetry.truth.push_back(InjectedEvent{EventKind::kGammaRayBurst, start,
+                                            start + duration, peak, 800.0});
+  }
+
+  // Apply SAA blackouts and time-sort.
+  PhotonList kept;
+  kept.reserve(telemetry.photons.size());
+  for (const PhotonEvent& p : telemetry.photons) {
+    if (!in_saa(p.time_sec)) kept.push_back(p);
+  }
+  telemetry.photons = std::move(kept);
+  std::sort(telemetry.photons.begin(), telemetry.photons.end(),
+            [](const PhotonEvent& a, const PhotonEvent& b) {
+              return a.time_sec < b.time_sec;
+            });
+  std::sort(telemetry.truth.begin(), telemetry.truth.end(),
+            [](const InjectedEvent& a, const InjectedEvent& b) {
+              return a.t_start < b.t_start;
+            });
+  return telemetry;
+}
+
+}  // namespace hedc::rhessi

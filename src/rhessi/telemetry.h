@@ -1,0 +1,52 @@
+// Synthetic telemetry generator.
+//
+// Substitute for the real RHESSI downlink (DESIGN.md §2): produces photon
+// lists whose statistical structure — Poisson background, solar flares
+// (FRED profiles, soft spectra), gamma-ray bursts (short, hard spectra),
+// quiet periods and SAA transits with detectors off — drives the same
+// event detection, analysis and wavelet-view code paths the real data
+// would.
+#ifndef HEDC_RHESSI_TELEMETRY_H_
+#define HEDC_RHESSI_TELEMETRY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "rhessi/photon.h"
+
+namespace hedc::rhessi {
+
+enum class EventKind { kFlare, kGammaRayBurst, kQuiet, kSaaTransit };
+
+const char* EventKindName(EventKind kind);
+
+// Ground-truth injected event (for detector validation).
+struct InjectedEvent {
+  EventKind kind;
+  double t_start = 0;
+  double t_end = 0;
+  double peak_rate = 0;       // photons/s above background at peak
+  double peak_energy_kev = 0; // characteristic energy
+};
+
+struct TelemetryOptions {
+  double duration_sec = 3600.0;
+  double background_rate = 80.0;   // photons/s across all detectors
+  double flares_per_hour = 4.0;
+  double grbs_per_hour = 1.0;
+  double saa_per_hour = 0.5;       // South Atlantic Anomaly transits
+  uint64_t seed = 1;
+};
+
+struct Telemetry {
+  PhotonList photons;              // time-sorted
+  std::vector<InjectedEvent> truth;
+};
+
+// Generates one contiguous observation.
+Telemetry GenerateTelemetry(const TelemetryOptions& options);
+
+}  // namespace hedc::rhessi
+
+#endif  // HEDC_RHESSI_TELEMETRY_H_

@@ -1,0 +1,130 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <memory>
+
+namespace hedc::sim {
+
+void Simulator::At(SimTime t, std::function<void()> fn) {
+  assert(t >= now_ && "cannot schedule in the past");
+  events_.push(Event{std::max(t, now_), next_seq_++, std::move(fn)});
+}
+
+void Simulator::After(SimTime delay, std::function<void()> fn) {
+  At(now_ + std::max<SimTime>(delay, 0), std::move(fn));
+}
+
+uint64_t Simulator::Run() {
+  uint64_t processed = 0;
+  while (!events_.empty()) {
+    Event event = std::move(const_cast<Event&>(events_.top()));
+    events_.pop();
+    now_ = event.time;
+    event.fn();
+    ++processed;
+  }
+  return processed;
+}
+
+uint64_t Simulator::RunUntil(SimTime t) {
+  uint64_t processed = 0;
+  while (!events_.empty() && events_.top().time <= t) {
+    Event event = std::move(const_cast<Event&>(events_.top()));
+    events_.pop();
+    now_ = event.time;
+    event.fn();
+    ++processed;
+  }
+  now_ = std::max(now_, t);
+  return processed;
+}
+
+void FcfsQueue::Submit(SimTime service_time,
+                       std::function<void()> on_complete) {
+  waiting_.push_back(Job{service_time, std::move(on_complete)});
+  StartNext();
+}
+
+void FcfsQueue::StartNext() {
+  while (free_servers_ > 0 && !waiting_.empty()) {
+    Job job = std::move(waiting_.front());
+    waiting_.pop_front();
+    --free_servers_;
+    ++busy_;
+    busy_time_ += job.service_time;
+    auto on_complete = std::make_shared<std::function<void()>>(
+        std::move(job.on_complete));
+    sim_->After(job.service_time, [this, on_complete] {
+      ++free_servers_;
+      --busy_;
+      ++completed_;
+      (*on_complete)();
+      StartNext();
+    });
+  }
+}
+
+double PsCpu::RatePerJob() const {
+  int n = static_cast<int>(jobs_.size());
+  if (n == 0) return 0;
+  double rate = std::min(1.0, cores_ / static_cast<double>(n));
+  if (stretch_) {
+    double s = stretch_(n);
+    if (s > 1.0) rate /= s;
+  }
+  return rate;
+}
+
+void PsCpu::AdvanceTo(SimTime t) {
+  double rate = RatePerJob();
+  double elapsed = t - last_update_;
+  if (elapsed > 0 && rate > 0) {
+    for (Job& job : jobs_) {
+      job.remaining -= elapsed * rate;
+      work_done_ += elapsed * rate;
+    }
+  }
+  last_update_ = t;
+}
+
+void PsCpu::ScheduleNextCompletion() {
+  ++epoch_;
+  if (jobs_.empty()) return;
+  double rate = RatePerJob();
+  if (rate <= 0) return;
+  double min_remaining = std::numeric_limits<double>::max();
+  for (const Job& job : jobs_) {
+    min_remaining = std::min(min_remaining, job.remaining);
+  }
+  min_remaining = std::max(min_remaining, 0.0);
+  uint64_t epoch = epoch_;
+  sim_->After(min_remaining / rate, [this, epoch] {
+    if (epoch != epoch_) return;  // stale: job set changed since scheduling
+    AdvanceTo(sim_->now());
+    // Complete every job that has (numerically) finished.
+    std::vector<std::function<void()>> callbacks;
+    for (size_t i = 0; i < jobs_.size();) {
+      if (jobs_[i].remaining <= 1e-12) {
+        callbacks.push_back(std::move(jobs_[i].on_complete));
+        jobs_[i] = std::move(jobs_.back());
+        jobs_.pop_back();
+        ++completed_;
+      } else {
+        ++i;
+      }
+    }
+    ScheduleNextCompletion();
+    for (auto& cb : callbacks) cb();
+  });
+}
+
+void PsCpu::Submit(double demand, std::function<void()> on_complete) {
+  AdvanceTo(sim_->now());
+  jobs_.push_back(Job{std::max(demand, 0.0), std::move(on_complete),
+                      next_job_id_++});
+  ScheduleNextCompletion();
+}
+
+}  // namespace hedc::sim

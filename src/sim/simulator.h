@@ -1,0 +1,156 @@
+// Discrete-event simulation engine.
+//
+// Substitute for the paper's 100-machine test bed (DESIGN.md §2): a
+// virtual-time event loop plus the two queueing resources the evaluation
+// needs — FCFS multi-server stations (database, disks, DM operation
+// pipelines) and processor-sharing CPUs (web/application-logic nodes,
+// IDL hosts).
+#ifndef HEDC_SIM_SIMULATOR_H_
+#define HEDC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace hedc::sim {
+
+using SimTime = double;  // virtual seconds
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Schedules `fn` at absolute time `t` (>= now).
+  void At(SimTime t, std::function<void()> fn);
+  // Schedules `fn` after `delay` seconds.
+  void After(SimTime delay, std::function<void()> fn);
+
+  // Runs until the event queue drains. Returns events processed.
+  uint64_t Run();
+  // Runs until virtual time `t` (events at exactly t are processed).
+  uint64_t RunUntil(SimTime t);
+
+  bool empty() const { return events_.empty(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;  // FIFO tie-break
+    std::function<void()> fn;
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+};
+
+// First-come-first-served station with `servers` identical servers.
+class FcfsQueue {
+ public:
+  FcfsQueue(Simulator* sim, int servers)
+      : sim_(sim), free_servers_(servers) {}
+
+  // Enqueues a job needing `service_time`; `on_complete` fires when done.
+  void Submit(SimTime service_time, std::function<void()> on_complete);
+
+  int queue_length() const { return static_cast<int>(waiting_.size()); }
+  int busy_servers() const { return busy_; }
+  uint64_t completed() const { return completed_; }
+  SimTime busy_time() const { return busy_time_; }  // aggregate service time
+
+ private:
+  struct Job {
+    SimTime service_time;
+    std::function<void()> on_complete;
+  };
+  void StartNext();
+
+  Simulator* sim_;
+  int free_servers_;
+  int busy_ = 0;
+  std::deque<Job> waiting_;
+  uint64_t completed_ = 0;
+  SimTime busy_time_ = 0;
+};
+
+// Processor-sharing CPU with `cores` cores: n concurrent jobs each
+// progress at rate min(1, cores/n). An optional stretch function models
+// concurrency-dependent overhead (memory pressure, context switching):
+// the *demand* of a job is fixed at submit time by the caller; the
+// per-job service rate is divided by stretch(n).
+class PsCpu {
+ public:
+  PsCpu(Simulator* sim, double cores)
+      : sim_(sim), cores_(cores) {}
+
+  // stretch(n) >= 1; applied to the rate while n jobs are active.
+  void SetStretchFunction(std::function<double(int)> stretch) {
+    stretch_ = std::move(stretch);
+  }
+
+  void Submit(double demand, std::function<void()> on_complete);
+
+  int active_jobs() const { return static_cast<int>(jobs_.size()); }
+  uint64_t completed() const { return completed_; }
+  // Fraction of capacity used so far (integral of rate / cores / elapsed).
+  double utilization(SimTime elapsed) const {
+    return elapsed > 0 ? work_done_ / (cores_ * elapsed) : 0;
+  }
+
+ private:
+  struct Job {
+    double remaining;
+    std::function<void()> on_complete;
+    uint64_t id;
+  };
+
+  double RatePerJob() const;
+  void AdvanceTo(SimTime t);
+  void ScheduleNextCompletion();
+
+  Simulator* sim_;
+  double cores_;
+  std::function<double(int)> stretch_;
+  std::vector<Job> jobs_;
+  SimTime last_update_ = 0;
+  uint64_t epoch_ = 0;  // invalidates stale completion events
+  uint64_t next_job_id_ = 0;
+  uint64_t completed_ = 0;
+  double work_done_ = 0;
+};
+
+// Streaming mean/min/max accumulator for sojourn times etc.
+class Accumulator {
+ public:
+  void Add(double value) {
+    ++count_;
+    sum_ += value;
+    if (count_ == 1 || value < min_) min_ = value;
+    if (count_ == 1 || value > max_) max_ = value;
+  }
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? sum_ / static_cast<double>(count_) : 0; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace hedc::sim
+
+#endif  // HEDC_SIM_SIMULATOR_H_

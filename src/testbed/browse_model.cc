@@ -1,0 +1,116 @@
+#include "testbed/browse_model.h"
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace hedc::testbed {
+
+double CpuDemandPerRequest(const BrowseCalibration& calibration,
+                           double sessions_per_node) {
+  double demand = calibration.base_cpu_seconds;
+  double over = sessions_per_node - calibration.thrash_knee_sessions;
+  if (over > 0) {
+    demand += calibration.thrash_coefficient *
+              std::pow(over, calibration.thrash_exponent);
+  }
+  return demand;
+}
+
+namespace {
+
+struct Model {
+  sim::Simulator simulator;
+  std::unique_ptr<sim::FcfsQueue> dbms;
+  std::vector<std::unique_ptr<sim::PsCpu>> nodes;
+  const BrowseCalibration* calibration;
+  double warmup_end = 0;
+  int64_t completed = 0;           // after warmup
+  int64_t db_queries_after_warmup = 0;
+  sim::Accumulator response_times;
+
+  // One closed-loop client pinned to a node.
+  void StartClient(int node_index, double cpu_demand) {
+    IssueRequest(node_index, cpu_demand);
+  }
+
+  void IssueRequest(int node_index, double cpu_demand) {
+    double start = simulator.now();
+    // Network to the web server, then application-logic CPU.
+    simulator.After(calibration->network_seconds, [this, node_index,
+                                                   cpu_demand, start] {
+      nodes[node_index]->Submit(cpu_demand, [this, node_index, cpu_demand,
+                                             start] {
+        RunQueries(node_index, cpu_demand, start,
+                   calibration->queries_per_request);
+      });
+    });
+  }
+
+  void RunQueries(int node_index, double cpu_demand, double start,
+                  int remaining) {
+    if (remaining == 0) {
+      // Response back to the client; it immediately issues the next
+      // request (zero think time, §7.2).
+      simulator.After(calibration->network_seconds, [this, node_index,
+                                                     cpu_demand, start] {
+        if (simulator.now() >= warmup_end) {
+          ++completed;
+          response_times.Add(simulator.now() - start);
+        }
+        IssueRequest(node_index, cpu_demand);
+      });
+      return;
+    }
+    dbms->Submit(calibration->db_query_seconds,
+                 [this, node_index, cpu_demand, start, remaining] {
+                   if (simulator.now() >= warmup_end) {
+                     ++db_queries_after_warmup;
+                   }
+                   RunQueries(node_index, cpu_demand, start, remaining - 1);
+                 });
+  }
+};
+
+}  // namespace
+
+BrowseResult RunBrowse(int clients, int nodes, double sim_seconds,
+                       const BrowseCalibration& calibration) {
+  Model model;
+  model.calibration = &calibration;
+  model.dbms = std::make_unique<sim::FcfsQueue>(&model.simulator, 1);
+  for (int n = 0; n < nodes; ++n) {
+    model.nodes.push_back(std::make_unique<sim::PsCpu>(
+        &model.simulator, calibration.node_cores));
+  }
+  double warmup = sim_seconds / 5.0;
+  model.warmup_end = warmup;
+
+  // Spread clients evenly; each node's per-request CPU demand reflects
+  // its session population (thrashing model).
+  std::vector<int> sessions_per_node(nodes, 0);
+  for (int c = 0; c < clients; ++c) ++sessions_per_node[c % nodes];
+  for (int c = 0; c < clients; ++c) {
+    int node = c % nodes;
+    double demand = CpuDemandPerRequest(
+        calibration, static_cast<double>(sessions_per_node[node]));
+    model.StartClient(node, demand);
+  }
+
+  model.simulator.RunUntil(warmup + sim_seconds);
+
+  BrowseResult result;
+  result.completed_requests = model.completed;
+  result.throughput_rps =
+      static_cast<double>(model.completed) / sim_seconds;
+  result.db_queries_per_sec =
+      static_cast<double>(model.db_queries_after_warmup) / sim_seconds;
+  result.mean_response_sec = model.response_times.mean();
+  result.db_utilization = result.db_queries_per_sec *
+                          calibration.db_query_seconds;
+  return result;
+}
+
+}  // namespace hedc::testbed

@@ -1,0 +1,60 @@
+// Progressive wavelet codec.
+//
+// Coefficients are quantized and stored in decreasing-magnitude order, so
+// any prefix of the stream reconstructs the best possible approximation
+// for that byte budget ("the client works on approximated and aggregated
+// versions of the original data", §6.3). Decoding with fraction = 1.0 is
+// lossless up to quantization.
+#ifndef HEDC_WAVELET_CODEC_H_
+#define HEDC_WAVELET_CODEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/status.h"
+
+namespace hedc::wavelet {
+
+struct CodecOptions {
+  // Quantization step: coefficients are stored as round(c / step).
+  // Smaller = more fidelity, larger stream.
+  double quant_step = 1e-6;
+  // Coefficients with |c| < threshold are dropped entirely.
+  double threshold = 0.0;
+};
+
+// Encodes `signal` (any length; padded internally): Haar transform,
+// threshold, quantize, magnitude-order.
+std::vector<uint8_t> EncodeSignal(const std::vector<double>& signal,
+                                  const CodecOptions& options = {});
+
+// Decodes using roughly the first `fraction` (0..1] of the coefficient
+// stream. fraction >= 1 uses everything.
+Result<std::vector<double>> DecodeSignal(const std::vector<uint8_t>& stream,
+                                         double fraction = 1.0);
+
+// Number of coefficients retained in the stream (post-threshold).
+Result<size_t> CoefficientCount(const std::vector<uint8_t>& stream);
+
+// Relative L2 error between two signals (||a-b|| / ||a||; 0 when a == 0).
+double RelativeL2Error(const std::vector<double>& reference,
+                       const std::vector<double>& approximation);
+
+// --- 2-D progressive codec (image previews in the StreamCorder) --------
+
+// Encodes a row-major `width` x `height` image (any dimensions; padded to
+// powers of two internally) with the 2-D Haar transform and the same
+// magnitude-ordered coefficient stream as EncodeSignal.
+std::vector<uint8_t> EncodeImage2d(const std::vector<double>& pixels,
+                                   size_t width, size_t height,
+                                   const CodecOptions& options = {});
+
+// Decodes the first `fraction` of the coefficients; returns the pixels
+// and writes the dimensions.
+Result<std::vector<double>> DecodeImage2d(const std::vector<uint8_t>& stream,
+                                          double fraction, size_t* width,
+                                          size_t* height);
+
+}  // namespace hedc::wavelet
+
+#endif  // HEDC_WAVELET_CODEC_H_

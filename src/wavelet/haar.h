@@ -1,0 +1,36 @@
+// Orthonormal Haar wavelet transforms (1-D and 2-D).
+//
+// §3.4/§6.3: raw data is pre-processed into wavelet-compressed
+// range-partitioned views; clients reconstruct approximations from a
+// coefficient prefix. The orthonormal normalization keeps L2 energy, so
+// truncating small coefficients bounds reconstruction error.
+#ifndef HEDC_WAVELET_HAAR_H_
+#define HEDC_WAVELET_HAAR_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace hedc::wavelet {
+
+// Rounds up to the next power of two (min 1).
+size_t NextPow2(size_t n);
+
+// Forward multi-level transform. Input length must be a power of two;
+// use PadToPow2 first otherwise. `levels` = 0 means full decomposition.
+void HaarForward(std::vector<double>* data, int levels = 0);
+
+// Inverse of HaarForward with the same `levels`.
+void HaarInverse(std::vector<double>* data, int levels = 0);
+
+// Pads with the last value (step extension) to the next power of two;
+// returns the original length.
+size_t PadToPow2(std::vector<double>* data);
+
+// 2-D transform on row-major `rows` x `cols` data (both powers of two):
+// standard decomposition (full 1-D transform on rows, then columns).
+void Haar2dForward(std::vector<double>* data, size_t rows, size_t cols);
+void Haar2dInverse(std::vector<double>* data, size_t rows, size_t cols);
+
+}  // namespace hedc::wavelet
+
+#endif  // HEDC_WAVELET_HAAR_H_

@@ -1,0 +1,37 @@
+#include "web/http.h"
+
+#include "core/strings.h"
+
+namespace hedc::web {
+
+std::map<std::string, std::string> ParseQueryString(const std::string& qs) {
+  std::map<std::string, std::string> out;
+  for (const std::string& pair : Split(qs, '&')) {
+    if (pair.empty()) continue;
+    size_t eq = pair.find('=');
+    std::string key = eq == std::string::npos ? pair : pair.substr(0, eq);
+    std::string value = eq == std::string::npos ? "" : pair.substr(eq + 1);
+    for (char& c : value) {
+      if (c == '+') c = ' ';
+    }
+    out[key] = value;
+  }
+  return out;
+}
+
+HttpRequest MakeRequest(const std::string& url, const std::string& client_ip,
+                        const std::string& cookie) {
+  HttpRequest request;
+  request.client_ip = client_ip;
+  size_t q = url.find('?');
+  if (q == std::string::npos) {
+    request.path = url;
+  } else {
+    request.path = url.substr(0, q);
+    request.query = ParseQueryString(url.substr(q + 1));
+  }
+  if (!cookie.empty()) request.cookies["hedc_session"] = cookie;
+  return request;
+}
+
+}  // namespace hedc::web

@@ -1,0 +1,577 @@
+// Standard servlets: login/logout, catalog browsing, HLE pages, analysis
+// pages, image download, analysis submission.
+#include <memory>
+
+#include "analysis/product.h"
+#include "core/strings.h"
+#include "dm/predefined_queries.h"
+#include "dm/process_layer.h"
+#include "wavelet/views.h"
+#include "web/web_server.h"
+
+namespace hedc::web {
+
+namespace {
+
+// Shared page templates (static text + dynamic slots, §6.1).
+constexpr const char kPageHeader[] =
+    "<html><head><title>{{title}} - HEDC</title>"
+    "<link rel='stylesheet' href='/static/hedc.css'></head><body>"
+    "<img src='/static/logo.gif' alt='HEDC'>"
+    "<h1>{{title}}</h1><div class='nav'><a href='/catalog?name=standard'>"
+    "standard catalog</a></div>";
+
+constexpr const char kPageFooter[] =
+    "<div class='footer'>RHESSI Experimental Data Center</div>"
+    "</body></html>";
+
+constexpr const char kHleTemplate[] =
+    "<div class='hle'><h2>HLE {{hle_id}} ({{event_type}})</h2>"
+    "<table><tr><td>time</td><td>{{t_start}} .. {{t_end}} s</td></tr>"
+    "<tr><td>energy</td><td>{{e_min}} .. {{e_max}} keV</td></tr>"
+    "<tr><td>peak rate</td><td>{{peak_rate}} /s</td></tr>"
+    "<tr><td>photons</td><td>{{photon_count}}</td></tr>"
+    "<tr><td>calibration</td><td>v{{calibration}}</td></tr></table>"
+    "<p>{{analysis_count}} analyses, {{catalog_count}} catalog entries</p>";
+
+constexpr const char kAnaRowTemplate[] =
+    "{{#analyses}}<div class='ana'><a href='/ana?id={{ana_id}}'>"
+    "{{routine}}</a> <span class='params'>{{parameters}}</span> "
+    "<img src='/image?item={{image_item}}' width='128'></div>{{/analyses}}";
+
+std::string RenderPage(const std::string& title, const std::string& inner) {
+  TemplateContext header_ctx;
+  header_ctx.Set("title", title);
+  std::string out =
+      RenderTemplate(kPageHeader, header_ctx).value_or("<html><body>");
+  out += inner;
+  out += kPageFooter;
+  return out;
+}
+
+dm::Session BrowseSession(dm::DataManager* dm, WebServer* server,
+                          const HttpRequest& request,
+                          dm::SessionKind kind) {
+  dm::UserProfile profile = server->ProfileFor(request);
+  Result<dm::Session> session = dm->sessions().GetOrCreate(
+      profile, request.client_ip, request.GetCookie("hedc_session"), kind);
+  return session.ok() ? session.value() : dm::Session{};
+}
+
+class LoginServlet : public Servlet {
+ public:
+  HttpResponse Handle(const HttpRequest& request, dm::DataManager* dm,
+                      WebServer* server) override {
+    std::string user = request.GetQuery("user");
+    std::string password = request.GetQuery("password");
+    if (user.empty()) return HttpResponse::BadRequest("user required");
+    Result<dm::UserProfile> profile =
+        dm->users().Authenticate(user, password);
+    if (!profile.ok()) {
+      return HttpResponse::Forbidden(profile.status().ToString());
+    }
+    HttpResponse response;
+    std::string token = server->IssueToken(profile.value());
+    response.set_cookies["hedc_session"] = token;
+    response.body = RenderPage(
+        "Welcome", "<p>Logged in as " + HtmlEscape(user) + "</p>");
+    return response;
+  }
+};
+
+class LogoutServlet : public Servlet {
+ public:
+  HttpResponse Handle(const HttpRequest& request, dm::DataManager* dm,
+                      WebServer* server) override {
+    std::string token = request.GetCookie("hedc_session");
+    server->RevokeToken(token);
+    dm->sessions().Invalidate(request.client_ip, token);
+    HttpResponse response;
+    response.body = RenderPage("Goodbye", "<p>Logged out.</p>");
+    return response;
+  }
+};
+
+class CatalogServlet : public Servlet {
+ public:
+  HttpResponse Handle(const HttpRequest& request, dm::DataManager* dm,
+                      WebServer* server) override {
+    dm::Session session =
+        BrowseSession(dm, server, request, dm::SessionKind::kCatalog);
+    std::string name = request.GetQuery("name", "standard");
+    Result<dm::CatalogRecord> catalog =
+        dm->semantics().GetCatalogByName(session, name);
+    if (!catalog.ok()) return HttpResponse::NotFound("catalog " + name);
+    Result<std::vector<int64_t>> hles = dm->semantics().ListCatalogHles(
+        session, catalog.value().catalog_id);
+    if (!hles.ok()) return HttpResponse::NotFound(hles.status().ToString());
+
+    TemplateContext ctx;
+    for (int64_t hle_id : hles.value()) {
+      TemplateContext& row = ctx.AddRow("hles");
+      row.Set("hle_id", std::to_string(hle_id));
+    }
+    std::string list =
+        RenderTemplate("<ul>{{#hles}}<li><a href='/hle?id={{hle_id}}'>HLE "
+                       "{{hle_id}}</a></li>{{/hles}}</ul>",
+                       ctx)
+            .value_or("");
+    return HttpResponse{
+        200, "text/html",
+        RenderPage("Catalog " + name,
+                   StrFormat("<p>%zu events</p>", hles.value().size()) +
+                       list),
+        {}, {}};
+  }
+};
+
+// The §6.1 workload: HLE header/footer + one analysis template per ANA;
+// ~7 DB queries per page (HLE fetch, analyses list, two count queries,
+// session/image lookups).
+class HlePageServlet : public Servlet {
+ public:
+  HttpResponse Handle(const HttpRequest& request, dm::DataManager* dm,
+                      WebServer* server) override {
+    dm::Session session =
+        BrowseSession(dm, server, request, dm::SessionKind::kHle);
+    int64_t hle_id = 0;
+    if (!ParseInt64(request.GetQuery("id"), &hle_id)) {
+      return HttpResponse::BadRequest("id required");
+    }
+    Result<dm::HleRecord> hle = dm->semantics().GetHle(session, hle_id);
+    if (!hle.ok()) {
+      return HttpResponse::NotFound(StrFormat("HLE %lld",
+                                              (long long)hle_id));
+    }
+    Result<std::vector<dm::AnaRecord>> analyses =
+        dm->semantics().ListAnalyses(session, hle_id);
+    if (!analyses.ok()) {
+      return HttpResponse::NotFound(analyses.status().ToString());
+    }
+    // Count queries (full workload shape: "two are count queries").
+    dm::QuerySpec ana_count("ana");
+    ana_count.CountOnly().Where("hle_id", dm::CondOp::kEq,
+                                db::Value::Int(hle_id));
+    Result<db::ResultSet> n_ana = dm->io().Query(ana_count);
+    dm::QuerySpec member_count("catalog_members");
+    member_count.CountOnly().Where("hle_id", dm::CondOp::kEq,
+                                   db::Value::Int(hle_id));
+    Result<db::ResultSet> n_members = dm->io().Query(member_count);
+
+    const dm::HleRecord& record = hle.value();
+    TemplateContext ctx;
+    ctx.Set("hle_id", std::to_string(record.hle_id));
+    ctx.Set("event_type", record.event_type);
+    ctx.Set("t_start", StrFormat("%.2f", record.t_start));
+    ctx.Set("t_end", StrFormat("%.2f", record.t_end));
+    ctx.Set("e_min", StrFormat("%.1f", record.e_min));
+    ctx.Set("e_max", StrFormat("%.1f", record.e_max));
+    ctx.Set("peak_rate", StrFormat("%.1f", record.peak_rate));
+    ctx.Set("photon_count", std::to_string(record.photon_count));
+    ctx.Set("calibration", std::to_string(record.calibration_version));
+    ctx.Set("analysis_count",
+            n_ana.ok() ? n_ana.value().rows[0][0].AsText() : "0");
+    ctx.Set("catalog_count",
+            n_members.ok() ? n_members.value().rows[0][0].AsText() : "0");
+    std::string inner = RenderTemplate(kHleTemplate, ctx).value_or("");
+
+    TemplateContext list_ctx;
+    for (const dm::AnaRecord& ana : analyses.value()) {
+      TemplateContext& row = list_ctx.AddRow("analyses");
+      row.Set("ana_id", std::to_string(ana.ana_id));
+      row.Set("routine", ana.routine);
+      row.Set("parameters", ana.parameters);
+      row.Set("image_item", std::to_string(2000000000 + ana.ana_id));
+    }
+    inner += RenderTemplate(kAnaRowTemplate, list_ctx).value_or("");
+    return HttpResponse{200, "text/html",
+                        RenderPage(StrFormat("HLE %lld", (long long)hle_id),
+                                   inner),
+                        {}, {}};
+  }
+};
+
+class AnaPageServlet : public Servlet {
+ public:
+  HttpResponse Handle(const HttpRequest& request, dm::DataManager* dm,
+                      WebServer* server) override {
+    dm::Session session =
+        BrowseSession(dm, server, request, dm::SessionKind::kAnalysis);
+    int64_t ana_id = 0;
+    if (!ParseInt64(request.GetQuery("id"), &ana_id)) {
+      return HttpResponse::BadRequest("id required");
+    }
+    Result<dm::AnaRecord> ana = dm->semantics().GetAna(session, ana_id);
+    if (!ana.ok()) {
+      return HttpResponse::NotFound(StrFormat("ANA %lld",
+                                              (long long)ana_id));
+    }
+    const dm::AnaRecord& record = ana.value();
+    std::string inner = StrFormat(
+        "<div class='ana-detail'><h2>%s on HLE %lld</h2>"
+        "<p>parameters: %s</p><p>status: %s</p>"
+        "<img src='/image?item=%lld'>"
+        "<pre class='log'>%s</pre>"
+        "<p><a href='/hle?id=%lld'>back to HLE</a></p></div>",
+        HtmlEscape(record.routine).c_str(), (long long)record.hle_id,
+        HtmlEscape(record.parameters).c_str(),
+        HtmlEscape(record.status).c_str(),
+        (long long)(2000000000 + record.ana_id),
+        HtmlEscape(record.log_excerpt).c_str(), (long long)record.hle_id);
+    return HttpResponse{
+        200, "text/html",
+        RenderPage(StrFormat("Analysis %lld", (long long)ana_id), inner),
+        {}, {}};
+  }
+};
+
+class ImageServlet : public Servlet {
+ public:
+  HttpResponse Handle(const HttpRequest& request, dm::DataManager* dm,
+                      WebServer*) override {
+    int64_t item_id = 0;
+    if (!ParseInt64(request.GetQuery("item"), &item_id)) {
+      return HttpResponse::BadRequest("item required");
+    }
+    Result<std::vector<uint8_t>> bytes = dm->io().ReadItemFile(item_id);
+    if (!bytes.ok()) {
+      return HttpResponse::NotFound(StrFormat("image item %lld",
+                                              (long long)item_id));
+    }
+    HttpResponse response;
+    response.content_type = "image/gif";
+    response.binary_body = std::move(bytes).value();
+    return response;
+  }
+};
+
+// Analysis submission: checks rights, reuses an existing identical
+// analysis when present (§3.5), else drives the PL request workflow.
+class AnalyzeServlet : public Servlet {
+ public:
+  HttpResponse Handle(const HttpRequest& request, dm::DataManager* dm,
+                      WebServer* server) override {
+    dm::Session session =
+        BrowseSession(dm, server, request, dm::SessionKind::kAnalysis);
+    if (!session.profile.can_analyze) {
+      return HttpResponse::Forbidden("analysis rights required");
+    }
+    int64_t hle_id = 0;
+    if (!ParseInt64(request.GetQuery("hle_id"), &hle_id)) {
+      return HttpResponse::BadRequest("hle_id required");
+    }
+    std::string routine = request.GetQuery("routine", "lightcurve");
+    Result<dm::HleRecord> hle = dm->semantics().GetHle(session, hle_id);
+    if (!hle.ok()) {
+      return HttpResponse::NotFound(StrFormat("HLE %lld",
+                                              (long long)hle_id));
+    }
+    analysis::AnalysisParams params;
+    for (const auto& [key, value] : request.query) {
+      if (key != "hle_id" && key != "routine") params.Set(key, value);
+    }
+    // The analysis window is part of the request identity.
+    params.SetDouble("t_start", hle.value().t_start);
+    params.SetDouble("t_end", hle.value().t_end);
+
+    // Overlap detection: offer the precomputed result.
+    Result<std::optional<dm::AnaRecord>> existing =
+        dm->semantics().FindExistingAnalysis(session, hle_id, routine,
+                                             params.Canonical());
+    if (existing.ok() && existing.value().has_value()) {
+      HttpResponse response;
+      response.body = RenderPage(
+          "Analysis exists",
+          StrFormat("<p>Identical analysis already available: "
+                    "<a href='/ana?id=%lld'>ANA %lld</a></p>",
+                    (long long)existing.value()->ana_id,
+                    (long long)existing.value()->ana_id));
+      return response;
+    }
+
+    if (server->frontend() == nullptr) {
+      return HttpResponse::NotFound("processing logic not attached");
+    }
+    // Fetch the raw photons of the event's unit and window them.
+    Result<std::vector<uint8_t>> packed =
+        dm->io().ReadItemFile(hle.value().unit_id);
+    if (!packed.ok()) {
+      return HttpResponse::NotFound("raw unit unavailable: " +
+                                    packed.status().ToString());
+    }
+    Result<rhessi::RawDataUnit> unit =
+        rhessi::RawDataUnit::Unpack(packed.value());
+    if (!unit.ok()) {
+      return HttpResponse::NotFound(unit.status().ToString());
+    }
+
+    pl::ProcessingRequest processing;
+    processing.hle_id = hle_id;
+    processing.routine = routine;
+    processing.params = params;
+    processing.photons = std::move(unit.value().photons);
+    Result<int64_t> id = server->frontend()->Submit(std::move(processing));
+    if (!id.ok()) return HttpResponse::NotFound(id.status().ToString());
+    pl::RequestOutcome outcome = server->frontend()->Wait(id.value());
+    if (outcome.state != pl::RequestState::kCommitted &&
+        outcome.state != pl::RequestState::kDelivered) {
+      return HttpResponse::NotFound("analysis failed: " +
+                                    outcome.status.ToString());
+    }
+    HttpResponse response;
+    response.body = RenderPage(
+        "Analysis complete",
+        StrFormat("<p>%s finished; result stored as "
+                  "<a href='/ana?id=%lld'>ANA %lld</a></p>",
+                  HtmlEscape(routine).c_str(),
+                  (long long)outcome.committed_ana_id,
+                  (long long)outcome.committed_ana_id));
+    return response;
+  }
+};
+
+// The "visual tools to graphically render the search space" (§1):
+// density and extent plots over the visible HLEs, returned as rendered
+// images (interactive database visualization, §6.3).
+class ExploreServlet : public Servlet {
+ public:
+  HttpResponse Handle(const HttpRequest& request, dm::DataManager* dm,
+                      WebServer* server) override {
+    dm::Session session =
+        BrowseSession(dm, server, request, dm::SessionKind::kCatalog);
+    double t_lo = 0, t_hi = 1e12;
+    ParseDouble(request.GetQuery("t_lo", "0"), &t_lo);
+    ParseDouble(request.GetQuery("t_hi", "1000000000000"), &t_hi);
+    int64_t bins = 32;
+    ParseInt64(request.GetQuery("bins", "32"), &bins);
+    bins = std::clamp<int64_t>(bins, 4, 512);
+
+    Result<std::vector<dm::HleRecord>> hles =
+        dm->semantics().ListHles(session, t_lo, t_hi);
+    if (!hles.ok()) return HttpResponse::NotFound(hles.status().ToString());
+    std::vector<std::pair<double, double>> points;
+    double max_energy = 1;
+    double max_time = t_lo + 1;
+    for (const dm::HleRecord& hle : hles.value()) {
+      points.emplace_back(hle.t_start, hle.peak_energy);
+      max_energy = std::max(max_energy, hle.peak_energy * 1.01);
+      max_time = std::max(max_time, hle.t_start * 1.01);
+    }
+    double hi = std::min(t_hi, max_time);
+    wavelet::DensityPlot density = wavelet::BuildDensityPlot(
+        points, static_cast<size_t>(bins), static_cast<size_t>(bins), t_lo,
+        hi, 0, max_energy);
+
+    if (request.GetQuery("format") == "image") {
+      analysis::Image image;
+      image.width = density.x_bins;
+      image.height = density.y_bins;
+      image.pixels = density.counts;
+      HttpResponse response;
+      response.content_type = "image/gif";
+      response.binary_body = analysis::RenderImage(image);
+      return response;
+    }
+    // HTML summary: per-cluster extents.
+    auto extents = wavelet::BuildExtentPlot(
+        points, static_cast<size_t>(bins), t_lo, hi, 0, max_energy);
+    TemplateContext ctx;
+    for (const wavelet::Extent& e : extents) {
+      TemplateContext& row = ctx.AddRow("extents");
+      row.Set("t_lo", StrFormat("%.1f", e.x_lo));
+      row.Set("t_hi", StrFormat("%.1f", e.x_hi));
+      row.Set("e_lo", StrFormat("%.1f", e.y_lo));
+      row.Set("e_hi", StrFormat("%.1f", e.y_hi));
+      row.Set("n", std::to_string(e.tuple_count));
+    }
+    std::string table =
+        RenderTemplate(
+            "<img src='/explore?format=image&t_lo={{t_lo}}&t_hi={{t_hi}}'>"
+            "<table><tr><th>time</th><th>energy</th><th>events</th></tr>"
+            "{{#extents}}<tr><td>{{t_lo}}..{{t_hi}} s</td>"
+            "<td>{{e_lo}}..{{e_hi}}</td><td>{{n}}</td></tr>{{/extents}}"
+            "</table>",
+            ctx)
+            .value_or("");
+    return HttpResponse{
+        200, "text/html",
+        RenderPage("Explore",
+                   StrFormat("<p>%zu events, %zu clusters</p>",
+                             points.size(), extents.size()) +
+                       table),
+        {}, {}};
+  }
+};
+
+// Predefined queries (§1): run a vetted named query with parameters
+// q0, q1, ... bound positionally.
+class QueryServlet : public Servlet {
+ public:
+  HttpResponse Handle(const HttpRequest& request, dm::DataManager* dm,
+                      WebServer* server) override {
+    dm::Session session =
+        BrowseSession(dm, server, request, dm::SessionKind::kCatalog);
+    std::string name = request.GetQuery("name");
+    if (name.empty()) return HttpResponse::BadRequest("name required");
+    dm::PredefinedQueryService service(dm->database());
+    std::vector<db::Value> params;
+    for (int i = 0;; ++i) {
+      std::string key = "q" + std::to_string(i);
+      if (request.query.count(key) == 0) break;
+      params.push_back(db::Value::Text(request.GetQuery(key)));
+    }
+    Result<db::ResultSet> rs = service.Run(session, name, params);
+    if (!rs.ok()) {
+      return rs.status().IsPermissionDenied()
+                 ? HttpResponse::Forbidden(rs.status().ToString())
+                 : HttpResponse::NotFound(rs.status().ToString());
+    }
+    TemplateContext ctx;
+    for (const db::Row& row : rs.value().rows) {
+      TemplateContext& out_row = ctx.AddRow("rows");
+      std::string line;
+      for (size_t i = 0; i < row.size(); ++i) {
+        if (i > 0) line += " | ";
+        line += row[i].AsText();
+      }
+      out_row.Set("line", line);
+    }
+    std::string header;
+    for (size_t i = 0; i < rs.value().columns.size(); ++i) {
+      if (i > 0) header += " | ";
+      header += rs.value().columns[i];
+    }
+    std::string body =
+        RenderTemplate("<pre>" + HtmlEscape(header) +
+                           "\n{{#rows}}{{line}}\n{{/rows}}</pre>",
+                       ctx)
+            .value_or("");
+    return HttpResponse{
+        200, "text/html",
+        RenderPage("Query " + name,
+                   StrFormat("<p>%zu rows</p>", rs.value().num_rows()) +
+                       body),
+        {}, {}};
+  }
+};
+
+// Admin status page: archives, usage statistics, operational state
+// ("monitoring information such as usage statistics or audit trails",
+// §4.1).
+class StatusServlet : public Servlet {
+ public:
+  HttpResponse Handle(const HttpRequest& request, dm::DataManager* dm,
+                      WebServer* server) override {
+    dm::UserProfile profile = server->ProfileFor(request);
+    if (!profile.is_super) {
+      return HttpResponse::Forbidden("status page requires a super account");
+    }
+    TemplateContext ctx;
+    ctx.Set("node", dm->name());
+    ctx.Set("requests",
+            std::to_string(dm->requests_handled()));
+    for (const archive::ArchiveManager::Info& info :
+         dm->io().archives()->ListArchives()) {
+      TemplateContext& row = ctx.AddRow("archives");
+      row.Set("id", std::to_string(info.archive_id));
+      row.Set("type", archive::ArchiveTypeName(info.type));
+      row.Set("root", info.root);
+      row.Set("online", info.online ? "online" : "OFFLINE");
+    }
+    Result<db::ResultSet> usage = dm->database()->Execute(
+        "SELECT operation, COUNT(*) FROM usage_stats GROUP BY operation");
+    if (usage.ok()) {
+      for (size_t i = 0; i < usage.value().num_rows(); ++i) {
+        TemplateContext& row = ctx.AddRow("usage");
+        row.Set("op", usage.value().rows[i][0].AsText());
+        row.Set("count", usage.value().rows[i][1].AsText());
+      }
+    }
+    std::string inner =
+        RenderTemplate(
+            "<h2>Node {{node}} ({{requests}} requests)</h2>"
+            "<h3>Archives</h3><ul>{{#archives}}<li>#{{id}} {{type}} "
+            "{{root}}: {{online}}</li>{{/archives}}</ul>"
+            "<h3>Usage</h3><ul>{{#usage}}<li>{{op}}: {{count}}</li>"
+            "{{/usage}}</ul>",
+            ctx)
+            .value_or("");
+    return HttpResponse{200, "text/html", RenderPage("Status", inner),
+                        {}, {}};
+  }
+};
+
+}  // namespace
+
+WebServer::WebServer(dm::DataManager* dm, pl::Frontend* frontend)
+    : dm_(dm), frontend_(frontend) {}
+
+void WebServer::RegisterStandardServlets() {
+  Register("/login", std::make_unique<LoginServlet>());
+  Register("/logout", std::make_unique<LogoutServlet>());
+  Register("/catalog", std::make_unique<CatalogServlet>());
+  Register("/hle", std::make_unique<HlePageServlet>());
+  Register("/ana", std::make_unique<AnaPageServlet>());
+  Register("/image", std::make_unique<ImageServlet>());
+  Register("/analyze", std::make_unique<AnalyzeServlet>());
+  Register("/explore", std::make_unique<ExploreServlet>());
+  Register("/query", std::make_unique<QueryServlet>());
+  Register("/status", std::make_unique<StatusServlet>());
+}
+
+void WebServer::Register(const std::string& path,
+                         std::unique_ptr<Servlet> servlet) {
+  servlets_[path] = std::move(servlet);
+}
+
+HttpResponse WebServer::Dispatch(const HttpRequest& request) {
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  auto it = servlets_.find(request.path);
+  if (it == servlets_.end()) {
+    return HttpResponse::NotFound("no servlet for " + request.path);
+  }
+  // Call redirection: the request may execute on a peer DM node (§5.4).
+  dm::DataManager* node = dm_->Route();
+  node->CountRequest();
+  Micros start = node->clock()->Now();
+  HttpResponse response = it->second->Handle(request, node, this);
+  if (record_usage_) {
+    // Operational section: usage statistics / audit trail (§4.1).
+    dm::UserProfile profile = ProfileFor(request);
+    node->io().Update(
+        "usage_stats", "INSERT INTO usage_stats VALUES (?, ?, ?, ?, ?)",
+        {db::Value::Int(stat_counter_.fetch_add(1)),
+         db::Value::Real(static_cast<double>(start) / kMicrosPerSecond),
+         db::Value::Int(profile.user_id), db::Value::Text(request.path),
+         db::Value::Real(
+             static_cast<double>(node->clock()->Now() - start) /
+             kMicrosPerMilli)});
+  }
+  return response;
+}
+
+dm::UserProfile WebServer::ProfileFor(const HttpRequest& request) {
+  std::string token = request.GetCookie("hedc_session");
+  if (!token.empty()) {
+    std::lock_guard<std::mutex> lock(token_mu_);
+    auto it = tokens_.find(token);
+    if (it != tokens_.end()) return it->second;
+  }
+  return dm::AnonymousUser();
+}
+
+std::string WebServer::IssueToken(const dm::UserProfile& profile) {
+  std::string token =
+      StrFormat("tok_%lld_%lld", (long long)profile.user_id,
+                (long long)token_counter_.fetch_add(1));
+  std::lock_guard<std::mutex> lock(token_mu_);
+  tokens_[token] = profile;
+  return token;
+}
+
+void WebServer::RevokeToken(const std::string& token) {
+  std::lock_guard<std::mutex> lock(token_mu_);
+  tokens_.erase(token);
+}
+
+}  // namespace hedc::web

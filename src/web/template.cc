@@ -1,0 +1,115 @@
+#include "web/template.h"
+
+namespace hedc::web {
+
+std::string HtmlEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Renders tmpl[pos, end) into *out; returns the position just past the
+// consumed input. `stop_tag` is the section close tag to stop at ("" for
+// top level).
+Result<size_t> RenderRange(const std::string& tmpl, size_t pos, size_t end,
+                           const TemplateContext& context,
+                           const std::string& stop_tag, std::string* out) {
+  while (pos < end) {
+    size_t open = tmpl.find("{{", pos);
+    if (open == std::string::npos || open >= end) {
+      if (!stop_tag.empty()) {
+        return Status::InvalidArgument("missing {{/" + stop_tag + "}}");
+      }
+      out->append(tmpl, pos, end - pos);
+      return end;
+    }
+    out->append(tmpl, pos, open - pos);
+    size_t close = tmpl.find("}}", open + 2);
+    if (close == std::string::npos || close + 2 > end) {
+      return Status::InvalidArgument("unterminated {{ tag");
+    }
+    std::string tag = tmpl.substr(open + 2, close - open - 2);
+    pos = close + 2;
+    if (tag.empty()) continue;
+    if (tag[0] == '/') {
+      std::string name = tag.substr(1);
+      if (name != stop_tag) {
+        return Status::InvalidArgument("unexpected closing tag {{/" + name +
+                                       "}}");
+      }
+      // Signal to the caller: consumed up to here.
+      *out += "";  // no-op; placement marker
+      return pos;
+    }
+    if (tag[0] == '#') {
+      std::string name = tag.substr(1);
+      // Find the body extent by rendering each row; the first row render
+      // discovers the end position.
+      auto section_it = context.sections.find(name);
+      size_t body_start = pos;
+      size_t after_section = 0;
+      if (section_it == context.sections.end() ||
+          section_it->second.empty()) {
+        // Render into a scratch buffer with an empty context just to
+        // locate the closing tag.
+        std::string scratch;
+        TemplateContext empty;
+        HEDC_ASSIGN_OR_RETURN(
+            after_section,
+            RenderRange(tmpl, body_start, end, empty, name, &scratch));
+      } else {
+        for (size_t row = 0; row < section_it->second.size(); ++row) {
+          HEDC_ASSIGN_OR_RETURN(
+              after_section,
+              RenderRange(tmpl, body_start, end, section_it->second[row],
+                          name, out));
+        }
+      }
+      pos = after_section;
+      continue;
+    }
+    bool raw = tag[0] == '&';
+    std::string name = raw ? tag.substr(1) : tag;
+    auto it = context.scalars.find(name);
+    if (it != context.scalars.end()) {
+      out->append(raw ? it->second : HtmlEscape(it->second));
+    }
+  }
+  if (!stop_tag.empty()) {
+    return Status::InvalidArgument("missing {{/" + stop_tag + "}}");
+  }
+  return pos;
+}
+
+}  // namespace
+
+Result<std::string> RenderTemplate(const std::string& tmpl,
+                                   const TemplateContext& context) {
+  std::string out;
+  HEDC_ASSIGN_OR_RETURN(size_t consumed,
+                        RenderRange(tmpl, 0, tmpl.size(), context, "", &out));
+  (void)consumed;
+  return out;
+}
+
+}  // namespace hedc::web

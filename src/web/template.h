@@ -1,0 +1,44 @@
+// HTML template engine (§6.1): "a response may involve a combination of
+// multiple HTML template files, which are populated during query
+// processing. Each template contains dynamic and static images, Java
+// Script, CSS style sheets and plain text."
+//
+// Syntax:
+//   {{name}}                 scalar substitution (HTML-escaped)
+//   {{&name}}                raw substitution (no escaping)
+//   {{#rows}} ... {{/rows}}  section repeated per row context
+// Unknown scalars render empty; unknown sections render zero times.
+#ifndef HEDC_WEB_TEMPLATE_H_
+#define HEDC_WEB_TEMPLATE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace hedc::web {
+
+struct TemplateContext {
+  std::map<std::string, std::string> scalars;
+  std::map<std::string, std::vector<TemplateContext>> sections;
+
+  void Set(const std::string& key, const std::string& value) {
+    scalars[key] = value;
+  }
+  TemplateContext& AddRow(const std::string& section) {
+    sections[section].emplace_back();
+    return sections[section].back();
+  }
+};
+
+// Escapes &, <, >, " for HTML bodies.
+std::string HtmlEscape(const std::string& text);
+
+// Renders `tmpl` against `context`. Fails on unbalanced sections.
+Result<std::string> RenderTemplate(const std::string& tmpl,
+                                   const TemplateContext& context);
+
+}  // namespace hedc::web
+
+#endif  // HEDC_WEB_TEMPLATE_H_

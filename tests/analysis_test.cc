@@ -1,0 +1,222 @@
+// Analysis routines and products.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/routine.h"
+#include "rhessi/telemetry.h"
+
+namespace hedc::analysis {
+namespace {
+
+rhessi::PhotonList MakePhotons(size_t n, double duration = 100.0) {
+  rhessi::PhotonList photons;
+  for (size_t i = 0; i < n; ++i) {
+    rhessi::PhotonEvent p;
+    p.time_sec = duration * static_cast<double>(i) / static_cast<double>(n);
+    p.energy_kev = 3.0f + static_cast<float>(i % 200);
+    p.detector = static_cast<uint8_t>(i % rhessi::kNumCollimators);
+    photons.push_back(p);
+  }
+  return photons;
+}
+
+TEST(ParamsTest, TypedAccessorsAndCanonical) {
+  AnalysisParams params;
+  params.SetDouble("t_start", 1.5);
+  params.SetInt("bins", 32);
+  params.Set("note", "x");
+  EXPECT_DOUBLE_EQ(params.GetDouble("t_start", 0), 1.5);
+  EXPECT_EQ(params.GetInt("bins", 0), 32);
+  EXPECT_EQ(params.Get("note"), "x");
+  EXPECT_EQ(params.GetInt("missing", -7), -7);
+  EXPECT_EQ(params.Canonical(), "bins=32;note=x;t_start=1.5");
+}
+
+TEST(RegistryTest, StandardRoutinesPresent) {
+  auto registry = CreateStandardRegistry();
+  auto names = registry->Names();
+  EXPECT_EQ(names.size(), 4u);
+  EXPECT_NE(registry->Get("imaging"), nullptr);
+  EXPECT_NE(registry->Get("lightcurve"), nullptr);
+  EXPECT_NE(registry->Get("spectrogram"), nullptr);
+  EXPECT_NE(registry->Get("histogram"), nullptr);
+  EXPECT_EQ(registry->Get("nonexistent"), nullptr);
+}
+
+class CountingRoutine : public AnalysisRoutine {
+ public:
+  std::string name() const override { return "user_counting"; }
+  Result<AnalysisProduct> Run(const rhessi::PhotonList& photons,
+                              const AnalysisParams&) const override {
+    AnalysisProduct p;
+    p.routine = name();
+    p.metadata["count"] = std::to_string(photons.size());
+    return p;
+  }
+  double EstimateWorkUnits(size_t n, const AnalysisParams&) const override {
+    return static_cast<double>(n);
+  }
+};
+
+TEST(RegistryTest, UserSubmittedRoutineRegisters) {
+  auto registry = CreateStandardRegistry();
+  registry->Register(std::make_unique<CountingRoutine>());
+  ASSERT_NE(registry->Get("user_counting"), nullptr);
+  auto product = registry->Get("user_counting")->Run(MakePhotons(5), {});
+  ASSERT_TRUE(product.ok());
+  EXPECT_EQ(product.value().metadata.at("count"), "5");
+}
+
+TEST(LightcurveTest, BinsCountsCorrectly) {
+  auto registry = CreateStandardRegistry();
+  rhessi::PhotonList photons = MakePhotons(1000, 100.0);  // 10/s uniform
+  AnalysisParams params;
+  params.SetDouble("bin_sec", 10.0);
+  auto r = registry->Get("lightcurve")->Run(photons, params);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_TRUE(r.value().series.has_value());
+  const Series& s = *r.value().series;
+  ASSERT_EQ(s.y.size(), 10u);
+  for (double count : s.y) EXPECT_NEAR(count, 100.0, 1.0);
+  EXPECT_FALSE(r.value().rendered.empty());
+}
+
+TEST(LightcurveTest, WindowSelection) {
+  auto registry = CreateStandardRegistry();
+  rhessi::PhotonList photons = MakePhotons(1000, 100.0);
+  AnalysisParams params;
+  params.SetDouble("t_start", 50.0);
+  params.SetDouble("t_end", 60.0);
+  auto r = registry->Get("lightcurve")->Run(photons, params);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().metadata.at("photons"), "100");
+}
+
+TEST(LightcurveTest, RejectsBadBin) {
+  auto registry = CreateStandardRegistry();
+  AnalysisParams params;
+  params.SetDouble("bin_sec", -1.0);
+  EXPECT_FALSE(registry->Get("lightcurve")->Run(MakePhotons(10), params).ok());
+}
+
+TEST(HistogramTest, TotalCountPreserved) {
+  auto registry = CreateStandardRegistry();
+  rhessi::PhotonList photons = MakePhotons(5000);
+  AnalysisParams params;
+  params.SetInt("bins", 32);
+  auto r = registry->Get("histogram")->Run(photons, params);
+  ASSERT_TRUE(r.ok());
+  double total = 0;
+  for (double y : r.value().series->y) total += y;
+  EXPECT_DOUBLE_EQ(total, 5000.0);
+}
+
+TEST(HistogramTest, RejectsBadBins) {
+  auto registry = CreateStandardRegistry();
+  AnalysisParams params;
+  params.SetInt("bins", 0);
+  EXPECT_FALSE(registry->Get("histogram")->Run(MakePhotons(10), params).ok());
+}
+
+TEST(SpectrogramTest, ProducesImageWithAllCounts) {
+  auto registry = CreateStandardRegistry();
+  rhessi::PhotonList photons = MakePhotons(2000);
+  AnalysisParams params;
+  params.SetInt("t_bins", 32);
+  params.SetInt("e_bins", 16);
+  auto r = registry->Get("spectrogram")->Run(photons, params);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.value().image.has_value());
+  const Image& img = *r.value().image;
+  EXPECT_EQ(img.width, 32u);
+  EXPECT_EQ(img.height, 16u);
+  EXPECT_DOUBLE_EQ(img.TotalFlux(), 2000.0);
+}
+
+TEST(ImagingTest, PointSourceReconstruction) {
+  // Photons whose arrival phases modulate consistently with a single
+  // source; back-projection should produce a peaked image.
+  auto registry = CreateStandardRegistry();
+  rhessi::TelemetryOptions options;
+  options.duration_sec = 40;
+  options.background_rate = 200;
+  options.flares_per_hour = 0;
+  options.grbs_per_hour = 0;
+  options.saa_per_hour = 0;
+  options.seed = 13;
+  rhessi::Telemetry t = rhessi::GenerateTelemetry(options);
+  AnalysisParams params;
+  params.SetInt("pixels", 16);
+  auto r = registry->Get("imaging")->Run(t.photons, params);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_TRUE(r.value().image.has_value());
+  EXPECT_EQ(r.value().image->width, 16u);
+  EXPECT_GT(r.value().image->MaxPixel(), 0.0);
+  EXPECT_FALSE(r.value().rendered.empty());
+}
+
+TEST(ImagingTest, CostScalesWithPixels) {
+  auto registry = CreateStandardRegistry();
+  const AnalysisRoutine* imaging = registry->Get("imaging");
+  AnalysisParams small, large;
+  small.SetInt("pixels", 16);
+  large.SetInt("pixels", 64);
+  EXPECT_GT(imaging->EstimateWorkUnits(1000, large),
+            10 * imaging->EstimateWorkUnits(1000, small));
+}
+
+TEST(ImagingTest, RejectsBadPixelCount) {
+  auto registry = CreateStandardRegistry();
+  AnalysisParams params;
+  params.SetInt("pixels", 100000);
+  EXPECT_FALSE(registry->Get("imaging")->Run(MakePhotons(10), params).ok());
+}
+
+TEST(RenderTest, ImageRoundTrip) {
+  Image img;
+  img.width = 8;
+  img.height = 4;
+  img.pixels.resize(32);
+  for (size_t i = 0; i < img.pixels.size(); ++i) {
+    img.pixels[i] = static_cast<double>(i);
+  }
+  auto parsed = ParseRenderedImage(RenderImage(img));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().width, 8u);
+  EXPECT_EQ(parsed.value().height, 4u);
+  // 8-bit quantization over range [0,31]: error <= range/255.
+  for (size_t i = 0; i < img.pixels.size(); ++i) {
+    EXPECT_NEAR(parsed.value().pixels[i], img.pixels[i], 31.0 / 255.0 + 1e-9);
+  }
+}
+
+TEST(RenderTest, ConstantImage) {
+  Image img;
+  img.width = 4;
+  img.height = 4;
+  img.pixels.assign(16, 3.0);
+  auto parsed = ParseRenderedImage(RenderImage(img));
+  ASSERT_TRUE(parsed.ok());
+  for (double p : parsed.value().pixels) EXPECT_DOUBLE_EQ(p, 3.0);
+}
+
+TEST(RenderTest, SeriesRenders) {
+  Series s;
+  for (int i = 0; i < 100; ++i) {
+    s.x.push_back(i);
+    s.y.push_back(std::sin(i * 0.1));
+  }
+  std::vector<uint8_t> bytes = RenderSeries(s);
+  EXPECT_FALSE(bytes.empty());
+  auto parsed = ParseRenderedImage(bytes);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().width, 256u);
+}
+
+TEST(RenderTest, BadBytesRejected) {
+  EXPECT_FALSE(ParseRenderedImage({1, 2, 3}).ok());
+}
+
+}  // namespace
+}  // namespace hedc::analysis

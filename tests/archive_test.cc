@@ -1,0 +1,348 @@
+// FITS-lite, hzip, archive backends and the name mapper.
+#include <gtest/gtest.h>
+
+#include "archive/archive.h"
+#include "archive/compression.h"
+#include "archive/fits.h"
+#include "archive/name_mapper.h"
+#include "core/rng.h"
+
+namespace hedc::archive {
+namespace {
+
+TEST(FitsTest, CardAccessors) {
+  FitsHdu hdu;
+  hdu.SetCard("TSTART", "12.5", "start time");
+  hdu.SetCard("NPHOTONS", "42", "");
+  EXPECT_DOUBLE_EQ(hdu.GetRealCard("tstart"), 12.5);  // case-insensitive
+  EXPECT_EQ(hdu.GetIntCard("NPHOTONS"), 42);
+  EXPECT_EQ(hdu.GetIntCard("MISSING", -1), -1);
+  hdu.SetCard("TSTART", "13.0", "updated");
+  EXPECT_DOUBLE_EQ(hdu.GetRealCard("TSTART"), 13.0);
+  ASSERT_EQ(hdu.cards.size(), 2u);  // update, not duplicate
+}
+
+TEST(FitsTest, SerializeParseRoundTrip) {
+  FitsFile fits;
+  fits.primary().SetCard("TELESCOP", "RHESSI", "instrument");
+  FitsHdu& data = fits.AddHdu("PHOTONS");
+  data.data = {1, 2, 3, 4, 5};
+  data.SetCard("ENCODING", "RAW", "");
+  FitsHdu& img = fits.AddHdu("IMAGE");
+  img.data.assign(1000, 7);
+
+  auto parsed = FitsFile::Parse(fits.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const FitsFile& f = parsed.value();
+  ASSERT_EQ(f.hdus().size(), 3u);
+  EXPECT_EQ(f.hdus()[0].FindCard("TELESCOP")->value, "RHESSI");
+  ASSERT_NE(f.FindHdu("PHOTONS"), nullptr);
+  EXPECT_EQ(f.FindHdu("PHOTONS")->data.size(), 5u);
+  EXPECT_EQ(f.DataSize(), 1005u);
+}
+
+TEST(FitsTest, CorruptionDetected) {
+  FitsFile fits;
+  fits.primary().SetCard("KEY", "value", "");
+  fits.AddHdu("DATA").data.assign(100, 9);
+  std::vector<uint8_t> bytes = fits.Serialize();
+  bytes[bytes.size() / 2] ^= 0xff;
+  EXPECT_EQ(FitsFile::Parse(bytes).status().code(), StatusCode::kCorruption);
+}
+
+TEST(FitsTest, BadMagicRejected) {
+  std::vector<uint8_t> bytes = {0, 1, 2, 3, 4, 5, 6, 7};
+  EXPECT_FALSE(FitsFile::Parse(bytes).ok());
+}
+
+TEST(CompressionTest, RoundTripRandomData) {
+  Rng rng(5);
+  std::vector<uint8_t> data(10000);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+  auto restored = Decompress(Compress(data));
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.value(), data);
+}
+
+TEST(CompressionTest, CompressesRepetitiveData) {
+  std::vector<uint8_t> data(100000);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i % 16);
+  }
+  std::vector<uint8_t> compressed = Compress(data);
+  EXPECT_LT(compressed.size(), data.size() / 4);
+  auto restored = Decompress(compressed);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value(), data);
+}
+
+TEST(CompressionTest, EmptyInput) {
+  std::vector<uint8_t> empty;
+  auto restored = Decompress(Compress(empty));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(restored.value().empty());
+}
+
+TEST(CompressionTest, OverlappingBackReference) {
+  // Run of a single byte compresses via overlapping references.
+  std::vector<uint8_t> data(5000, 0xaa);
+  std::vector<uint8_t> compressed = Compress(data);
+  EXPECT_LT(compressed.size(), 100u);
+  auto restored = Decompress(compressed);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value(), data);
+}
+
+TEST(CompressionTest, IsCompressedDetects) {
+  std::vector<uint8_t> data = {1, 2, 3};
+  EXPECT_TRUE(IsCompressed(Compress(data)));
+  EXPECT_FALSE(IsCompressed(data));
+}
+
+TEST(CompressionTest, CorruptStreamRejected) {
+  std::vector<uint8_t> compressed = Compress({1, 2, 3, 4, 5});
+  compressed.push_back(0x07);  // bad trailing token
+  EXPECT_FALSE(Decompress(compressed).ok());
+}
+
+class PropertyCompressionTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PropertyCompressionTest, RoundTripsStructuredData) {
+  Rng rng(GetParam());
+  // Mix of runs, repeats and noise, like encoded photon lists.
+  std::vector<uint8_t> data;
+  while (data.size() < 20000) {
+    switch (rng.UniformInt(0, 2)) {
+      case 0: {  // run
+        uint8_t b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+        size_t n = static_cast<size_t>(rng.UniformInt(1, 500));
+        data.insert(data.end(), n, b);
+        break;
+      }
+      case 1: {  // repeated motif
+        size_t motif_len = static_cast<size_t>(rng.UniformInt(2, 30));
+        std::vector<uint8_t> motif(motif_len);
+        for (auto& b : motif) b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+        int reps = static_cast<int>(rng.UniformInt(2, 20));
+        for (int r = 0; r < reps; ++r) {
+          data.insert(data.end(), motif.begin(), motif.end());
+        }
+        break;
+      }
+      default: {  // noise
+        size_t n = static_cast<size_t>(rng.UniformInt(1, 200));
+        for (size_t i = 0; i < n; ++i) {
+          data.push_back(static_cast<uint8_t>(rng.UniformInt(0, 255)));
+        }
+      }
+    }
+  }
+  auto restored = Decompress(Compress(data));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value(), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertyCompressionTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 99));
+
+TEST(DiskArchiveTest, WriteReadDeleteList) {
+  DiskArchive disk;
+  ASSERT_TRUE(disk.Write("raw/unit_1.fits", {1, 2, 3}).ok());
+  ASSERT_TRUE(disk.Write("raw/unit_2.fits", {4, 5}).ok());
+  EXPECT_TRUE(disk.Exists("raw/unit_1.fits"));
+  EXPECT_EQ(disk.BytesStored(), 5u);
+  auto r = disk.Read("raw/unit_1.fits");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 3u);
+  EXPECT_EQ(disk.List().size(), 2u);
+  ASSERT_TRUE(disk.Delete("raw/unit_1.fits").ok());
+  EXPECT_FALSE(disk.Exists("raw/unit_1.fits"));
+  EXPECT_EQ(disk.BytesStored(), 2u);
+  EXPECT_TRUE(disk.Read("raw/unit_1.fits").status().IsNotFound());
+}
+
+TEST(DiskArchiveTest, OverwriteAdjustsBytes) {
+  DiskArchive disk;
+  ASSERT_TRUE(disk.Write("f", std::vector<uint8_t>(100, 1)).ok());
+  ASSERT_TRUE(disk.Write("f", std::vector<uint8_t>(40, 2)).ok());
+  EXPECT_EQ(disk.BytesStored(), 40u);
+}
+
+TEST(TapeArchiveTest, MountAndSeekCosts) {
+  VirtualClock clock;
+  TapeArchive::Costs costs;
+  costs.mount_cost = 1000;
+  costs.seek_cost = 100;
+  costs.read_micros_per_kb = 0;
+  TapeArchive tape(std::make_unique<DiskArchive>(), &clock, costs);
+  ASSERT_TRUE(tape.Write("old/unit.fits", {1, 2, 3}).ok());
+  Micros after_write = clock.Now();
+  EXPECT_EQ(after_write, 1100);  // mount + seek
+  ASSERT_TRUE(tape.Read("old/unit.fits").ok());
+  EXPECT_EQ(clock.Now(), after_write + 100);  // already mounted: seek only
+  tape.Unmount();
+  ASSERT_TRUE(tape.Read("old/unit.fits").ok());
+  EXPECT_EQ(clock.Now(), after_write + 100 + 1100);  // remount
+}
+
+TEST(TapeArchiveTest, MissingFileDoesNotChargeMount) {
+  VirtualClock clock;
+  TapeArchive tape(std::make_unique<DiskArchive>(), &clock);
+  EXPECT_TRUE(tape.Read("nope").status().IsNotFound());
+  EXPECT_EQ(clock.Now(), 0);
+}
+
+TEST(RemoteArchiveTest, OfflineFailsUnavailable) {
+  VirtualClock clock;
+  RemoteArchive remote(std::make_unique<DiskArchive>(), &clock);
+  ASSERT_TRUE(remote.Write("synoptic/x", {1}).ok());
+  remote.set_online(false);
+  EXPECT_TRUE(remote.Read("synoptic/x").status().IsUnavailable());
+  EXPECT_FALSE(remote.Exists("synoptic/x"));
+  EXPECT_TRUE(remote.List().empty());
+  remote.set_online(true);
+  EXPECT_TRUE(remote.Read("synoptic/x").ok());
+}
+
+TEST(RemoteArchiveTest, TransferCostScalesWithSize) {
+  VirtualClock clock;
+  RemoteArchive::Costs costs;
+  costs.round_trip = 10;
+  costs.transfer_micros_per_kb = 1000;
+  RemoteArchive remote(std::make_unique<DiskArchive>(), &clock, costs);
+  ASSERT_TRUE(remote.Write("f", std::vector<uint8_t>(2048, 1)).ok());
+  Micros t0 = clock.Now();
+  ASSERT_TRUE(remote.Read("f").ok());
+  EXPECT_EQ(clock.Now() - t0, 10 + 2000);
+}
+
+TEST(ArchiveManagerTest, RegisterLookupOnline) {
+  ArchiveManager mgr;
+  mgr.Register({1, ArchiveType::kDisk, "/raid", true},
+               std::make_unique<DiskArchive>());
+  mgr.Register({2, ArchiveType::kTape, "/tape", true},
+               std::make_unique<TapeArchive>(std::make_unique<DiskArchive>(),
+                                             nullptr));
+  ASSERT_NE(mgr.Get(1), nullptr);
+  EXPECT_EQ(mgr.Get(1)->type(), ArchiveType::kDisk);
+  EXPECT_EQ(mgr.Get(99), nullptr);
+  ASSERT_TRUE(mgr.SetOnline(1, false).ok());
+  EXPECT_EQ(mgr.Get(1), nullptr);  // offline archives are not served
+  EXPECT_EQ(mgr.ListArchives().size(), 2u);
+  EXPECT_FALSE(mgr.SetOnline(42, true).ok());
+}
+
+TEST(ArchiveManagerTest, GetInfoAndOfflineMetadata) {
+  ArchiveManager mgr;
+  mgr.Register({5, ArchiveType::kRemote, "http://soho", true},
+               std::make_unique<DiskArchive>());
+  const ArchiveManager::Info* info = mgr.GetInfo(5);
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->root, "http://soho");
+  EXPECT_EQ(info->type, ArchiveType::kRemote);
+  EXPECT_EQ(mgr.GetInfo(99), nullptr);
+  // Info remains queryable while the archive itself is not served.
+  ASSERT_TRUE(mgr.SetOnline(5, false).ok());
+  EXPECT_EQ(mgr.Get(5), nullptr);
+  ASSERT_NE(mgr.GetInfo(5), nullptr);
+  EXPECT_FALSE(mgr.GetInfo(5)->online);
+}
+
+TEST(ArchiveTypeTest, NamesAreStable) {
+  EXPECT_STREQ(ArchiveTypeName(ArchiveType::kDisk), "disk");
+  EXPECT_STREQ(ArchiveTypeName(ArchiveType::kTape), "tape");
+  EXPECT_STREQ(ArchiveTypeName(ArchiveType::kRemote), "remote");
+}
+
+class NameMapperTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Config config;
+    config.Set("root.filename", "/hedc");
+    config.Set("root.url", "http://hedc.ethz.ch/data");
+    mapper_ = std::make_unique<NameMapper>(&db_, config);
+    ASSERT_TRUE(mapper_->Init().ok());
+    ASSERT_TRUE(mapper_->RegisterArchive(1, "disk", "raid1").ok());
+    ASSERT_TRUE(mapper_->RegisterArchive(2, "tape", "tape0").ok());
+    ASSERT_TRUE(
+        mapper_->AddLocation(100, NameType::kFilename, 1, "hle/2002").ok());
+    ASSERT_TRUE(
+        mapper_->AddLocation(100, NameType::kUrl, 1, "hle/2002").ok());
+  }
+
+  db::Database db_;
+  std::unique_ptr<NameMapper> mapper_;
+};
+
+TEST_F(NameMapperTest, ResolveConstructsName) {
+  auto r = mapper_->Resolve(100, NameType::kFilename);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().name, "/hedc/raid1/hle/2002/100");
+  EXPECT_EQ(r.value().archive_id, 1);
+
+  auto url = mapper_->Resolve(100, NameType::kUrl);
+  ASSERT_TRUE(url.ok());
+  EXPECT_EQ(url.value().name, "http://hedc.ethz.ch/data/raid1/hle/2002/100");
+}
+
+TEST_F(NameMapperTest, ResolveUsesExactlyTwoQueries) {
+  int64_t q0 = db_.stats().queries.load();
+  ASSERT_TRUE(mapper_->Resolve(100, NameType::kFilename).ok());
+  EXPECT_EQ(db_.stats().queries.load() - q0, 2);  // §4.3's cost claim
+}
+
+TEST_F(NameMapperTest, MissingItemNotFound) {
+  EXPECT_TRUE(
+      mapper_->Resolve(999, NameType::kFilename).status().IsNotFound());
+  EXPECT_TRUE(
+      mapper_->Resolve(100, NameType::kTupleId).status().IsNotFound());
+}
+
+TEST_F(NameMapperTest, RemountChangesNamesWithoutTouchingItems) {
+  // Admin "installs a new disk": only the archive tuple changes.
+  ASSERT_TRUE(mapper_->Remount(1, "raid2").ok());
+  auto r = mapper_->Resolve(100, NameType::kFilename);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().name, "/hedc/raid2/hle/2002/100");
+}
+
+TEST_F(NameMapperTest, MoveItemToTape) {
+  ASSERT_TRUE(
+      mapper_->MoveItem(100, NameType::kFilename, 2, "archived/2002").ok());
+  auto r = mapper_->Resolve(100, NameType::kFilename);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().archive_id, 2);
+  EXPECT_EQ(r.value().name, "/hedc/tape0/archived/2002/100");
+  // URL location untouched.
+  auto url = mapper_->Resolve(100, NameType::kUrl);
+  ASSERT_TRUE(url.ok());
+  EXPECT_EQ(url.value().archive_id, 1);
+}
+
+TEST_F(NameMapperTest, RelocateArchiveMovesAllEntries) {
+  ASSERT_TRUE(mapper_->AddLocation(200, NameType::kFilename, 1, "ana").ok());
+  ASSERT_TRUE(mapper_->RelocateArchive(1, 2).ok());
+  EXPECT_EQ(mapper_->Resolve(100, NameType::kFilename).value().archive_id, 2);
+  EXPECT_EQ(mapper_->Resolve(200, NameType::kFilename).value().archive_id, 2);
+}
+
+TEST_F(NameMapperTest, ResolveAllReturnsEveryName) {
+  auto r = mapper_->ResolveAll(100);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 2u);
+}
+
+TEST_F(NameMapperTest, RemoveLocations) {
+  ASSERT_TRUE(mapper_->RemoveLocations(100).ok());
+  EXPECT_TRUE(
+      mapper_->Resolve(100, NameType::kFilename).status().IsNotFound());
+}
+
+TEST_F(NameMapperTest, DanglingArchiveIsCorruption) {
+  ASSERT_TRUE(mapper_->AddLocation(300, NameType::kFilename, 77, "x").ok());
+  EXPECT_EQ(mapper_->Resolve(300, NameType::kFilename).status().code(),
+            StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace hedc::archive

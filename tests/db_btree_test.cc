@@ -1,0 +1,214 @@
+// B+-tree unit and property tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/rng.h"
+#include "db/btree.h"
+
+namespace hedc::db {
+namespace {
+
+TEST(BTreeTest, EmptyTree) {
+  BTreeIndex tree;
+  EXPECT_EQ(tree.size(), 0u);
+  std::vector<int64_t> ids;
+  tree.Lookup(Value::Int(1), &ids);
+  EXPECT_TRUE(ids.empty());
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BTreeTest, InsertAndLookup) {
+  BTreeIndex tree;
+  tree.Insert(Value::Int(5), 100);
+  tree.Insert(Value::Int(3), 101);
+  tree.Insert(Value::Int(5), 102);
+  std::vector<int64_t> ids;
+  tree.Lookup(Value::Int(5), &ids);
+  std::sort(ids.begin(), ids.end());
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], 100);
+  EXPECT_EQ(ids[1], 102);
+}
+
+TEST(BTreeTest, EraseExactEntry) {
+  BTreeIndex tree;
+  tree.Insert(Value::Int(5), 100);
+  tree.Insert(Value::Int(5), 102);
+  EXPECT_TRUE(tree.Erase(Value::Int(5), 100));
+  EXPECT_FALSE(tree.Erase(Value::Int(5), 100));
+  EXPECT_FALSE(tree.Erase(Value::Int(7), 102));
+  std::vector<int64_t> ids;
+  tree.Lookup(Value::Int(5), &ids);
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0], 102);
+}
+
+TEST(BTreeTest, SplitsGrowHeight) {
+  BTreeIndex tree(/*fanout=*/4);
+  for (int i = 0; i < 100; ++i) tree.Insert(Value::Int(i), i);
+  EXPECT_GT(tree.height(), 1);
+  EXPECT_EQ(tree.size(), 100u);
+  EXPECT_TRUE(tree.CheckInvariants());
+  for (int i = 0; i < 100; ++i) {
+    std::vector<int64_t> ids;
+    tree.Lookup(Value::Int(i), &ids);
+    ASSERT_EQ(ids.size(), 1u) << "key " << i;
+    EXPECT_EQ(ids[0], i);
+  }
+}
+
+TEST(BTreeTest, RangeScanInclusiveExclusive) {
+  BTreeIndex tree(/*fanout=*/4);
+  for (int i = 0; i < 50; ++i) tree.Insert(Value::Int(i), i);
+  std::vector<int64_t> ids;
+  tree.Scan(Value::Int(10), true, Value::Int(20), true,
+            [&ids](const Value&, int64_t id) {
+              ids.push_back(id);
+              return true;
+            });
+  ASSERT_EQ(ids.size(), 11u);
+  EXPECT_EQ(ids.front(), 10);
+  EXPECT_EQ(ids.back(), 20);
+
+  ids.clear();
+  tree.Scan(Value::Int(10), false, Value::Int(20), false,
+            [&ids](const Value&, int64_t id) {
+              ids.push_back(id);
+              return true;
+            });
+  ASSERT_EQ(ids.size(), 9u);
+  EXPECT_EQ(ids.front(), 11);
+  EXPECT_EQ(ids.back(), 19);
+}
+
+TEST(BTreeTest, OpenEndedScans) {
+  BTreeIndex tree;
+  for (int i = 0; i < 20; ++i) tree.Insert(Value::Int(i), i);
+  std::vector<int64_t> ids;
+  tree.Scan(std::nullopt, true, Value::Int(4), true,
+            [&ids](const Value&, int64_t id) {
+              ids.push_back(id);
+              return true;
+            });
+  EXPECT_EQ(ids.size(), 5u);
+
+  ids.clear();
+  tree.Scan(Value::Int(15), true, std::nullopt, true,
+            [&ids](const Value&, int64_t id) {
+              ids.push_back(id);
+              return true;
+            });
+  EXPECT_EQ(ids.size(), 5u);
+
+  ids.clear();
+  tree.Scan(std::nullopt, true, std::nullopt, true,
+            [&ids](const Value&, int64_t id) {
+              ids.push_back(id);
+              return true;
+            });
+  EXPECT_EQ(ids.size(), 20u);
+}
+
+TEST(BTreeTest, EarlyTerminationOfScan) {
+  BTreeIndex tree;
+  for (int i = 0; i < 100; ++i) tree.Insert(Value::Int(i), i);
+  int visited = 0;
+  tree.Scan(std::nullopt, true, std::nullopt, true,
+            [&visited](const Value&, int64_t) { return ++visited < 7; });
+  EXPECT_EQ(visited, 7);
+}
+
+TEST(BTreeTest, TextKeys) {
+  BTreeIndex tree;
+  tree.Insert(Value::Text("flare"), 1);
+  tree.Insert(Value::Text("grb"), 2);
+  tree.Insert(Value::Text("quiet"), 3);
+  std::vector<int64_t> ids;
+  tree.Scan(Value::Text("flare"), true, Value::Text("grb"), true,
+            [&ids](const Value&, int64_t id) {
+              ids.push_back(id);
+              return true;
+            });
+  ASSERT_EQ(ids.size(), 2u);
+}
+
+TEST(BTreeTest, ScanYieldsSortedKeys) {
+  BTreeIndex tree(/*fanout=*/4);
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    tree.Insert(Value::Int(rng.UniformInt(0, 99)), i);
+  }
+  std::vector<int64_t> keys;
+  tree.Scan(std::nullopt, true, std::nullopt, true,
+            [&keys](const Value& k, int64_t) {
+              keys.push_back(k.AsInt());
+              return true;
+            });
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_EQ(keys.size(), 500u);
+}
+
+// Property test: tree mirrors a reference multimap under a random
+// insert/erase workload across several fanouts and seeds.
+class BTreePropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(BTreePropertyTest, MatchesReferenceModel) {
+  const int fanout = std::get<0>(GetParam());
+  const uint64_t seed = std::get<1>(GetParam());
+  BTreeIndex tree(fanout);
+  std::multimap<int64_t, int64_t> model;
+  Rng rng(seed);
+  int64_t next_id = 0;
+
+  for (int step = 0; step < 2000; ++step) {
+    double action = rng.NextDouble();
+    if (action < 0.65 || model.empty()) {
+      int64_t key = rng.UniformInt(0, 200);
+      int64_t id = next_id++;
+      tree.Insert(Value::Int(key), id);
+      model.emplace(key, id);
+    } else {
+      // Erase a random existing entry.
+      size_t victim = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(model.size()) - 1));
+      auto it = model.begin();
+      std::advance(it, victim);
+      EXPECT_TRUE(tree.Erase(Value::Int(it->first), it->second));
+      model.erase(it);
+    }
+    if (step % 250 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants()) << "step " << step;
+    }
+  }
+  ASSERT_TRUE(tree.CheckInvariants());
+  ASSERT_EQ(tree.size(), model.size());
+
+  // Every key range agrees with the model.
+  for (int64_t lo = 0; lo <= 200; lo += 37) {
+    int64_t hi = lo + 23;
+    std::multiset<int64_t> expected;
+    for (auto it = model.lower_bound(lo);
+         it != model.end() && it->first <= hi; ++it) {
+      expected.insert(it->second);
+    }
+    std::multiset<int64_t> actual;
+    tree.Scan(Value::Int(lo), true, Value::Int(hi), true,
+              [&actual](const Value&, int64_t id) {
+                actual.insert(id);
+                return true;
+              });
+    EXPECT_EQ(actual, expected) << "range [" << lo << "," << hi << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FanoutsAndSeeds, BTreePropertyTest,
+    ::testing::Combine(::testing::Values(4, 8, 64),
+                       ::testing::Values(1ull, 42ull, 20260705ull)));
+
+}  // namespace
+}  // namespace hedc::db

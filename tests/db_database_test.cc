@@ -1,0 +1,335 @@
+// End-to-end executor tests: DDL, DML, planner index selection,
+// aggregation, transactions, pools, blob store.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/clock.h"
+#include "db/blob_store.h"
+#include "db/connection.h"
+#include "db/database.h"
+
+namespace hedc::db {
+namespace {
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute("CREATE TABLE hle ("
+                            "hle_id INT PRIMARY KEY, "
+                            "start_time REAL, peak_energy REAL, "
+                            "event_type TEXT, owner TEXT, "
+                            "is_public BOOL)")
+                    .ok());
+    ASSERT_TRUE(
+        db_.Execute("CREATE INDEX hle_by_id ON hle (hle_id) USING HASH")
+            .ok());
+    ASSERT_TRUE(
+        db_.Execute("CREATE INDEX hle_by_time ON hle (start_time)").ok());
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(
+          db_.Execute("INSERT INTO hle VALUES (?, ?, ?, ?, ?, ?)",
+                      {Value::Int(i), Value::Real(i * 10.0),
+                       Value::Real(3.0 + i % 20),
+                       Value::Text(i % 3 == 0 ? "flare" : "quiet"),
+                       Value::Text(i % 2 == 0 ? "alice" : "bob"),
+                       Value::Bool(i % 4 == 0)})
+              .ok());
+    }
+  }
+
+  Database db_;
+};
+
+TEST_F(DatabaseTest, PointQueryViaHashIndex) {
+  int64_t scans_before = db_.stats().full_scans.load();
+  auto r = db_.Execute("SELECT * FROM hle WHERE hle_id = 42");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().num_rows(), 1u);
+  EXPECT_EQ(r.value().Get(0, "hle_id").AsInt(), 42);
+  EXPECT_EQ(db_.stats().full_scans.load(), scans_before);  // index used
+}
+
+TEST_F(DatabaseTest, RangeQueryViaBTree) {
+  int64_t scans_before = db_.stats().full_scans.load();
+  auto r = db_.Execute(
+      "SELECT hle_id FROM hle WHERE start_time >= 100 AND start_time <= 200");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().num_rows(), 11u);
+  EXPECT_EQ(db_.stats().full_scans.load(), scans_before);
+}
+
+TEST_F(DatabaseTest, FullScanWhenNoIndex) {
+  int64_t scans_before = db_.stats().full_scans.load();
+  auto r = db_.Execute("SELECT * FROM hle WHERE owner = 'alice'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().num_rows(), 50u);
+  EXPECT_EQ(db_.stats().full_scans.load(), scans_before + 1);
+}
+
+TEST_F(DatabaseTest, ResidualPredicateApplied) {
+  auto r = db_.Execute(
+      "SELECT * FROM hle WHERE start_time >= 0 AND owner = 'bob' "
+      "AND event_type = 'flare'");
+  ASSERT_TRUE(r.ok());
+  for (size_t i = 0; i < r.value().num_rows(); ++i) {
+    EXPECT_EQ(r.value().Get(i, "owner").AsText(), "bob");
+    EXPECT_EQ(r.value().Get(i, "event_type").AsText(), "flare");
+  }
+}
+
+TEST_F(DatabaseTest, OrderByAndLimit) {
+  auto r = db_.Execute(
+      "SELECT hle_id FROM hle ORDER BY start_time DESC LIMIT 3");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().num_rows(), 3u);
+  EXPECT_EQ(r.value().Get(0, "hle_id").AsInt(), 99);
+  EXPECT_EQ(r.value().Get(1, "hle_id").AsInt(), 98);
+}
+
+TEST_F(DatabaseTest, CountStar) {
+  auto r = db_.Execute("SELECT COUNT(*) FROM hle WHERE event_type = 'flare'");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().num_rows(), 1u);
+  EXPECT_EQ(r.value().rows[0][0].AsInt(), 34);  // i % 3 == 0 for 0..99
+}
+
+TEST_F(DatabaseTest, CountOnEmptyResultIsZero) {
+  auto r = db_.Execute("SELECT COUNT(*) FROM hle WHERE hle_id = 12345");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().num_rows(), 1u);
+  EXPECT_EQ(r.value().rows[0][0].AsInt(), 0);
+}
+
+TEST_F(DatabaseTest, MinMaxSumAvg) {
+  auto r = db_.Execute(
+      "SELECT MIN(start_time), MAX(start_time), SUM(start_time), "
+      "AVG(start_time) FROM hle");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Row& row = r.value().rows[0];
+  EXPECT_DOUBLE_EQ(row[0].AsReal(), 0.0);
+  EXPECT_DOUBLE_EQ(row[1].AsReal(), 990.0);
+  EXPECT_DOUBLE_EQ(row[2].AsReal(), 49500.0);
+  EXPECT_DOUBLE_EQ(row[3].AsReal(), 495.0);
+}
+
+TEST_F(DatabaseTest, GroupByCount) {
+  auto r = db_.Execute(
+      "SELECT event_type, COUNT(*) FROM hle GROUP BY event_type");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().num_rows(), 2u);
+  int64_t total = 0;
+  for (const Row& row : r.value().rows) total += row[1].AsInt();
+  EXPECT_EQ(total, 100);
+}
+
+TEST_F(DatabaseTest, UpdateAffectsMatchingRows) {
+  auto r = db_.Execute(
+      "UPDATE hle SET is_public = TRUE WHERE owner = 'alice'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().affected_rows, 50);
+  // All 25 pre-public rows (i % 4 == 0) are even, hence alice's; the
+  // update flips the remaining 25 alice rows, bob keeps none.
+  auto check =
+      db_.Execute("SELECT COUNT(*) FROM hle WHERE is_public = TRUE");
+  EXPECT_EQ(check.value().rows[0][0].AsInt(), 50);
+}
+
+TEST_F(DatabaseTest, UpdateMaintainsIndexes) {
+  ASSERT_TRUE(
+      db_.Execute("UPDATE hle SET start_time = 5000 WHERE hle_id = 10").ok());
+  auto r = db_.Execute("SELECT hle_id FROM hle WHERE start_time >= 4999");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().num_rows(), 1u);
+  EXPECT_EQ(r.value().Get(0, "hle_id").AsInt(), 10);
+  // Old key position must be gone.
+  auto old_pos = db_.Execute(
+      "SELECT COUNT(*) FROM hle WHERE start_time = 100 AND hle_id = 10");
+  EXPECT_EQ(old_pos.value().rows[0][0].AsInt(), 0);
+}
+
+TEST_F(DatabaseTest, DeleteRemovesRows) {
+  auto r = db_.Execute("DELETE FROM hle WHERE event_type = 'flare'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().affected_rows, 34);
+  auto count = db_.Execute("SELECT COUNT(*) FROM hle");
+  EXPECT_EQ(count.value().rows[0][0].AsInt(), 66);
+}
+
+TEST_F(DatabaseTest, PrimaryKeyUniquenessEnforced) {
+  auto r = db_.Execute("INSERT INTO hle VALUES (5, 0, 0, 'x', 'y', FALSE)");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(DatabaseTest, UnknownTableAndColumnErrors) {
+  EXPECT_EQ(db_.Execute("SELECT * FROM nope").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(db_.Execute("SELECT nope FROM hle").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(db_.Execute("SELECT * FROM hle WHERE ghost = 1").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(DatabaseTest, TransactionCommit) {
+  ASSERT_TRUE(db_.Begin().ok());
+  ASSERT_TRUE(
+      db_.Execute("INSERT INTO hle VALUES (500, 1, 1, 'x', 'y', FALSE)").ok());
+  ASSERT_TRUE(db_.Commit().ok());
+  auto r = db_.Execute("SELECT COUNT(*) FROM hle WHERE hle_id = 500");
+  EXPECT_EQ(r.value().rows[0][0].AsInt(), 1);
+}
+
+TEST_F(DatabaseTest, TransactionRollbackUndoesAllOps) {
+  ASSERT_TRUE(db_.Begin().ok());
+  ASSERT_TRUE(
+      db_.Execute("INSERT INTO hle VALUES (600, 1, 1, 'x', 'y', FALSE)").ok());
+  ASSERT_TRUE(
+      db_.Execute("UPDATE hle SET owner = 'mallory' WHERE hle_id = 1").ok());
+  ASSERT_TRUE(db_.Execute("DELETE FROM hle WHERE hle_id = 2").ok());
+  ASSERT_TRUE(db_.Rollback().ok());
+
+  EXPECT_EQ(db_.Execute("SELECT COUNT(*) FROM hle WHERE hle_id = 600")
+                .value().rows[0][0].AsInt(), 0);
+  EXPECT_EQ(db_.Execute("SELECT owner FROM hle WHERE hle_id = 1")
+                .value().rows[0][0].AsText(), "bob");
+  EXPECT_EQ(db_.Execute("SELECT COUNT(*) FROM hle WHERE hle_id = 2")
+                .value().rows[0][0].AsInt(), 1);
+  // Indexes must also be restored.
+  EXPECT_EQ(db_.Execute("SELECT COUNT(*) FROM hle WHERE start_time = 20")
+                .value().rows[0][0].AsInt(), 1);
+}
+
+TEST_F(DatabaseTest, NestedBeginFails) {
+  ASSERT_TRUE(db_.Begin().ok());
+  EXPECT_FALSE(db_.Begin().ok());
+  ASSERT_TRUE(db_.Rollback().ok());
+}
+
+TEST_F(DatabaseTest, CommitWithoutBeginFails) {
+  EXPECT_FALSE(db_.Commit().ok());
+  EXPECT_FALSE(db_.Rollback().ok());
+}
+
+TEST_F(DatabaseTest, ConcurrentReadersAreSafe) {
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([this, &failures] {
+      for (int i = 0; i < 200; ++i) {
+        auto r = db_.Execute("SELECT COUNT(*) FROM hle WHERE start_time >= 0");
+        if (!r.ok() || r.value().rows[0][0].AsInt() != 100) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(DatabaseTest, PreparedStatementReexecution) {
+  auto stmt = ParseSql("SELECT owner FROM hle WHERE hle_id = ?");
+  ASSERT_TRUE(stmt.ok());
+  for (int i = 0; i < 5; ++i) {
+    auto r = db_.ExecuteStatement(*stmt.value(), {Value::Int(i)});
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(r.value().num_rows(), 1u);
+    EXPECT_EQ(r.value().rows[0][0].AsText(), i % 2 == 0 ? "alice" : "bob");
+  }
+}
+
+TEST(ConnectionPoolTest, PoolingAvoidsSetupCost) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (a INT)").ok());
+  VirtualClock clock;
+  ConnectionPool::Options opts;
+  opts.query_pool_size = 2;
+  opts.update_pool_size = 1;
+  opts.auth_pool_size = 1;
+  opts.connection_setup_cost = 1000;
+  ConnectionPool pool(&db, &clock, opts);
+  Micros after_warmup = clock.Now();
+  EXPECT_EQ(pool.connections_created(), 4);
+  for (int i = 0; i < 10; ++i) {
+    PooledConnection conn = pool.Acquire(PoolKind::kQuery);
+    ASSERT_TRUE(conn.valid());
+    ASSERT_TRUE(conn->Execute("SELECT COUNT(*) FROM t").ok());
+  }
+  EXPECT_EQ(clock.Now(), after_warmup);  // no additional setup cost
+  EXPECT_EQ(pool.connections_created(), 4);
+}
+
+TEST(ConnectionPoolTest, NoPoolingPaysSetupEveryTime) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (a INT)").ok());
+  VirtualClock clock;
+  ConnectionPool::Options opts;
+  opts.pooling_enabled = false;
+  opts.connection_setup_cost = 1000;
+  ConnectionPool pool(&db, &clock, opts);
+  for (int i = 0; i < 5; ++i) {
+    PooledConnection conn = pool.Acquire(PoolKind::kQuery);
+    ASSERT_TRUE(conn.valid());
+  }
+  EXPECT_EQ(clock.Now(), 5000);
+  EXPECT_EQ(pool.connections_created(), 5);
+}
+
+TEST(ConnectionPoolTest, SeparatePoolsDoNotInterfere) {
+  Database db;
+  VirtualClock clock;
+  ConnectionPool::Options opts;
+  opts.query_pool_size = 1;
+  opts.update_pool_size = 1;
+  opts.auth_pool_size = 1;
+  opts.connection_setup_cost = 0;
+  ConnectionPool pool(&db, &clock, opts);
+  PooledConnection q = pool.Acquire(PoolKind::kQuery);
+  // The update pool must still be available while the query pool is
+  // exhausted (split pools, §5.3).
+  EXPECT_EQ(pool.available(PoolKind::kQuery), 0u);
+  EXPECT_EQ(pool.available(PoolKind::kUpdate), 1u);
+  PooledConnection u = pool.Acquire(PoolKind::kUpdate);
+  EXPECT_TRUE(u.valid());
+  q.Release();
+  EXPECT_EQ(pool.available(PoolKind::kQuery), 1u);
+}
+
+TEST(BlobStoreTest, PutGetDelete) {
+  Database db;
+  BlobStore store(&db, /*chunk_size=*/16);
+  ASSERT_TRUE(store.Init().ok());
+  std::vector<uint8_t> data(100);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<uint8_t>(i);
+  ASSERT_TRUE(store.Put("raw_unit_1", data).ok());
+  auto got = store.Get("raw_unit_1");
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got.value(), data);
+  ASSERT_TRUE(store.Delete("raw_unit_1").ok());
+  EXPECT_TRUE(store.Get("raw_unit_1").status().IsNotFound());
+}
+
+TEST(BlobStoreTest, OverwriteReplacesContent) {
+  Database db;
+  BlobStore store(&db, 8);
+  ASSERT_TRUE(store.Init().ok());
+  ASSERT_TRUE(store.Put("x", {1, 2, 3}).ok());
+  ASSERT_TRUE(store.Put("x", {9}).ok());
+  auto got = store.Get("x");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), std::vector<uint8_t>({9}));
+}
+
+TEST(BlobStoreTest, EmptyBlob) {
+  Database db;
+  BlobStore store(&db);
+  ASSERT_TRUE(store.Init().ok());
+  ASSERT_TRUE(store.Put("empty", {}).ok());
+  auto got = store.Get("empty");
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got.value().empty());
+}
+
+}  // namespace
+}  // namespace hedc::db

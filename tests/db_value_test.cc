@@ -1,0 +1,185 @@
+// Value semantics, comparison and hashing tests.
+#include <gtest/gtest.h>
+
+#include "db/expr.h"
+#include "db/schema.h"
+#include "db/value.h"
+
+namespace hedc::db {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+  EXPECT_EQ(v.AsText(), "NULL");
+}
+
+TEST(ValueTest, IntAccessors) {
+  Value v = Value::Int(42);
+  EXPECT_EQ(v.AsInt(), 42);
+  EXPECT_DOUBLE_EQ(v.AsReal(), 42.0);
+  EXPECT_TRUE(v.AsBool());
+  EXPECT_EQ(v.AsText(), "42");
+}
+
+TEST(ValueTest, TextToNumberCoercion) {
+  EXPECT_EQ(Value::Text("17").AsInt(), 17);
+  EXPECT_DOUBLE_EQ(Value::Text("2.5").AsReal(), 2.5);
+  EXPECT_EQ(Value::Text("junk").AsInt(), 0);
+}
+
+TEST(ValueTest, NullSortsFirst) {
+  EXPECT_LT(Value::Null().Compare(Value::Int(-100)), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+  EXPECT_GT(Value::Int(0).Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, NumericCrossTypeComparison) {
+  EXPECT_EQ(Value::Int(3).Compare(Value::Real(3.0)), 0);
+  EXPECT_LT(Value::Int(3).Compare(Value::Real(3.5)), 0);
+  EXPECT_GT(Value::Real(4.0).Compare(Value::Int(3)), 0);
+  EXPECT_EQ(Value::Bool(true).Compare(Value::Int(1)), 0);
+}
+
+TEST(ValueTest, TextComparison) {
+  EXPECT_LT(Value::Text("abc").Compare(Value::Text("abd")), 0);
+  EXPECT_EQ(Value::Text("x").Compare(Value::Text("x")), 0);
+}
+
+TEST(ValueTest, EqualValuesHashEqual) {
+  EXPECT_EQ(Value::Int(3).Hash(), Value::Real(3.0).Hash());
+  EXPECT_EQ(Value::Text("a").Hash(), Value::Text("a").Hash());
+}
+
+TEST(ValueTest, BlobHolds) {
+  std::vector<uint8_t> data = {1, 2, 3};
+  Value v = Value::Blob(data);
+  EXPECT_EQ(v.type(), ValueType::kBlob);
+  EXPECT_EQ(v.blob(), data);
+  EXPECT_EQ(v.AsText(), "<blob 3 bytes>");
+}
+
+TEST(SchemaTest, ColumnLookupIsCaseInsensitive) {
+  Schema s({{"event_id", ValueType::kInt, true, true},
+            {"Label", ValueType::kText, false, false}});
+  EXPECT_EQ(s.ColumnIndex("EVENT_ID").value(), 0u);
+  EXPECT_EQ(s.ColumnIndex("label").value(), 1u);
+  EXPECT_FALSE(s.ColumnIndex("nope").has_value());
+  EXPECT_EQ(s.PrimaryKeyIndex().value(), 0u);
+}
+
+TEST(SchemaTest, ValidateRowEnforcesArityAndNulls) {
+  Schema s({{"id", ValueType::kInt, true, true},
+            {"name", ValueType::kText, false, false}});
+  EXPECT_TRUE(s.ValidateRow({Value::Int(1), Value::Text("x")}).ok());
+  EXPECT_FALSE(s.ValidateRow({Value::Int(1)}).ok());
+  EXPECT_FALSE(s.ValidateRow({Value::Null(), Value::Text("x")}).ok());
+  EXPECT_TRUE(s.ValidateRow({Value::Int(1), Value::Null()}).ok());
+}
+
+TEST(SchemaTest, CoerceRowConvertsTypes) {
+  Schema s({{"id", ValueType::kInt, false, false},
+            {"score", ValueType::kReal, false, false},
+            {"tag", ValueType::kText, false, false}});
+  Row row = {Value::Text("5"), Value::Int(2), Value::Int(9)};
+  s.CoerceRow(&row);
+  EXPECT_EQ(row[0].type(), ValueType::kInt);
+  EXPECT_EQ(row[0].AsInt(), 5);
+  EXPECT_EQ(row[1].type(), ValueType::kReal);
+  EXPECT_EQ(row[2].type(), ValueType::kText);
+  EXPECT_EQ(row[2].text(), "9");
+}
+
+TEST(LikeMatchTest, Wildcards) {
+  EXPECT_TRUE(LikeMatch("flare_20020604", "flare%"));
+  EXPECT_TRUE(LikeMatch("flare", "%are"));
+  EXPECT_TRUE(LikeMatch("abc", "a_c"));
+  EXPECT_FALSE(LikeMatch("abc", "a_d"));
+  EXPECT_TRUE(LikeMatch("anything", "%"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_FALSE(LikeMatch("", "_"));
+  EXPECT_TRUE(LikeMatch("xyx", "%y%"));
+  EXPECT_FALSE(LikeMatch("hedc", "hed"));
+}
+
+TEST(ExprTest, EvalArithmetic) {
+  Schema s({{"a", ValueType::kInt, false, false},
+            {"b", ValueType::kReal, false, false}});
+  auto e = Expr::Binary(BinOp::kAdd,
+                        Expr::Binary(BinOp::kMul, Expr::Column("a"),
+                                     Expr::Literal(Value::Int(2))),
+                        Expr::Column("b"));
+  ASSERT_TRUE(BindExpr(e.get(), s, {}).ok());
+  Row row = {Value::Int(3), Value::Real(0.5)};
+  auto r = EvalExpr(*e, row);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().AsReal(), 6.5);
+}
+
+TEST(ExprTest, DivisionByZeroFails) {
+  Schema s;
+  auto e = Expr::Binary(BinOp::kDiv, Expr::Literal(Value::Int(1)),
+                        Expr::Literal(Value::Int(0)));
+  ASSERT_TRUE(BindExpr(e.get(), s, {}).ok());
+  EXPECT_FALSE(EvalExpr(*e, {}).ok());
+}
+
+TEST(ExprTest, NullComparisonsAreFalse) {
+  Schema s({{"a", ValueType::kInt, false, false}});
+  auto e = Expr::Binary(BinOp::kEq, Expr::Column("a"),
+                        Expr::Literal(Value::Int(1)));
+  ASSERT_TRUE(BindExpr(e.get(), s, {}).ok());
+  auto r = EvalExpr(*e, {Value::Null()});
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().AsBool());
+}
+
+TEST(ExprTest, ShortCircuitAndOr) {
+  Schema s({{"a", ValueType::kInt, false, false}});
+  // (a = 1) OR (1/0 = 1) would fail if not short-circuited.
+  auto bad = Expr::Binary(BinOp::kEq,
+                          Expr::Binary(BinOp::kDiv, Expr::Literal(Value::Int(1)),
+                                       Expr::Literal(Value::Int(0))),
+                          Expr::Literal(Value::Int(1)));
+  auto e = Expr::Binary(BinOp::kOr,
+                        Expr::Binary(BinOp::kEq, Expr::Column("a"),
+                                     Expr::Literal(Value::Int(1))),
+                        std::move(bad));
+  ASSERT_TRUE(BindExpr(e.get(), s, {}).ok());
+  auto r = EvalExpr(*e, {Value::Int(1)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().AsBool());
+}
+
+TEST(ExprTest, ParamSubstitution) {
+  Schema s({{"a", ValueType::kInt, false, false}});
+  auto e = Expr::Binary(BinOp::kEq, Expr::Column("a"), Expr::Param(0));
+  ASSERT_TRUE(BindExpr(e.get(), s, {Value::Int(7)}).ok());
+  auto r = EvalExpr(*e, {Value::Int(7)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().AsBool());
+}
+
+TEST(ExprTest, UnboundParamFails) {
+  Schema s;
+  auto e = Expr::Param(0);
+  EXPECT_FALSE(BindExpr(e.get(), s, {}).ok());
+}
+
+TEST(ExprTest, UnknownColumnFailsBind) {
+  Schema s({{"a", ValueType::kInt, false, false}});
+  auto e = Expr::Column("missing");
+  EXPECT_FALSE(BindExpr(e.get(), s, {}).ok());
+}
+
+TEST(ExprTest, TextConcatenationWithPlus) {
+  Schema s;
+  auto e = Expr::Binary(BinOp::kAdd, Expr::Literal(Value::Text("a")),
+                        Expr::Literal(Value::Text("b")));
+  ASSERT_TRUE(BindExpr(e.get(), s, {}).ok());
+  EXPECT_EQ(EvalExpr(*e, {}).value().AsText(), "ab");
+}
+
+}  // namespace
+}  // namespace hedc::db

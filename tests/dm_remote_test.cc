@@ -1,0 +1,133 @@
+// RMI channel tests: marshalling, remote query/file/log calls, error
+// propagation, channel failure, latency accounting.
+#include <gtest/gtest.h>
+
+#include "dm/hedc_schema.h"
+#include "dm/remote.h"
+
+namespace hedc::dm {
+namespace {
+
+class RemoteDmTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(CreateFullSchema(&db_).ok());
+    archives_.Register({1, archive::ArchiveType::kDisk, "raid1", true},
+                       std::make_unique<archive::DiskArchive>());
+    mapper_ = std::make_unique<archive::NameMapper>(&db_, Config());
+    ASSERT_TRUE(mapper_->Init().ok());
+    ASSERT_TRUE(mapper_->RegisterArchive(1, "disk", "raid1").ok());
+    DataManager::Options options;
+    options.pool.connection_setup_cost = 0;
+    options.sessions.session_setup_cost = 0;
+    dm_ = std::make_unique<DataManager>("remote-node", &db_, &archives_,
+                                        mapper_.get(), &clock_, options);
+    server_ = std::make_unique<RmiServer>(dm_.get());
+    channel_ = std::make_unique<InProcessChannel>(server_.get(), &clock_,
+                                                  /*latency=*/1000,
+                                                  /*micros_per_kb=*/100);
+    remote_ = std::make_unique<RemoteDm>(channel_.get());
+
+    ASSERT_TRUE(db_.Execute("INSERT INTO users VALUES (1, 'a', 'h', TRUE, "
+                            "FALSE, FALSE, FALSE, FALSE, 'active', 0)")
+                    .ok());
+  }
+
+  VirtualClock clock_;
+  db::Database db_;
+  archive::ArchiveManager archives_;
+  std::unique_ptr<archive::NameMapper> mapper_;
+  std::unique_ptr<DataManager> dm_;
+  std::unique_ptr<RmiServer> server_;
+  std::unique_ptr<InProcessChannel> channel_;
+  std::unique_ptr<RemoteDm> remote_;
+};
+
+TEST_F(RemoteDmTest, ResultSetCodecRoundTrip) {
+  db::ResultSet rs;
+  rs.columns = {"a", "b"};
+  rs.rows = {{db::Value::Int(1), db::Value::Text("x")},
+             {db::Value::Null(), db::Value::Real(2.5)}};
+  rs.affected_rows = 3;
+  rs.last_insert_row_id = 7;
+  ByteBuffer buf;
+  EncodeResultSet(rs, &buf);
+  ByteReader reader(buf.data());
+  db::ResultSet decoded;
+  ASSERT_TRUE(DecodeResultSet(&reader, &decoded).ok());
+  ASSERT_EQ(decoded.columns.size(), 2u);
+  ASSERT_EQ(decoded.num_rows(), 2u);
+  EXPECT_EQ(decoded.rows[0][0].AsInt(), 1);
+  EXPECT_TRUE(decoded.rows[1][0].is_null());
+  EXPECT_EQ(decoded.affected_rows, 3);
+  EXPECT_EQ(decoded.last_insert_row_id, 7);
+}
+
+TEST_F(RemoteDmTest, QueryOverChannel) {
+  QuerySpec spec("users");
+  spec.Select("name").Where("user_id", CondOp::kEq, db::Value::Int(1));
+  auto rs = remote_->Query(spec);
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs.value().num_rows(), 1u);
+  EXPECT_EQ(rs.value().rows[0][0].AsText(), "a");
+  EXPECT_EQ(server_->calls_handled(), 1);
+}
+
+TEST_F(RemoteDmTest, ErrorStatusPropagates) {
+  QuerySpec spec("no_such_table");
+  auto rs = remote_->Query(spec);
+  EXPECT_TRUE(rs.status().IsNotFound()) << rs.status().ToString();
+}
+
+TEST_F(RemoteDmTest, FileReadOverChannel) {
+  ASSERT_TRUE(dm_->io().WriteItemFile(42, 1, "raw", {9, 8, 7}).ok());
+  auto data = remote_->ReadItemFile(42);
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  EXPECT_EQ(data.value(), (std::vector<uint8_t>{9, 8, 7}));
+  EXPECT_TRUE(remote_->ReadItemFile(999).status().IsNotFound());
+}
+
+TEST_F(RemoteDmTest, LogOverChannel) {
+  ASSERT_TRUE(remote_->LogOperational("remote-test", "hello").ok());
+  auto rs = db_.Execute(
+      "SELECT COUNT(*) FROM op_logs WHERE component = 'remote-test'");
+  EXPECT_EQ(rs.value().rows[0][0].AsInt(), 1);
+}
+
+TEST_F(RemoteDmTest, DisconnectedChannelFails) {
+  channel_->set_connected(false);
+  QuerySpec spec("users");
+  EXPECT_TRUE(remote_->Query(spec).status().IsUnavailable());
+  channel_->set_connected(true);
+  EXPECT_TRUE(remote_->Query(spec).ok());
+}
+
+TEST_F(RemoteDmTest, LatencyCharged) {
+  Micros t0 = clock_.Now();
+  QuerySpec spec("users");
+  ASSERT_TRUE(remote_->Query(spec).ok());
+  EXPECT_GE(clock_.Now() - t0, 1000);  // at least the per-call latency
+}
+
+TEST_F(RemoteDmTest, MalformedFramesAreRejectedNotFatal) {
+  std::vector<uint8_t> garbage = {0xff, 0x00, 0x13};
+  std::vector<uint8_t> response = server_->Handle(garbage);
+  ByteReader reader(response);
+  uint8_t tag = 9;
+  ASSERT_TRUE(reader.GetU8(&tag).ok());
+  EXPECT_EQ(tag, 1);  // error frame
+  // Empty frame likewise.
+  response = server_->Handle({});
+  ASSERT_FALSE(response.empty());
+}
+
+TEST_F(RemoteDmTest, UpdatesWorkRemotely) {
+  auto rs = remote_->Execute(
+      "INSERT INTO op_logs VALUES (?, 0, 'INFO', 'x', 'y')",
+      {db::Value::Int(777)});
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs.value().affected_rows, 1);
+}
+
+}  // namespace
+}  // namespace hedc::dm

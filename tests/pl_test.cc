@@ -1,0 +1,296 @@
+// PL component tests: IDL servers, server manager fault tolerance,
+// directory, predictor, 4-phase front end.
+#include <gtest/gtest.h>
+
+#include "core/clock.h"
+#include "pl/frontend.h"
+#include "pl/idl_server.h"
+#include "pl/server_manager.h"
+#include "rhessi/telemetry.h"
+
+namespace hedc::pl {
+namespace {
+
+rhessi::PhotonList SmallPhotons() {
+  rhessi::TelemetryOptions options;
+  options.duration_sec = 30;
+  options.background_rate = 50;
+  options.flares_per_hour = 0;
+  options.grbs_per_hour = 0;
+  options.saa_per_hour = 0;
+  options.seed = 3;
+  return rhessi::GenerateTelemetry(options).photons;
+}
+
+class PlTest : public ::testing::Test {
+ protected:
+  PlTest() : registry_(analysis::CreateStandardRegistry()) {}
+
+  std::unique_ptr<IdlServer> MakeServer(const std::string& name,
+                                        IdlServer::Options options = {}) {
+    return std::make_unique<IdlServer>(name, registry_.get(), &clock_,
+                                       options);
+  }
+
+  VirtualClock clock_;
+  std::unique_ptr<analysis::RoutineRegistry> registry_;
+};
+
+TEST_F(PlTest, ServerLifecycle) {
+  auto server = MakeServer("idl0");
+  EXPECT_EQ(server->state(), ServerState::kStopped);
+  ASSERT_TRUE(server->Start().ok());
+  EXPECT_EQ(server->state(), ServerState::kIdle);
+  EXPECT_FALSE(server->Start().ok());  // double start
+  server->Stop();
+  EXPECT_EQ(server->state(), ServerState::kStopped);
+  ASSERT_TRUE(server->Restart().ok());
+  EXPECT_EQ(server->state(), ServerState::kIdle);
+}
+
+TEST_F(PlTest, InvokeRunsRealRoutine) {
+  auto server = MakeServer("idl0");
+  ASSERT_TRUE(server->Start().ok());
+  analysis::AnalysisParams params;
+  params.SetInt("bins", 16);
+  auto product = server->Invoke("histogram", SmallPhotons(), params);
+  ASSERT_TRUE(product.ok()) << product.status().ToString();
+  EXPECT_EQ(product.value().routine, "histogram");
+  EXPECT_EQ(server->invocations(), 1);
+  EXPECT_EQ(server->state(), ServerState::kIdle);
+}
+
+TEST_F(PlTest, InvokeOnStoppedServerFails) {
+  auto server = MakeServer("idl0");
+  auto r = server->Invoke("histogram", SmallPhotons(), {});
+  EXPECT_TRUE(r.status().IsUnavailable());
+}
+
+TEST_F(PlTest, UnknownRoutineNotFound) {
+  auto server = MakeServer("idl0");
+  ASSERT_TRUE(server->Start().ok());
+  EXPECT_TRUE(server->Invoke("warp_drive", SmallPhotons(), {})
+                  .status()
+                  .IsNotFound());
+  EXPECT_EQ(server->state(), ServerState::kIdle);  // not crashed
+}
+
+TEST_F(PlTest, VirtualTimeCharging) {
+  IdlServer::Options options;
+  options.work_units_per_second = 1000;  // photons/s for histogram
+  auto server = MakeServer("idl0", options);
+  ASSERT_TRUE(server->Start().ok());
+  rhessi::PhotonList photons = SmallPhotons();
+  Micros t0 = clock_.Now();
+  ASSERT_TRUE(server->Invoke("histogram", photons, {}).ok());
+  Micros elapsed = clock_.Now() - t0;
+  Micros expected = static_cast<Micros>(
+      static_cast<double>(photons.size()) / 1000.0 * kMicrosPerSecond);
+  EXPECT_NEAR(static_cast<double>(elapsed), static_cast<double>(expected),
+              static_cast<double>(expected) * 0.01 + 1);
+}
+
+TEST_F(PlTest, CrashInjectionAndTimeout) {
+  IdlServer::Options options;
+  options.crash_probability = 1.0;
+  auto server = MakeServer("crashy", options);
+  ASSERT_TRUE(server->Start().ok());
+  auto r = server->Invoke("histogram", SmallPhotons(), {});
+  EXPECT_TRUE(r.status().IsUnavailable());
+  EXPECT_EQ(server->state(), ServerState::kCrashed);
+  EXPECT_EQ(server->crashes(), 1);
+
+  IdlServer::Options timeout_options;
+  timeout_options.timeout_work_units = 1;  // everything times out
+  auto slow = MakeServer("slow", timeout_options);
+  ASSERT_TRUE(slow->Start().ok());
+  EXPECT_TRUE(slow->Invoke("histogram", SmallPhotons(), {})
+                  .status()
+                  .IsTimeout());
+}
+
+TEST_F(PlTest, ManagerRetriesAfterCrash) {
+  IdlServerManager::Options options;
+  options.max_retries = 4;  // per-attempt failure 50% -> ~3% per request
+  IdlServerManager manager("host0", options);
+  IdlServer::Options flaky;
+  flaky.crash_probability = 0.5;
+  flaky.fault_seed = 7;
+  ASSERT_TRUE(manager.AddServer(MakeServer("idl0", flaky)).ok());
+  ASSERT_TRUE(manager.AddServer(MakeServer("idl1", flaky)).ok());
+  int successes = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (manager.Invoke("histogram", SmallPhotons(), {}).ok()) ++successes;
+  }
+  // With restart+retry, the vast majority succeed despite 50% crash rate.
+  EXPECT_GE(successes, 17);
+  EXPECT_GT(manager.restarts(), 0);
+}
+
+TEST_F(PlTest, ManagerAddRemoveServers) {
+  IdlServerManager manager("host0", {});
+  ASSERT_TRUE(manager.AddServer(MakeServer("a")).ok());
+  ASSERT_TRUE(manager.AddServer(MakeServer("b")).ok());
+  EXPECT_EQ(manager.num_servers(), 2u);
+  EXPECT_EQ(manager.idle_servers(), 2);
+  ASSERT_TRUE(manager.RemoveServer().ok());
+  EXPECT_EQ(manager.num_servers(), 1u);
+}
+
+TEST_F(PlTest, ManagerAsyncInvocation) {
+  IdlServerManager manager("host0", {});
+  ASSERT_TRUE(manager.AddServer(MakeServer("a")).ok());
+  ASSERT_TRUE(manager.AddServer(MakeServer("b")).ok());
+  analysis::AnalysisParams params;
+  params.SetInt("bins", 8);
+  auto f1 = manager.InvokeAsync("histogram", SmallPhotons(), params);
+  auto f2 = manager.InvokeAsync("lightcurve", SmallPhotons(), {});
+  EXPECT_TRUE(f1.get().ok());
+  EXPECT_TRUE(f2.get().ok());
+}
+
+TEST_F(PlTest, DirectoryTracksOnlineServices) {
+  GlobalDirectory directory;
+  IdlServerManager m1("host0", {}), m2("host1", {});
+  directory.Register("host0", &m1, "node0:9000");
+  directory.Register("host1", &m2, "node1:9000");
+  EXPECT_EQ(directory.OnlineManagers().size(), 2u);
+  ASSERT_TRUE(directory.SetOnline("host0", false).ok());
+  EXPECT_EQ(directory.OnlineManagers().size(), 1u);
+  EXPECT_FALSE(directory.SetOnline("ghost", true).ok());
+}
+
+TEST_F(PlTest, PredictorConvergesToObservedRate) {
+  DurationPredictor predictor(/*default=*/100.0, /*alpha=*/0.5);
+  // True rate: 1000 units/s.
+  for (int i = 0; i < 20; ++i) {
+    predictor.Observe("imaging", 1000, 1.0);
+  }
+  EXPECT_NEAR(predictor.PredictSeconds("imaging", 2000), 2.0, 0.05);
+  // Unknown routines use the default rate.
+  EXPECT_NEAR(predictor.PredictSeconds("mystery", 100), 1.0, 1e-9);
+}
+
+class FrontendTest : public PlTest {
+ protected:
+  void SetUp() override {
+    manager_ = std::make_unique<IdlServerManager>("host0",
+                                                  IdlServerManager::Options{});
+    ASSERT_TRUE(manager_->AddServer(MakeServer("idl0")).ok());
+    ASSERT_TRUE(manager_->AddServer(MakeServer("idl1")).ok());
+    directory_.Register("host0", manager_.get(), "local");
+    predictor_ = std::make_unique<DurationPredictor>();
+  }
+
+  Frontend MakeFrontend(Frontend::Committer committer = nullptr) {
+    return Frontend(&directory_, predictor_.get(), &clock_,
+                    std::move(committer), Frontend::Options{});
+  }
+
+  GlobalDirectory directory_;
+  std::unique_ptr<IdlServerManager> manager_;
+  std::unique_ptr<DurationPredictor> predictor_;
+};
+
+TEST_F(FrontendTest, FourPhaseWorkflowCompletes) {
+  std::atomic<int> commits{0};
+  Frontend frontend = MakeFrontend(
+      [&commits](const ProcessingRequest&,
+                 const analysis::AnalysisProduct&) -> Result<int64_t> {
+        return static_cast<int64_t>(++commits);
+      });
+  ProcessingRequest request;
+  request.routine = "histogram";
+  request.photons = SmallPhotons();
+  request.params.SetInt("bins", 8);
+  int64_t id = frontend.Submit(std::move(request)).value();
+  RequestOutcome outcome = frontend.Wait(id);
+  EXPECT_EQ(outcome.state, RequestState::kCommitted);
+  EXPECT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+  EXPECT_EQ(outcome.committed_ana_id, 1);
+  EXPECT_GT(outcome.predicted_seconds, 0);
+  EXPECT_FALSE(outcome.product.rendered.empty());
+}
+
+TEST_F(FrontendTest, SkipCommitStopsAtDelivery) {
+  Frontend frontend = MakeFrontend();
+  ProcessingRequest request;
+  request.routine = "lightcurve";
+  request.photons = SmallPhotons();
+  request.skip_commit = true;
+  int64_t id = frontend.Submit(std::move(request)).value();
+  RequestOutcome outcome = frontend.Wait(id);
+  EXPECT_EQ(outcome.state, RequestState::kDelivered);
+  EXPECT_TRUE(outcome.product.series.has_value());
+}
+
+TEST_F(FrontendTest, FailedRoutineReportsFailure) {
+  Frontend frontend = MakeFrontend();
+  ProcessingRequest request;
+  request.routine = "no_such_routine";
+  request.photons = SmallPhotons();
+  int64_t id = frontend.Submit(std::move(request)).value();
+  RequestOutcome outcome = frontend.Wait(id);
+  EXPECT_EQ(outcome.state, RequestState::kFailed);
+  EXPECT_TRUE(outcome.status.IsNotFound());
+}
+
+TEST_F(FrontendTest, ManyRequestsAllComplete) {
+  Frontend frontend = MakeFrontend();
+  std::vector<int64_t> ids;
+  for (int i = 0; i < 12; ++i) {
+    ProcessingRequest request;
+    request.routine = i % 2 == 0 ? "histogram" : "lightcurve";
+    request.photons = SmallPhotons();
+    request.skip_commit = true;
+    request.priority = i % 3;
+    ids.push_back(frontend.Submit(std::move(request)).value());
+  }
+  for (int64_t id : ids) {
+    RequestOutcome outcome = frontend.Wait(id);
+    EXPECT_EQ(outcome.state, RequestState::kDelivered)
+        << outcome.status.ToString();
+  }
+  EXPECT_EQ(frontend.completed(), 12);
+}
+
+TEST_F(FrontendTest, CancelQueuedRequest) {
+  // Saturate interpreters with slow virtual-time jobs is racy in real
+  // time; instead cancel before any dispatcher can run by using a
+  // front end whose directory is empty until after cancellation.
+  GlobalDirectory empty_directory;
+  Frontend frontend(&empty_directory, predictor_.get(), &clock_, nullptr,
+                    Frontend::Options{});
+  ProcessingRequest request;
+  request.routine = "histogram";
+  request.photons = SmallPhotons();
+  int64_t id = frontend.Submit(std::move(request)).value();
+  // With no managers online the request fails; cancel may race with that
+  // failure — both are terminal and acceptable.
+  frontend.Cancel(id);
+  RequestOutcome outcome = frontend.Wait(id);
+  EXPECT_TRUE(outcome.state == RequestState::kCancelled ||
+              outcome.state == RequestState::kFailed);
+}
+
+TEST_F(FrontendTest, EstimateReturnsImmediately) {
+  Frontend frontend = MakeFrontend();
+  ProcessingRequest request;
+  request.routine = "imaging";
+  request.photons = SmallPhotons();
+  request.params.SetInt("pixels", 64);
+  auto estimate = frontend.Estimate(request);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_GT(estimate.value(), 0);
+}
+
+TEST_F(FrontendTest, UnknownRequestIdInWaitAndCancel) {
+  Frontend frontend = MakeFrontend();
+  EXPECT_TRUE(frontend.Cancel(999).IsNotFound());
+  RequestOutcome outcome = frontend.Wait(999);
+  EXPECT_EQ(outcome.state, RequestState::kFailed);
+  EXPECT_FALSE(frontend.GetState(999).ok());
+}
+
+}  // namespace
+}  // namespace hedc::pl

@@ -1,0 +1,185 @@
+// Discrete-event simulator tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace hedc::sim {
+namespace {
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.At(5, [&] { order.push_back(2); });
+  simulator.At(1, [&] { order.push_back(1); });
+  simulator.At(9, [&] { order.push_back(3); });
+  simulator.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(simulator.now(), 9);
+}
+
+TEST(SimulatorTest, TiesAreFifo) {
+  Simulator simulator;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    simulator.At(3, [&order, i] { order.push_back(i); });
+  }
+  simulator.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator simulator;
+  int fired = 0;
+  simulator.After(1, [&] {
+    simulator.After(2, [&] {
+      ++fired;
+      EXPECT_DOUBLE_EQ(simulator.now(), 3);
+    });
+  });
+  simulator.Run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator simulator;
+  int fired = 0;
+  simulator.At(1, [&] { ++fired; });
+  simulator.At(10, [&] { ++fired; });
+  simulator.RunUntil(5);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(simulator.now(), 5);
+  simulator.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(FcfsQueueTest, SingleServerSerializes) {
+  Simulator simulator;
+  FcfsQueue queue(&simulator, 1);
+  std::vector<double> completions;
+  for (int i = 0; i < 3; ++i) {
+    queue.Submit(2.0, [&] { completions.push_back(simulator.now()); });
+  }
+  simulator.Run();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_DOUBLE_EQ(completions[0], 2);
+  EXPECT_DOUBLE_EQ(completions[1], 4);
+  EXPECT_DOUBLE_EQ(completions[2], 6);
+  EXPECT_EQ(queue.completed(), 3u);
+}
+
+TEST(FcfsQueueTest, MultiServerParallelizes) {
+  Simulator simulator;
+  FcfsQueue queue(&simulator, 2);
+  std::vector<double> completions;
+  for (int i = 0; i < 4; ++i) {
+    queue.Submit(3.0, [&] { completions.push_back(simulator.now()); });
+  }
+  simulator.Run();
+  ASSERT_EQ(completions.size(), 4u);
+  EXPECT_DOUBLE_EQ(completions[1], 3);  // two finish at t=3
+  EXPECT_DOUBLE_EQ(completions[3], 6);  // two more at t=6
+}
+
+TEST(FcfsQueueTest, ThroughputMatchesServiceRate) {
+  // Closed loop with 4 jobs on 1 server at 0.1 s/job: 10 jobs/s.
+  Simulator simulator;
+  FcfsQueue queue(&simulator, 1);
+  int64_t completed = 0;
+  std::function<void()> cycle = [&] {
+    ++completed;
+    queue.Submit(0.1, cycle);
+  };
+  for (int i = 0; i < 4; ++i) queue.Submit(0.1, cycle);
+  simulator.RunUntil(100);
+  EXPECT_NEAR(static_cast<double>(completed) / 100.0, 10.0, 0.5);
+}
+
+TEST(PsCpuTest, SingleJobRunsAtFullRate) {
+  Simulator simulator;
+  PsCpu cpu(&simulator, 2);
+  double done_at = -1;
+  cpu.Submit(5.0, [&] { done_at = simulator.now(); });
+  simulator.Run();
+  EXPECT_NEAR(done_at, 5.0, 1e-9);
+}
+
+TEST(PsCpuTest, SharingStretchesJobs) {
+  // Two 5s jobs on 1 core finish together at t=10.
+  Simulator simulator;
+  PsCpu cpu(&simulator, 1);
+  std::vector<double> done;
+  cpu.Submit(5.0, [&] { done.push_back(simulator.now()); });
+  cpu.Submit(5.0, [&] { done.push_back(simulator.now()); });
+  simulator.Run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0], 10.0, 1e-9);
+  EXPECT_NEAR(done[1], 10.0, 1e-9);
+}
+
+TEST(PsCpuTest, MultiCoreNoContentionBelowCores) {
+  Simulator simulator;
+  PsCpu cpu(&simulator, 2);
+  std::vector<double> done;
+  cpu.Submit(4.0, [&] { done.push_back(simulator.now()); });
+  cpu.Submit(4.0, [&] { done.push_back(simulator.now()); });
+  simulator.Run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0], 4.0, 1e-9);
+  EXPECT_NEAR(done[1], 4.0, 1e-9);
+}
+
+TEST(PsCpuTest, LateArrivalsShareRemainingWork) {
+  Simulator simulator;
+  PsCpu cpu(&simulator, 1);
+  double first_done = -1, second_done = -1;
+  cpu.Submit(4.0, [&] { first_done = simulator.now(); });
+  simulator.At(2.0, [&] {
+    cpu.Submit(1.0, [&] { second_done = simulator.now(); });
+  });
+  simulator.Run();
+  // First runs alone 0..2 (2 units left), then shares: both need 2 more
+  // virtual seconds each at rate 1/2 -> second finishes its 1 unit at
+  // t = 2 + 2 = 4; first then runs alone its last unit: t = 5.
+  EXPECT_NEAR(second_done, 4.0, 1e-9);
+  EXPECT_NEAR(first_done, 5.0, 1e-9);
+}
+
+TEST(PsCpuTest, StretchFunctionSlowsService) {
+  Simulator simulator;
+  PsCpu cpu(&simulator, 1);
+  cpu.SetStretchFunction([](int n) { return n >= 2 ? 2.0 : 1.0; });
+  std::vector<double> done;
+  cpu.Submit(2.0, [&] { done.push_back(simulator.now()); });
+  cpu.Submit(2.0, [&] { done.push_back(simulator.now()); });
+  simulator.Run();
+  // Two jobs, rate 1/2 each, halved again by stretch: rate 1/4 ->
+  // both finish at t=8.
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0], 8.0, 1e-9);
+}
+
+TEST(PsCpuTest, UtilizationTracksWork) {
+  Simulator simulator;
+  PsCpu cpu(&simulator, 2);
+  cpu.Submit(3.0, [] {});
+  simulator.Run();
+  // 3 core-seconds of work over 3 seconds on 2 cores = 50%.
+  EXPECT_NEAR(cpu.utilization(simulator.now()), 0.5, 1e-9);
+}
+
+TEST(AccumulatorTest, MeanMinMax) {
+  Accumulator acc;
+  acc.Add(2);
+  acc.Add(4);
+  acc.Add(9);
+  EXPECT_EQ(acc.count(), 3u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+}  // namespace
+}  // namespace hedc::sim

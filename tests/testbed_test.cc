@@ -1,0 +1,162 @@
+// Testbed model tests: the browse and processing models must reproduce
+// the paper's qualitative shapes (peak location, degradation, scale-out,
+// configuration ordering).
+#include <gtest/gtest.h>
+
+#include "testbed/browse_model.h"
+#include "testbed/processing_model.h"
+
+namespace hedc::testbed {
+namespace {
+
+TEST(BrowseModelTest, PeaksAroundSixteenClients) {
+  BrowseResult r16 = RunBrowse(16, 1, 300);
+  // ~16-17 req/s at the peak; the database runs at ~120 queries/s.
+  EXPECT_GT(r16.throughput_rps, 15.0);
+  EXPECT_LT(r16.throughput_rps, 18.5);
+  EXPECT_GT(r16.db_queries_per_sec, 110.0);
+  EXPECT_LE(r16.db_queries_per_sec, 121.0);
+}
+
+TEST(BrowseModelTest, DegradesBeyondThePeak) {
+  // Figure 4 shape: monotone decline from the 16-client peak to ~3 req/s
+  // at 96 clients.
+  double prev = 1e9;
+  for (int clients : {16, 32, 48, 64, 80, 96}) {
+    BrowseResult r = RunBrowse(clients, 1, 300);
+    EXPECT_LT(r.throughput_rps, prev + 0.2) << clients << " clients";
+    prev = r.throughput_rps;
+  }
+  BrowseResult r96 = RunBrowse(96, 1, 300);
+  EXPECT_GT(r96.throughput_rps, 2.0);
+  EXPECT_LT(r96.throughput_rps, 5.0);
+}
+
+TEST(BrowseModelTest, MiddleTierScaleOut) {
+  // Figure 5 shape: 96 clients, throughput rises with nodes until the
+  // database saturates (~17-18 req/s = ~120 queries/s).
+  BrowseResult one = RunBrowse(96, 1, 300);
+  BrowseResult two = RunBrowse(96, 2, 300);
+  BrowseResult five = RunBrowse(96, 5, 300);
+  EXPECT_GT(two.throughput_rps, 2.5 * one.throughput_rps);
+  EXPECT_GT(five.throughput_rps, 16.0);
+  EXPECT_LT(five.throughput_rps, 19.0);
+  EXPECT_GT(five.db_queries_per_sec, 115.0);  // DB at peak
+  EXPECT_GT(five.db_utilization, 0.95);
+}
+
+TEST(BrowseModelTest, ResponseTimeGrowsWithClients) {
+  BrowseResult r16 = RunBrowse(16, 1, 300);
+  BrowseResult r96 = RunBrowse(96, 1, 300);
+  EXPECT_GT(r96.mean_response_sec, 5 * r16.mean_response_sec);
+}
+
+TEST(BrowseModelTest, CpuDemandModelHasKnee) {
+  BrowseCalibration calibration;
+  EXPECT_DOUBLE_EQ(CpuDemandPerRequest(calibration, 8),
+                   calibration.base_cpu_seconds);
+  EXPECT_DOUBLE_EQ(CpuDemandPerRequest(calibration, 16),
+                   calibration.base_cpu_seconds);
+  EXPECT_GT(CpuDemandPerRequest(calibration, 17),
+            calibration.base_cpu_seconds);
+  EXPECT_GT(CpuDemandPerRequest(calibration, 96),
+            CpuDemandPerRequest(calibration, 48));
+}
+
+TEST(ProcessingModelTest, ImagingConfigurationOrdering) {
+  // Table 1 (left): S/1 slowest, then S/2, C/1, S+C fastest.
+  AnalysisProfile imaging = ImagingProfile();
+  ProcessingRow s1 = RunProcessing(imaging, {1, 0, false});
+  ProcessingRow s2 = RunProcessing(imaging, {2, 0, false});
+  ProcessingRow c1 = RunProcessing(imaging, {0, 1, false});
+  ProcessingRow sc = RunProcessing(imaging, {2, 1, false});
+  EXPECT_GT(s1.duration_sec, s2.duration_sec);
+  EXPECT_GT(s2.duration_sec, c1.duration_sec);
+  EXPECT_GT(c1.duration_sec, sc.duration_sec);
+  // Rough factors: S/1 ~6000 s; S/2 about half; C/1 ~2000 s.
+  EXPECT_NEAR(s1.duration_sec, 6027, 500);
+  EXPECT_NEAR(s2.duration_sec, 3117, 400);
+  EXPECT_NEAR(c1.duration_sec, 2059, 300);
+  // Turnover is the inverse ordering.
+  EXPECT_LT(s1.turnover_gb_per_day, sc.turnover_gb_per_day);
+}
+
+TEST(ProcessingModelTest, ImagingUtilizationShape) {
+  AnalysisProfile imaging = ImagingProfile();
+  ProcessingRow s1 = RunProcessing(imaging, {1, 0, false});
+  ProcessingRow s2 = RunProcessing(imaging, {2, 0, false});
+  // One worker on a 2-CPU server: ~50% usr; two workers: >90% (Table 1).
+  EXPECT_NEAR(s1.server_cpu_util, 0.50, 0.05);
+  EXPECT_GT(s2.server_cpu_util, 0.85);
+  ProcessingRow c1 = RunProcessing(imaging, {0, 1, false});
+  EXPECT_GT(c1.client_cpu_util, 0.75);  // paper: ~90%
+  EXPECT_EQ(c1.server_cpu_util, 0.0);
+}
+
+TEST(ProcessingModelTest, HistogramParallelScalingIsPoor) {
+  // Table 1 (right): S/1 -> S/2 speeds up only ~1.47x (I/O + scheduling).
+  AnalysisProfile histogram = HistogramProfile();
+  ProcessingRow s1 = RunProcessing(histogram, {1, 0, false});
+  ProcessingRow s2 = RunProcessing(histogram, {2, 0, false});
+  EXPECT_NEAR(s1.duration_sec, 960, 100);
+  double speedup = s1.duration_sec / s2.duration_sec;
+  EXPECT_GT(speedup, 1.2);
+  EXPECT_LT(speedup, 1.75);
+}
+
+TEST(ProcessingModelTest, CachedClientSkipsTransferButGainsLittle) {
+  // "even for the data intensive histogram test, the cost of data
+  // movement are relatively small" (§8.3).
+  AnalysisProfile histogram = HistogramProfile();
+  ProcessingRow c1 = RunProcessing(histogram, {0, 1, false});
+  ProcessingRow cached = RunProcessing(histogram, {0, 1, true});
+  EXPECT_LT(cached.duration_sec, c1.duration_sec);
+  double saving = (c1.duration_sec - cached.duration_sec) / c1.duration_sec;
+  EXPECT_LT(saving, 0.10);  // under 10% — data movement is cheap
+}
+
+TEST(ProcessingModelTest, CombinedConfigIsFastestButClientUnsaturated) {
+  AnalysisProfile histogram = HistogramProfile();
+  ProcessingRow sc = RunProcessing(histogram, {2, 1, false});
+  ProcessingRow s2 = RunProcessing(histogram, {2, 0, false});
+  EXPECT_LT(sc.duration_sec, s2.duration_sec);
+  EXPECT_NEAR(sc.duration_sec, 438, 100);
+  // §8.4: "the client CPU is not saturated" in short parallel analyses.
+  EXPECT_LT(sc.client_cpu_util, 0.6);
+}
+
+TEST(ProcessingModelTest, QueryEditCountsMatchTables2And3) {
+  // Table 2: 100 imaging requests -> 300 queries, 200 edits.
+  ProcessingRow imaging = RunProcessing(ImagingProfile(), {1, 0, false});
+  EXPECT_EQ(imaging.total_queries, 300);
+  EXPECT_EQ(imaging.total_edits, 200);
+  // Table 3: 150 histogram requests -> 450 queries, 300 edits.
+  ProcessingRow histogram = RunProcessing(HistogramProfile(), {1, 0, false});
+  EXPECT_EQ(histogram.total_queries, 450);
+  EXPECT_EQ(histogram.total_edits, 300);
+}
+
+TEST(ProcessingModelTest, SojournDropsWithParallelism) {
+  AnalysisProfile histogram = HistogramProfile();
+  ProcessingRow s1 = RunProcessing(histogram, {1, 0, false});
+  ProcessingRow sc = RunProcessing(histogram, {2, 1, false});
+  EXPECT_GT(s1.avg_sojourn_sec, sc.avg_sojourn_sec);
+}
+
+TEST(ProcessingModelTest, DmOpDurationConstantAcrossScenarios) {
+  // §8.4: "The duration of query and edit operations is almost constant
+  // and equal in all scenarios" — aggregate DM service time is exactly
+  // ops x op_seconds regardless of configuration.
+  AnalysisProfile histogram = HistogramProfile();
+  ProcessingCalibration calibration;
+  double expected = 150 * 5 * calibration.dm_op_seconds;
+  for (ProcessingConfig config :
+       {ProcessingConfig{1, 0, false}, ProcessingConfig{2, 0, false},
+        ProcessingConfig{0, 1, false}, ProcessingConfig{2, 1, false}}) {
+    ProcessingRow row = RunProcessing(histogram, config, calibration);
+    EXPECT_NEAR(row.dm_ops_total_sec, expected, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace hedc::testbed

@@ -1,0 +1,265 @@
+// Haar transforms, progressive codec, partitioned views, plots.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "wavelet/codec.h"
+#include "wavelet/haar.h"
+#include "wavelet/views.h"
+
+namespace hedc::wavelet {
+namespace {
+
+TEST(HaarTest, NextPow2) {
+  EXPECT_EQ(NextPow2(0), 1u);
+  EXPECT_EQ(NextPow2(1), 1u);
+  EXPECT_EQ(NextPow2(2), 2u);
+  EXPECT_EQ(NextPow2(3), 4u);
+  EXPECT_EQ(NextPow2(1024), 1024u);
+  EXPECT_EQ(NextPow2(1025), 2048u);
+}
+
+TEST(HaarTest, ForwardInverseIdentity) {
+  Rng rng(1);
+  std::vector<double> data(256);
+  for (auto& v : data) v = rng.Uniform(-10, 10);
+  std::vector<double> original = data;
+  HaarForward(&data);
+  HaarInverse(&data);
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i], original[i], 1e-9);
+  }
+}
+
+TEST(HaarTest, PartialLevels) {
+  Rng rng(2);
+  std::vector<double> data(64);
+  for (auto& v : data) v = rng.Uniform(0, 5);
+  std::vector<double> original = data;
+  HaarForward(&data, 3);
+  HaarInverse(&data, 3);
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i], original[i], 1e-9);
+  }
+}
+
+TEST(HaarTest, EnergyPreserved) {
+  Rng rng(3);
+  std::vector<double> data(128);
+  double energy = 0;
+  for (auto& v : data) {
+    v = rng.Normal(0, 2);
+    energy += v * v;
+  }
+  HaarForward(&data);
+  double coeff_energy = 0;
+  for (double c : data) coeff_energy += c * c;
+  EXPECT_NEAR(coeff_energy, energy, 1e-6 * energy);
+}
+
+TEST(HaarTest, ConstantSignalConcentrates) {
+  std::vector<double> data(64, 5.0);
+  HaarForward(&data);
+  // All energy in the first (scaling) coefficient.
+  EXPECT_NEAR(data[0], 5.0 * std::sqrt(64.0), 1e-9);
+  for (size_t i = 1; i < data.size(); ++i) EXPECT_NEAR(data[i], 0.0, 1e-9);
+}
+
+TEST(HaarTest, PadToPow2) {
+  std::vector<double> data = {1, 2, 3};
+  size_t original = PadToPow2(&data);
+  EXPECT_EQ(original, 3u);
+  ASSERT_EQ(data.size(), 4u);
+  EXPECT_EQ(data[3], 3.0);  // step extension
+
+  std::vector<double> empty;
+  EXPECT_EQ(PadToPow2(&empty), 0u);
+  EXPECT_EQ(empty.size(), 1u);
+}
+
+TEST(Haar2dTest, RoundTrip) {
+  Rng rng(4);
+  const size_t rows = 16, cols = 32;
+  std::vector<double> data(rows * cols);
+  for (auto& v : data) v = rng.Uniform(-3, 3);
+  std::vector<double> original = data;
+  Haar2dForward(&data, rows, cols);
+  Haar2dInverse(&data, rows, cols);
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i], original[i], 1e-9);
+  }
+}
+
+TEST(CodecTest, LosslessAtFullFraction) {
+  Rng rng(5);
+  std::vector<double> signal(300);  // non-power-of-two
+  for (auto& v : signal) v = rng.Uniform(0, 100);
+  std::vector<uint8_t> stream = EncodeSignal(signal);
+  auto decoded = DecodeSignal(stream, 1.0);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded.value().size(), signal.size());
+  EXPECT_LT(RelativeL2Error(signal, decoded.value()), 1e-4);
+}
+
+TEST(CodecTest, ProgressiveErrorDecreasesWithFraction) {
+  // Smooth signal + noise: prefix decoding must improve monotonically
+  // (within tolerance).
+  Rng rng(6);
+  std::vector<double> signal(1024);
+  for (size_t i = 0; i < signal.size(); ++i) {
+    signal[i] = 50 * std::sin(static_cast<double>(i) * 0.02) +
+                rng.Normal(0, 1);
+  }
+  std::vector<uint8_t> stream = EncodeSignal(signal);
+  double prev_err = 1e18;
+  for (double fraction : {0.02, 0.1, 0.3, 1.0}) {
+    auto decoded = DecodeSignal(stream, fraction);
+    ASSERT_TRUE(decoded.ok());
+    double err = RelativeL2Error(signal, decoded.value());
+    EXPECT_LE(err, prev_err + 1e-9) << "fraction " << fraction;
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, 1e-3);
+}
+
+TEST(CodecTest, BlockySignalIsSparse) {
+  std::vector<double> signal(4096);
+  for (size_t i = 0; i < signal.size(); ++i) {
+    signal[i] = (i / 512) % 2 == 0 ? 100.0 : 0.0;  // blocky
+  }
+  std::vector<uint8_t> stream = EncodeSignal(signal);
+  // Piecewise-constant signals aligned to dyadic boundaries have only a
+  // handful of nonzero Haar coefficients.
+  auto n = CoefficientCount(stream);
+  ASSERT_TRUE(n.ok());
+  EXPECT_LT(n.value(), 16u);
+  auto decoded = DecodeSignal(stream, 1.0);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_LT(RelativeL2Error(signal, decoded.value()), 1e-6);
+}
+
+TEST(CodecTest, ThresholdDropsCoefficients) {
+  Rng rng(7);
+  std::vector<double> signal(512);
+  for (auto& v : signal) v = rng.Normal(0, 1);
+  CodecOptions lossy;
+  lossy.threshold = 2.0;
+  std::vector<uint8_t> full = EncodeSignal(signal);
+  std::vector<uint8_t> thresholded = EncodeSignal(signal, lossy);
+  auto n_full = CoefficientCount(full);
+  auto n_thresh = CoefficientCount(thresholded);
+  ASSERT_TRUE(n_full.ok());
+  ASSERT_TRUE(n_thresh.ok());
+  EXPECT_LT(n_thresh.value(), n_full.value());
+  EXPECT_LT(thresholded.size(), full.size());
+}
+
+TEST(CodecTest, EmptySignal) {
+  std::vector<double> signal;
+  auto decoded = DecodeSignal(EncodeSignal(signal));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().empty());
+}
+
+TEST(CodecTest, BadStreamRejected) {
+  EXPECT_FALSE(DecodeSignal({1, 2, 3, 4, 5}).ok());
+}
+
+TEST(PartitionedViewTest, QueryDecodesOnlyOverlappingPartitions) {
+  std::vector<std::pair<double, double>> samples;
+  for (int i = 0; i < 10000; ++i) {
+    samples.emplace_back(static_cast<double>(i) / 10.0, 1.0);
+  }
+  PartitionedView::Options options;
+  options.domain_lo = 0;
+  options.domain_hi = 1000;
+  options.num_partitions = 10;
+  options.bins_per_partition = 64;
+  auto view = PartitionedView::Build(samples, options);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+
+  // A query covering 1/10 of the domain needs ~1/10 of the bytes.
+  size_t total = view.value().TotalBytes();
+  size_t range_bytes = view.value().BytesForRange(100, 199);
+  EXPECT_LT(range_bytes, total / 5);
+
+  double start = -1;
+  auto bins = view.value().Query(100, 199, 1.0, &start);
+  ASSERT_TRUE(bins.ok());
+  EXPECT_DOUBLE_EQ(start, 100.0);
+  EXPECT_EQ(bins.value().size(), 64u);  // one partition
+  // Each bin covers 1000/640 s and samples arrive at 10/s with value 1
+  // => ~15.6 per bin.
+  double sum = 0;
+  for (double b : bins.value()) sum += b;
+  EXPECT_NEAR(sum / bins.value().size(), 15.6, 1.0);
+}
+
+TEST(PartitionedViewTest, ApproximateQueryIsClose) {
+  Rng rng(8);
+  std::vector<std::pair<double, double>> samples;
+  for (int i = 0; i < 50000; ++i) {
+    samples.emplace_back(rng.Uniform(0, 100), 1.0);
+  }
+  PartitionedView::Options options;
+  options.domain_lo = 0;
+  options.domain_hi = 100;
+  options.num_partitions = 4;
+  options.bins_per_partition = 128;
+  auto view = PartitionedView::Build(samples, options);
+  ASSERT_TRUE(view.ok());
+  auto exact = view.value().Query(0, 100, 1.0, nullptr);
+  auto approx = view.value().Query(0, 100, 0.25, nullptr);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(approx.ok());
+  EXPECT_LT(RelativeL2Error(exact.value(), approx.value()), 0.2);
+}
+
+TEST(PartitionedViewTest, InvalidOptionsRejected) {
+  std::vector<std::pair<double, double>> samples;
+  PartitionedView::Options options;
+  options.domain_lo = 5;
+  options.domain_hi = 5;
+  EXPECT_FALSE(PartitionedView::Build(samples, options).ok());
+}
+
+TEST(DensityPlotTest, CountsPerBin) {
+  std::vector<std::pair<double, double>> points = {
+      {0.5, 0.5}, {0.6, 0.4}, {9.5, 9.5}, {100, 100} /* out of range */};
+  DensityPlot plot = BuildDensityPlot(points, 10, 10, 0, 10, 0, 10);
+  EXPECT_DOUBLE_EQ(plot.At(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(plot.At(9, 9), 1.0);
+  EXPECT_DOUBLE_EQ(plot.MaxCount(), 2.0);
+  double total = 0;
+  for (double c : plot.counts) total += c;
+  EXPECT_DOUBLE_EQ(total, 3.0);  // out-of-range point dropped
+}
+
+TEST(ExtentPlotTest, ClustersAdjacentCells) {
+  std::vector<std::pair<double, double>> points;
+  // Cluster A spans cells (1,1), (1,2) and (2,2) — connected through the
+  // shared edge cell (1,2); cluster B is isolated near (8,8).
+  for (int i = 0; i < 4; ++i) {
+    points.emplace_back(1.5, 1.5);  // cell (1,1)
+    points.emplace_back(1.5, 2.5);  // cell (1,2)
+    points.emplace_back(2.5, 2.5);  // cell (2,2)
+  }
+  for (int i = 0; i < 8; ++i) points.emplace_back(8.5, 8.5);
+  auto extents = BuildExtentPlot(points, 10, 0, 10, 0, 10);
+  ASSERT_EQ(extents.size(), 2u);
+  int64_t total = 0;
+  for (const Extent& e : extents) {
+    total += e.tuple_count;
+    EXPECT_LT(e.x_lo, e.x_hi);
+    EXPECT_LT(e.y_lo, e.y_hi);
+  }
+  EXPECT_EQ(total, 20);
+}
+
+TEST(ExtentPlotTest, EmptyInput) {
+  EXPECT_TRUE(BuildExtentPlot({}, 8, 0, 1, 0, 1).empty());
+}
+
+}  // namespace
+}  // namespace hedc::wavelet

@@ -1,0 +1,237 @@
+// Web tier tests: query parsing, templates, servlets end to end.
+#include <gtest/gtest.h>
+
+#include "core/strings.h"
+#include "hedc_fixture.h"
+#include "web/http.h"
+#include "web/template.h"
+
+namespace hedc::web {
+namespace {
+
+TEST(HttpTest, ParseQueryString) {
+  auto q = ParseQueryString("a=1&b=two+words&empty=&flag");
+  EXPECT_EQ(q["a"], "1");
+  EXPECT_EQ(q["b"], "two words");
+  EXPECT_EQ(q["empty"], "");
+  EXPECT_EQ(q["flag"], "");
+}
+
+TEST(HttpTest, MakeRequestSplitsPathAndQuery) {
+  HttpRequest r = MakeRequest("/hle?id=7&x=y", "10.0.0.9", "tok");
+  EXPECT_EQ(r.path, "/hle");
+  EXPECT_EQ(r.GetQuery("id"), "7");
+  EXPECT_EQ(r.client_ip, "10.0.0.9");
+  EXPECT_EQ(r.GetCookie("hedc_session"), "tok");
+  HttpRequest plain = MakeRequest("/catalog");
+  EXPECT_EQ(plain.path, "/catalog");
+  EXPECT_TRUE(plain.query.empty());
+}
+
+TEST(TemplateTest, ScalarSubstitutionEscapes) {
+  TemplateContext ctx;
+  ctx.Set("name", "<script>alert('x')</script>");
+  auto r = RenderTemplate("Hello {{name}}!", ctx);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(),
+            "Hello &lt;script&gt;alert('x')&lt;/script&gt;!");
+}
+
+TEST(TemplateTest, RawSubstitution) {
+  TemplateContext ctx;
+  ctx.Set("html", "<b>bold</b>");
+  auto r = RenderTemplate("{{&html}}", ctx);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "<b>bold</b>");
+}
+
+TEST(TemplateTest, UnknownScalarRendersEmpty) {
+  auto r = RenderTemplate("[{{missing}}]", TemplateContext{});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "[]");
+}
+
+TEST(TemplateTest, SectionsRepeat) {
+  TemplateContext ctx;
+  ctx.AddRow("rows").Set("v", "a");
+  ctx.AddRow("rows").Set("v", "b");
+  auto r = RenderTemplate("<ul>{{#rows}}<li>{{v}}</li>{{/rows}}</ul>", ctx);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "<ul><li>a</li><li>b</li></ul>");
+}
+
+TEST(TemplateTest, EmptySectionRendersNothing) {
+  auto r = RenderTemplate("x{{#rows}}never{{/rows}}y", TemplateContext{});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "xy");
+}
+
+TEST(TemplateTest, NestedSections) {
+  TemplateContext ctx;
+  TemplateContext& outer = ctx.AddRow("hles");
+  outer.Set("id", "1");
+  outer.AddRow("anas").Set("a", "x");
+  outer.AddRow("anas").Set("a", "y");
+  auto r = RenderTemplate(
+      "{{#hles}}H{{id}}:{{#anas}}[{{a}}]{{/anas}};{{/hles}}", ctx);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value(), "H1:[x][y];");
+}
+
+TEST(TemplateTest, UnbalancedSectionFails) {
+  EXPECT_FALSE(RenderTemplate("{{#rows}}x", TemplateContext{}).ok());
+  EXPECT_FALSE(RenderTemplate("x{{/rows}}", TemplateContext{}).ok());
+  EXPECT_FALSE(RenderTemplate("{{unclosed", TemplateContext{}).ok());
+}
+
+class WebStackTest : public ::testing::Test {
+ protected:
+  WebStackTest() : stack_(/*seed=*/5) {}
+
+  std::string LoginCookie(const std::string& user,
+                          const std::string& password) {
+    HttpRequest login = MakeRequest("/login?user=" + user +
+                                    "&password=" + password);
+    HttpResponse response = stack_.web_server->Dispatch(login);
+    EXPECT_EQ(response.status_code, 200);
+    return response.set_cookies.count("hedc_session") > 0
+               ? response.set_cookies.at("hedc_session")
+               : "";
+  }
+
+  testing::HedcStack stack_;
+};
+
+TEST_F(WebStackTest, LoginIssuesCookieAndRejectsBadPassword) {
+  EXPECT_FALSE(LoginCookie("alice", "pw-a").empty());
+  HttpRequest bad = MakeRequest("/login?user=alice&password=nope");
+  EXPECT_EQ(stack_.web_server->Dispatch(bad).status_code, 403);
+}
+
+TEST_F(WebStackTest, CatalogPageListsEvents) {
+  HttpRequest request = MakeRequest("/catalog?name=standard");
+  HttpResponse response = stack_.web_server->Dispatch(request);
+  ASSERT_EQ(response.status_code, 200);
+  // Every loaded HLE appears as a link.
+  for (int64_t hle_id : stack_.hle_ids) {
+    EXPECT_NE(response.body.find("/hle?id=" + std::to_string(hle_id)),
+              std::string::npos);
+  }
+}
+
+TEST_F(WebStackTest, HlePageShowsEventDetails) {
+  ASSERT_FALSE(stack_.hle_ids.empty());
+  HttpRequest request = MakeRequest(
+      "/hle?id=" + std::to_string(stack_.hle_ids[0]));
+  HttpResponse response = stack_.web_server->Dispatch(request);
+  ASSERT_EQ(response.status_code, 200);
+  EXPECT_NE(response.body.find("HLE " + std::to_string(stack_.hle_ids[0])),
+            std::string::npos);
+  EXPECT_NE(response.body.find("peak rate"), std::string::npos);
+}
+
+TEST_F(WebStackTest, MissingPagesAre404) {
+  EXPECT_EQ(stack_.web_server->Dispatch(MakeRequest("/hle?id=99999"))
+                .status_code,
+            404);
+  EXPECT_EQ(stack_.web_server->Dispatch(MakeRequest("/nope")).status_code,
+            404);
+  EXPECT_EQ(stack_.web_server->Dispatch(MakeRequest("/hle?id=abc"))
+                .status_code,
+            400);
+}
+
+TEST_F(WebStackTest, AnalyzeRequiresRights) {
+  ASSERT_FALSE(stack_.hle_ids.empty());
+  std::string url = "/analyze?hle_id=" + std::to_string(stack_.hle_ids[0]) +
+                    "&routine=lightcurve&bin_sec=2";
+  // Anonymous: forbidden.
+  EXPECT_EQ(stack_.web_server->Dispatch(MakeRequest(url)).status_code, 403);
+  // bob (browse-only): forbidden.
+  HttpRequest as_bob = MakeRequest(url, "10.0.0.2",
+                                   LoginCookie("bob", "pw-b"));
+  EXPECT_EQ(stack_.web_server->Dispatch(as_bob).status_code, 403);
+}
+
+TEST_F(WebStackTest, AnalyzeRunsAndStoresResult) {
+  ASSERT_FALSE(stack_.hle_ids.empty());
+  std::string cookie = LoginCookie("alice", "pw-a");
+  std::string url = "/analyze?hle_id=" + std::to_string(stack_.hle_ids[0]) +
+                    "&routine=lightcurve&bin_sec=2";
+  HttpRequest request = MakeRequest(url, "10.0.0.1", cookie);
+  HttpResponse response = stack_.web_server->Dispatch(request);
+  ASSERT_EQ(response.status_code, 200) << response.body;
+  EXPECT_NE(response.body.find("/ana?id="), std::string::npos);
+
+  // Resubmitting the identical analysis offers the precomputed result
+  // (§3.5) instead of recomputing.
+  HttpResponse again = stack_.web_server->Dispatch(request);
+  ASSERT_EQ(again.status_code, 200);
+  EXPECT_NE(again.body.find("already available"), std::string::npos);
+}
+
+TEST_F(WebStackTest, AnaPageAndImageServed) {
+  std::string cookie = LoginCookie("alice", "pw-a");
+  std::string url = "/analyze?hle_id=" + std::to_string(stack_.hle_ids[0]) +
+                    "&routine=histogram&bins=16";
+  HttpResponse submit =
+      stack_.web_server->Dispatch(MakeRequest(url, "10.0.0.1", cookie));
+  ASSERT_EQ(submit.status_code, 200) << submit.body;
+  // Extract the ana id from the response.
+  size_t pos = submit.body.find("/ana?id=");
+  ASSERT_NE(pos, std::string::npos);
+  std::string id_str = submit.body.substr(pos + 8);
+  id_str = id_str.substr(0, id_str.find('\''));
+  HttpResponse ana_page = stack_.web_server->Dispatch(
+      MakeRequest("/ana?id=" + id_str, "10.0.0.1", cookie));
+  ASSERT_EQ(ana_page.status_code, 200) << ana_page.body;
+  EXPECT_NE(ana_page.body.find("histogram"), std::string::npos);
+
+  // Image bytes are served through the name-mapped archive.
+  int64_t ana_id = 0;
+  ASSERT_TRUE(ParseInt64(id_str, &ana_id));
+  HttpResponse image = stack_.web_server->Dispatch(MakeRequest(
+      "/image?item=" + std::to_string(2000000000 + ana_id)));
+  ASSERT_EQ(image.status_code, 200);
+  EXPECT_GT(image.binary_body.size(), 0u);
+  EXPECT_EQ(image.content_type, "image/gif");
+}
+
+TEST_F(WebStackTest, LogoutRevokesTokenAndSessions) {
+  std::string cookie = LoginCookie("alice", "pw-a");
+  ASSERT_FALSE(cookie.empty());
+  size_t cached = stack_.data_manager->sessions().CacheSize();
+  // Browse once to materialize a session under this cookie.
+  stack_.web_server->Dispatch(
+      MakeRequest("/catalog?name=standard", "10.0.0.1", cookie));
+  EXPECT_GE(stack_.data_manager->sessions().CacheSize(), cached);
+
+  HttpResponse out = stack_.web_server->Dispatch(
+      MakeRequest("/logout", "10.0.0.1", cookie));
+  EXPECT_EQ(out.status_code, 200);
+  // The token no longer resolves: analyze is forbidden again.
+  std::string url = "/analyze?hle_id=" +
+                    std::to_string(stack_.hle_ids[0]) +
+                    "&routine=lightcurve";
+  EXPECT_EQ(stack_.web_server->Dispatch(
+                MakeRequest(url, "10.0.0.1", cookie)).status_code,
+            403);
+}
+
+TEST_F(WebStackTest, RedirectionSpreadsAcrossPeers) {
+  // A peer DM node sharing the same DBMS/archives.
+  dm::DataManager::Options options;
+  options.pool.connection_setup_cost = 0;
+  options.sessions.session_setup_cost = 0;
+  dm::DataManager peer("dm1", &stack_.db, &stack_.archives,
+                       stack_.mapper.get(), &stack_.clock, options);
+  stack_.data_manager->AddPeer(&peer);
+  int64_t before_peer = peer.requests_handled();
+  for (int i = 0; i < 10; ++i) {
+    stack_.web_server->Dispatch(MakeRequest("/catalog?name=standard"));
+  }
+  EXPECT_EQ(peer.requests_handled() - before_peer, 5);
+}
+
+}  // namespace
+}  // namespace hedc::web
