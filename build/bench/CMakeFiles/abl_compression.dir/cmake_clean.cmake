@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_compression.dir/abl_compression.cc.o"
+  "CMakeFiles/abl_compression.dir/abl_compression.cc.o.d"
+  "abl_compression"
+  "abl_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_lob_vs_file.cc" "bench/CMakeFiles/abl_lob_vs_file.dir/abl_lob_vs_file.cc.o" "gcc" "bench/CMakeFiles/abl_lob_vs_file.dir/abl_lob_vs_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/db/CMakeFiles/hedc_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/archive/CMakeFiles/hedc_archive.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hedc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_lob_vs_file.dir/abl_lob_vs_file.cc.o"
+  "CMakeFiles/abl_lob_vs_file.dir/abl_lob_vs_file.cc.o.d"
+  "abl_lob_vs_file"
+  "abl_lob_vs_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_lob_vs_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

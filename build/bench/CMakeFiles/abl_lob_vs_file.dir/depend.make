@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_lob_vs_file.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_name_mapping.dir/abl_name_mapping.cc.o"
+  "CMakeFiles/abl_name_mapping.dir/abl_name_mapping.cc.o.d"
+  "abl_name_mapping"
+  "abl_name_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_name_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

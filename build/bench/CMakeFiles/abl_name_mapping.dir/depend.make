@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_name_mapping.
+# This may be replaced when dependencies are built.

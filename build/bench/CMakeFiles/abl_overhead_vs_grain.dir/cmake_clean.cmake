@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_overhead_vs_grain.dir/abl_overhead_vs_grain.cc.o"
+  "CMakeFiles/abl_overhead_vs_grain.dir/abl_overhead_vs_grain.cc.o.d"
+  "abl_overhead_vs_grain"
+  "abl_overhead_vs_grain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_overhead_vs_grain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

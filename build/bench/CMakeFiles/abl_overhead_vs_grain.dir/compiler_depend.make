@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_overhead_vs_grain.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_overhead_vs_grain.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_session_pooling.cc" "bench/CMakeFiles/abl_session_pooling.dir/abl_session_pooling.cc.o" "gcc" "bench/CMakeFiles/abl_session_pooling.dir/abl_session_pooling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/db/CMakeFiles/hedc_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/dm/CMakeFiles/hedc_dm.dir/DependInfo.cmake"
+  "/root/repo/build/src/rhessi/CMakeFiles/hedc_rhessi.dir/DependInfo.cmake"
+  "/root/repo/build/src/archive/CMakeFiles/hedc_archive.dir/DependInfo.cmake"
+  "/root/repo/build/src/wavelet/CMakeFiles/hedc_wavelet.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hedc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_session_pooling.dir/abl_session_pooling.cc.o"
+  "CMakeFiles/abl_session_pooling.dir/abl_session_pooling.cc.o.d"
+  "abl_session_pooling"
+  "abl_session_pooling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_session_pooling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_vertical_partition.dir/abl_vertical_partition.cc.o"
+  "CMakeFiles/abl_vertical_partition.dir/abl_vertical_partition.cc.o.d"
+  "abl_vertical_partition"
+  "abl_vertical_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_vertical_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

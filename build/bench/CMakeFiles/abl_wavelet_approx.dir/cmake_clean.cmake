@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_wavelet_approx.dir/abl_wavelet_approx.cc.o"
+  "CMakeFiles/abl_wavelet_approx.dir/abl_wavelet_approx.cc.o.d"
+  "abl_wavelet_approx"
+  "abl_wavelet_approx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_wavelet_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_middle_tier_scaleout.dir/fig5_middle_tier_scaleout.cc.o"
+  "CMakeFiles/fig5_middle_tier_scaleout.dir/fig5_middle_tier_scaleout.cc.o.d"
+  "fig5_middle_tier_scaleout"
+  "fig5_middle_tier_scaleout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_middle_tier_scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

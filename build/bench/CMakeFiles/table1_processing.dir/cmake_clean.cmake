@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_processing.dir/table1_processing.cc.o"
+  "CMakeFiles/table1_processing.dir/table1_processing.cc.o.d"
+  "table1_processing"
+  "table1_processing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_processing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

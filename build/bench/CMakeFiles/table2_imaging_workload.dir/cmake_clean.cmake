@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_imaging_workload.dir/table2_imaging_workload.cc.o"
+  "CMakeFiles/table2_imaging_workload.dir/table2_imaging_workload.cc.o.d"
+  "table2_imaging_workload"
+  "table2_imaging_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_imaging_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_histogram_workload.dir/table3_histogram_workload.cc.o"
+  "CMakeFiles/table3_histogram_workload.dir/table3_histogram_workload.cc.o.d"
+  "table3_histogram_workload"
+  "table3_histogram_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_histogram_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/flare_pipeline.cpp" "examples/CMakeFiles/flare_pipeline.dir/flare_pipeline.cpp.o" "gcc" "examples/CMakeFiles/flare_pipeline.dir/flare_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pl/CMakeFiles/hedc_pl.dir/DependInfo.cmake"
+  "/root/repo/build/src/dm/CMakeFiles/hedc_dm.dir/DependInfo.cmake"
+  "/root/repo/build/src/wavelet/CMakeFiles/hedc_wavelet.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/hedc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/rhessi/CMakeFiles/hedc_rhessi.dir/DependInfo.cmake"
+  "/root/repo/build/src/archive/CMakeFiles/hedc_archive.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/hedc_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hedc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flare_pipeline.dir/flare_pipeline.cpp.o"
+  "CMakeFiles/flare_pipeline.dir/flare_pipeline.cpp.o.d"
+  "flare_pipeline"
+  "flare_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flare_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

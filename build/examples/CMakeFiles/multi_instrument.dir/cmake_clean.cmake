@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_instrument.dir/multi_instrument.cpp.o"
+  "CMakeFiles/multi_instrument.dir/multi_instrument.cpp.o.d"
+  "multi_instrument"
+  "multi_instrument.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_instrument.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operations_day.dir/operations_day.cpp.o"
+  "CMakeFiles/operations_day.dir/operations_day.cpp.o.d"
+  "operations_day"
+  "operations_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operations_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamcorder_offline.dir/streamcorder_offline.cpp.o"
+  "CMakeFiles/streamcorder_offline.dir/streamcorder_offline.cpp.o.d"
+  "streamcorder_offline"
+  "streamcorder_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamcorder_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hedc_analysis.dir/product.cc.o"
+  "CMakeFiles/hedc_analysis.dir/product.cc.o.d"
+  "CMakeFiles/hedc_analysis.dir/routines.cc.o"
+  "CMakeFiles/hedc_analysis.dir/routines.cc.o.d"
+  "libhedc_analysis.a"
+  "libhedc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hedc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/archive/archive.cc" "src/archive/CMakeFiles/hedc_archive.dir/archive.cc.o" "gcc" "src/archive/CMakeFiles/hedc_archive.dir/archive.cc.o.d"
+  "/root/repo/src/archive/compression.cc" "src/archive/CMakeFiles/hedc_archive.dir/compression.cc.o" "gcc" "src/archive/CMakeFiles/hedc_archive.dir/compression.cc.o.d"
+  "/root/repo/src/archive/fits.cc" "src/archive/CMakeFiles/hedc_archive.dir/fits.cc.o" "gcc" "src/archive/CMakeFiles/hedc_archive.dir/fits.cc.o.d"
+  "/root/repo/src/archive/name_mapper.cc" "src/archive/CMakeFiles/hedc_archive.dir/name_mapper.cc.o" "gcc" "src/archive/CMakeFiles/hedc_archive.dir/name_mapper.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hedc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/hedc_db.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

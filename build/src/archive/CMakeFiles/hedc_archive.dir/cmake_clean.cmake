@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hedc_archive.dir/archive.cc.o"
+  "CMakeFiles/hedc_archive.dir/archive.cc.o.d"
+  "CMakeFiles/hedc_archive.dir/compression.cc.o"
+  "CMakeFiles/hedc_archive.dir/compression.cc.o.d"
+  "CMakeFiles/hedc_archive.dir/fits.cc.o"
+  "CMakeFiles/hedc_archive.dir/fits.cc.o.d"
+  "CMakeFiles/hedc_archive.dir/name_mapper.cc.o"
+  "CMakeFiles/hedc_archive.dir/name_mapper.cc.o.d"
+  "libhedc_archive.a"
+  "libhedc_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hedc_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhedc_archive.a"
+)

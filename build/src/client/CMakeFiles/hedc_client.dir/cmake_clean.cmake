@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hedc_client.dir/cache.cc.o"
+  "CMakeFiles/hedc_client.dir/cache.cc.o.d"
+  "CMakeFiles/hedc_client.dir/streamcorder.cc.o"
+  "CMakeFiles/hedc_client.dir/streamcorder.cc.o.d"
+  "CMakeFiles/hedc_client.dir/synoptic.cc.o"
+  "CMakeFiles/hedc_client.dir/synoptic.cc.o.d"
+  "libhedc_client.a"
+  "libhedc_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hedc_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/clock.cc" "src/core/CMakeFiles/hedc_core.dir/clock.cc.o" "gcc" "src/core/CMakeFiles/hedc_core.dir/clock.cc.o.d"
+  "/root/repo/src/core/config.cc" "src/core/CMakeFiles/hedc_core.dir/config.cc.o" "gcc" "src/core/CMakeFiles/hedc_core.dir/config.cc.o.d"
+  "/root/repo/src/core/crc32.cc" "src/core/CMakeFiles/hedc_core.dir/crc32.cc.o" "gcc" "src/core/CMakeFiles/hedc_core.dir/crc32.cc.o.d"
+  "/root/repo/src/core/logging.cc" "src/core/CMakeFiles/hedc_core.dir/logging.cc.o" "gcc" "src/core/CMakeFiles/hedc_core.dir/logging.cc.o.d"
+  "/root/repo/src/core/status.cc" "src/core/CMakeFiles/hedc_core.dir/status.cc.o" "gcc" "src/core/CMakeFiles/hedc_core.dir/status.cc.o.d"
+  "/root/repo/src/core/strings.cc" "src/core/CMakeFiles/hedc_core.dir/strings.cc.o" "gcc" "src/core/CMakeFiles/hedc_core.dir/strings.cc.o.d"
+  "/root/repo/src/core/thread_pool.cc" "src/core/CMakeFiles/hedc_core.dir/thread_pool.cc.o" "gcc" "src/core/CMakeFiles/hedc_core.dir/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hedc_core.dir/clock.cc.o"
+  "CMakeFiles/hedc_core.dir/clock.cc.o.d"
+  "CMakeFiles/hedc_core.dir/config.cc.o"
+  "CMakeFiles/hedc_core.dir/config.cc.o.d"
+  "CMakeFiles/hedc_core.dir/crc32.cc.o"
+  "CMakeFiles/hedc_core.dir/crc32.cc.o.d"
+  "CMakeFiles/hedc_core.dir/logging.cc.o"
+  "CMakeFiles/hedc_core.dir/logging.cc.o.d"
+  "CMakeFiles/hedc_core.dir/status.cc.o"
+  "CMakeFiles/hedc_core.dir/status.cc.o.d"
+  "CMakeFiles/hedc_core.dir/strings.cc.o"
+  "CMakeFiles/hedc_core.dir/strings.cc.o.d"
+  "CMakeFiles/hedc_core.dir/thread_pool.cc.o"
+  "CMakeFiles/hedc_core.dir/thread_pool.cc.o.d"
+  "libhedc_core.a"
+  "libhedc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hedc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/blob_store.cc" "src/db/CMakeFiles/hedc_db.dir/blob_store.cc.o" "gcc" "src/db/CMakeFiles/hedc_db.dir/blob_store.cc.o.d"
+  "/root/repo/src/db/btree.cc" "src/db/CMakeFiles/hedc_db.dir/btree.cc.o" "gcc" "src/db/CMakeFiles/hedc_db.dir/btree.cc.o.d"
+  "/root/repo/src/db/checkpoint.cc" "src/db/CMakeFiles/hedc_db.dir/checkpoint.cc.o" "gcc" "src/db/CMakeFiles/hedc_db.dir/checkpoint.cc.o.d"
+  "/root/repo/src/db/connection.cc" "src/db/CMakeFiles/hedc_db.dir/connection.cc.o" "gcc" "src/db/CMakeFiles/hedc_db.dir/connection.cc.o.d"
+  "/root/repo/src/db/database.cc" "src/db/CMakeFiles/hedc_db.dir/database.cc.o" "gcc" "src/db/CMakeFiles/hedc_db.dir/database.cc.o.d"
+  "/root/repo/src/db/explain.cc" "src/db/CMakeFiles/hedc_db.dir/explain.cc.o" "gcc" "src/db/CMakeFiles/hedc_db.dir/explain.cc.o.d"
+  "/root/repo/src/db/expr.cc" "src/db/CMakeFiles/hedc_db.dir/expr.cc.o" "gcc" "src/db/CMakeFiles/hedc_db.dir/expr.cc.o.d"
+  "/root/repo/src/db/schema.cc" "src/db/CMakeFiles/hedc_db.dir/schema.cc.o" "gcc" "src/db/CMakeFiles/hedc_db.dir/schema.cc.o.d"
+  "/root/repo/src/db/sql.cc" "src/db/CMakeFiles/hedc_db.dir/sql.cc.o" "gcc" "src/db/CMakeFiles/hedc_db.dir/sql.cc.o.d"
+  "/root/repo/src/db/table.cc" "src/db/CMakeFiles/hedc_db.dir/table.cc.o" "gcc" "src/db/CMakeFiles/hedc_db.dir/table.cc.o.d"
+  "/root/repo/src/db/value.cc" "src/db/CMakeFiles/hedc_db.dir/value.cc.o" "gcc" "src/db/CMakeFiles/hedc_db.dir/value.cc.o.d"
+  "/root/repo/src/db/wal.cc" "src/db/CMakeFiles/hedc_db.dir/wal.cc.o" "gcc" "src/db/CMakeFiles/hedc_db.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hedc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

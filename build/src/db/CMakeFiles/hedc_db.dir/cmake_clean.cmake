@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hedc_db.dir/blob_store.cc.o"
+  "CMakeFiles/hedc_db.dir/blob_store.cc.o.d"
+  "CMakeFiles/hedc_db.dir/btree.cc.o"
+  "CMakeFiles/hedc_db.dir/btree.cc.o.d"
+  "CMakeFiles/hedc_db.dir/checkpoint.cc.o"
+  "CMakeFiles/hedc_db.dir/checkpoint.cc.o.d"
+  "CMakeFiles/hedc_db.dir/connection.cc.o"
+  "CMakeFiles/hedc_db.dir/connection.cc.o.d"
+  "CMakeFiles/hedc_db.dir/database.cc.o"
+  "CMakeFiles/hedc_db.dir/database.cc.o.d"
+  "CMakeFiles/hedc_db.dir/explain.cc.o"
+  "CMakeFiles/hedc_db.dir/explain.cc.o.d"
+  "CMakeFiles/hedc_db.dir/expr.cc.o"
+  "CMakeFiles/hedc_db.dir/expr.cc.o.d"
+  "CMakeFiles/hedc_db.dir/schema.cc.o"
+  "CMakeFiles/hedc_db.dir/schema.cc.o.d"
+  "CMakeFiles/hedc_db.dir/sql.cc.o"
+  "CMakeFiles/hedc_db.dir/sql.cc.o.d"
+  "CMakeFiles/hedc_db.dir/table.cc.o"
+  "CMakeFiles/hedc_db.dir/table.cc.o.d"
+  "CMakeFiles/hedc_db.dir/value.cc.o"
+  "CMakeFiles/hedc_db.dir/value.cc.o.d"
+  "CMakeFiles/hedc_db.dir/wal.cc.o"
+  "CMakeFiles/hedc_db.dir/wal.cc.o.d"
+  "libhedc_db.a"
+  "libhedc_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hedc_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

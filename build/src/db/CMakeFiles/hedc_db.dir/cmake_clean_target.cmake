@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhedc_db.a"
+)

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dm/dm.cc" "src/dm/CMakeFiles/hedc_dm.dir/dm.cc.o" "gcc" "src/dm/CMakeFiles/hedc_dm.dir/dm.cc.o.d"
+  "/root/repo/src/dm/hedc_schema.cc" "src/dm/CMakeFiles/hedc_dm.dir/hedc_schema.cc.o" "gcc" "src/dm/CMakeFiles/hedc_dm.dir/hedc_schema.cc.o.d"
+  "/root/repo/src/dm/io_layer.cc" "src/dm/CMakeFiles/hedc_dm.dir/io_layer.cc.o" "gcc" "src/dm/CMakeFiles/hedc_dm.dir/io_layer.cc.o.d"
+  "/root/repo/src/dm/predefined_queries.cc" "src/dm/CMakeFiles/hedc_dm.dir/predefined_queries.cc.o" "gcc" "src/dm/CMakeFiles/hedc_dm.dir/predefined_queries.cc.o.d"
+  "/root/repo/src/dm/process_layer.cc" "src/dm/CMakeFiles/hedc_dm.dir/process_layer.cc.o" "gcc" "src/dm/CMakeFiles/hedc_dm.dir/process_layer.cc.o.d"
+  "/root/repo/src/dm/query_spec.cc" "src/dm/CMakeFiles/hedc_dm.dir/query_spec.cc.o" "gcc" "src/dm/CMakeFiles/hedc_dm.dir/query_spec.cc.o.d"
+  "/root/repo/src/dm/remote.cc" "src/dm/CMakeFiles/hedc_dm.dir/remote.cc.o" "gcc" "src/dm/CMakeFiles/hedc_dm.dir/remote.cc.o.d"
+  "/root/repo/src/dm/semantic_layer.cc" "src/dm/CMakeFiles/hedc_dm.dir/semantic_layer.cc.o" "gcc" "src/dm/CMakeFiles/hedc_dm.dir/semantic_layer.cc.o.d"
+  "/root/repo/src/dm/session.cc" "src/dm/CMakeFiles/hedc_dm.dir/session.cc.o" "gcc" "src/dm/CMakeFiles/hedc_dm.dir/session.cc.o.d"
+  "/root/repo/src/dm/users.cc" "src/dm/CMakeFiles/hedc_dm.dir/users.cc.o" "gcc" "src/dm/CMakeFiles/hedc_dm.dir/users.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hedc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/hedc_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/archive/CMakeFiles/hedc_archive.dir/DependInfo.cmake"
+  "/root/repo/build/src/rhessi/CMakeFiles/hedc_rhessi.dir/DependInfo.cmake"
+  "/root/repo/build/src/wavelet/CMakeFiles/hedc_wavelet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hedc_dm.dir/dm.cc.o"
+  "CMakeFiles/hedc_dm.dir/dm.cc.o.d"
+  "CMakeFiles/hedc_dm.dir/hedc_schema.cc.o"
+  "CMakeFiles/hedc_dm.dir/hedc_schema.cc.o.d"
+  "CMakeFiles/hedc_dm.dir/io_layer.cc.o"
+  "CMakeFiles/hedc_dm.dir/io_layer.cc.o.d"
+  "CMakeFiles/hedc_dm.dir/predefined_queries.cc.o"
+  "CMakeFiles/hedc_dm.dir/predefined_queries.cc.o.d"
+  "CMakeFiles/hedc_dm.dir/process_layer.cc.o"
+  "CMakeFiles/hedc_dm.dir/process_layer.cc.o.d"
+  "CMakeFiles/hedc_dm.dir/query_spec.cc.o"
+  "CMakeFiles/hedc_dm.dir/query_spec.cc.o.d"
+  "CMakeFiles/hedc_dm.dir/remote.cc.o"
+  "CMakeFiles/hedc_dm.dir/remote.cc.o.d"
+  "CMakeFiles/hedc_dm.dir/semantic_layer.cc.o"
+  "CMakeFiles/hedc_dm.dir/semantic_layer.cc.o.d"
+  "CMakeFiles/hedc_dm.dir/session.cc.o"
+  "CMakeFiles/hedc_dm.dir/session.cc.o.d"
+  "CMakeFiles/hedc_dm.dir/users.cc.o"
+  "CMakeFiles/hedc_dm.dir/users.cc.o.d"
+  "libhedc_dm.a"
+  "libhedc_dm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hedc_dm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

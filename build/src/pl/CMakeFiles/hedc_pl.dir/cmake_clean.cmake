@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hedc_pl.dir/commit.cc.o"
+  "CMakeFiles/hedc_pl.dir/commit.cc.o.d"
+  "CMakeFiles/hedc_pl.dir/frontend.cc.o"
+  "CMakeFiles/hedc_pl.dir/frontend.cc.o.d"
+  "CMakeFiles/hedc_pl.dir/idl_server.cc.o"
+  "CMakeFiles/hedc_pl.dir/idl_server.cc.o.d"
+  "CMakeFiles/hedc_pl.dir/server_manager.cc.o"
+  "CMakeFiles/hedc_pl.dir/server_manager.cc.o.d"
+  "libhedc_pl.a"
+  "libhedc_pl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hedc_pl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

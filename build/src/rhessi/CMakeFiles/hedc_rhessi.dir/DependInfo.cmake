@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rhessi/calibration.cc" "src/rhessi/CMakeFiles/hedc_rhessi.dir/calibration.cc.o" "gcc" "src/rhessi/CMakeFiles/hedc_rhessi.dir/calibration.cc.o.d"
+  "/root/repo/src/rhessi/event_detect.cc" "src/rhessi/CMakeFiles/hedc_rhessi.dir/event_detect.cc.o" "gcc" "src/rhessi/CMakeFiles/hedc_rhessi.dir/event_detect.cc.o.d"
+  "/root/repo/src/rhessi/phoenix.cc" "src/rhessi/CMakeFiles/hedc_rhessi.dir/phoenix.cc.o" "gcc" "src/rhessi/CMakeFiles/hedc_rhessi.dir/phoenix.cc.o.d"
+  "/root/repo/src/rhessi/photon.cc" "src/rhessi/CMakeFiles/hedc_rhessi.dir/photon.cc.o" "gcc" "src/rhessi/CMakeFiles/hedc_rhessi.dir/photon.cc.o.d"
+  "/root/repo/src/rhessi/raw_unit.cc" "src/rhessi/CMakeFiles/hedc_rhessi.dir/raw_unit.cc.o" "gcc" "src/rhessi/CMakeFiles/hedc_rhessi.dir/raw_unit.cc.o.d"
+  "/root/repo/src/rhessi/telemetry.cc" "src/rhessi/CMakeFiles/hedc_rhessi.dir/telemetry.cc.o" "gcc" "src/rhessi/CMakeFiles/hedc_rhessi.dir/telemetry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hedc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/archive/CMakeFiles/hedc_archive.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/hedc_db.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hedc_rhessi.dir/calibration.cc.o"
+  "CMakeFiles/hedc_rhessi.dir/calibration.cc.o.d"
+  "CMakeFiles/hedc_rhessi.dir/event_detect.cc.o"
+  "CMakeFiles/hedc_rhessi.dir/event_detect.cc.o.d"
+  "CMakeFiles/hedc_rhessi.dir/phoenix.cc.o"
+  "CMakeFiles/hedc_rhessi.dir/phoenix.cc.o.d"
+  "CMakeFiles/hedc_rhessi.dir/photon.cc.o"
+  "CMakeFiles/hedc_rhessi.dir/photon.cc.o.d"
+  "CMakeFiles/hedc_rhessi.dir/raw_unit.cc.o"
+  "CMakeFiles/hedc_rhessi.dir/raw_unit.cc.o.d"
+  "CMakeFiles/hedc_rhessi.dir/telemetry.cc.o"
+  "CMakeFiles/hedc_rhessi.dir/telemetry.cc.o.d"
+  "libhedc_rhessi.a"
+  "libhedc_rhessi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hedc_rhessi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

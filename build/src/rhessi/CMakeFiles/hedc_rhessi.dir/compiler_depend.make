@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hedc_rhessi.
+# This may be replaced when dependencies are built.

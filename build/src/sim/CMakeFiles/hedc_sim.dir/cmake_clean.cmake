@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hedc_sim.dir/simulator.cc.o"
+  "CMakeFiles/hedc_sim.dir/simulator.cc.o.d"
+  "libhedc_sim.a"
+  "libhedc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hedc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hedc_testbed.dir/browse_model.cc.o"
+  "CMakeFiles/hedc_testbed.dir/browse_model.cc.o.d"
+  "CMakeFiles/hedc_testbed.dir/processing_model.cc.o"
+  "CMakeFiles/hedc_testbed.dir/processing_model.cc.o.d"
+  "libhedc_testbed.a"
+  "libhedc_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hedc_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

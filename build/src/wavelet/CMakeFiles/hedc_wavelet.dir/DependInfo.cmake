@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wavelet/codec.cc" "src/wavelet/CMakeFiles/hedc_wavelet.dir/codec.cc.o" "gcc" "src/wavelet/CMakeFiles/hedc_wavelet.dir/codec.cc.o.d"
+  "/root/repo/src/wavelet/haar.cc" "src/wavelet/CMakeFiles/hedc_wavelet.dir/haar.cc.o" "gcc" "src/wavelet/CMakeFiles/hedc_wavelet.dir/haar.cc.o.d"
+  "/root/repo/src/wavelet/views.cc" "src/wavelet/CMakeFiles/hedc_wavelet.dir/views.cc.o" "gcc" "src/wavelet/CMakeFiles/hedc_wavelet.dir/views.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hedc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

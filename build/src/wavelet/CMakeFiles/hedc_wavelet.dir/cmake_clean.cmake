@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hedc_wavelet.dir/codec.cc.o"
+  "CMakeFiles/hedc_wavelet.dir/codec.cc.o.d"
+  "CMakeFiles/hedc_wavelet.dir/haar.cc.o"
+  "CMakeFiles/hedc_wavelet.dir/haar.cc.o.d"
+  "CMakeFiles/hedc_wavelet.dir/views.cc.o"
+  "CMakeFiles/hedc_wavelet.dir/views.cc.o.d"
+  "libhedc_wavelet.a"
+  "libhedc_wavelet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hedc_wavelet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hedc_web.dir/http.cc.o"
+  "CMakeFiles/hedc_web.dir/http.cc.o.d"
+  "CMakeFiles/hedc_web.dir/servlets.cc.o"
+  "CMakeFiles/hedc_web.dir/servlets.cc.o.d"
+  "CMakeFiles/hedc_web.dir/template.cc.o"
+  "CMakeFiles/hedc_web.dir/template.cc.o.d"
+  "libhedc_web.a"
+  "libhedc_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hedc_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

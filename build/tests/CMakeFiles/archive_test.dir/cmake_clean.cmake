@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archive_test.dir/archive_test.cc.o"
+  "CMakeFiles/archive_test.dir/archive_test.cc.o.d"
+  "archive_test"
+  "archive_test.pdb"
+  "archive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

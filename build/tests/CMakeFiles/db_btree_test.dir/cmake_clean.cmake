@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_btree_test.dir/db_btree_test.cc.o"
+  "CMakeFiles/db_btree_test.dir/db_btree_test.cc.o.d"
+  "db_btree_test"
+  "db_btree_test.pdb"
+  "db_btree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_btree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_checkpoint_test.dir/db_checkpoint_test.cc.o"
+  "CMakeFiles/db_checkpoint_test.dir/db_checkpoint_test.cc.o.d"
+  "db_checkpoint_test"
+  "db_checkpoint_test.pdb"
+  "db_checkpoint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_checkpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

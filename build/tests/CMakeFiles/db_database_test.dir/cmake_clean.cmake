@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_database_test.dir/db_database_test.cc.o"
+  "CMakeFiles/db_database_test.dir/db_database_test.cc.o.d"
+  "db_database_test"
+  "db_database_test.pdb"
+  "db_database_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_database_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

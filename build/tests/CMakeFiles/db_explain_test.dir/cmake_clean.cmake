@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_explain_test.dir/db_explain_test.cc.o"
+  "CMakeFiles/db_explain_test.dir/db_explain_test.cc.o.d"
+  "db_explain_test"
+  "db_explain_test.pdb"
+  "db_explain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_explain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

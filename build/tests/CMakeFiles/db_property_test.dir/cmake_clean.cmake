@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_property_test.dir/db_property_test.cc.o"
+  "CMakeFiles/db_property_test.dir/db_property_test.cc.o.d"
+  "db_property_test"
+  "db_property_test.pdb"
+  "db_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_sql_test.dir/db_sql_test.cc.o"
+  "CMakeFiles/db_sql_test.dir/db_sql_test.cc.o.d"
+  "db_sql_test"
+  "db_sql_test.pdb"
+  "db_sql_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_sql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_wal_test.dir/db_wal_test.cc.o"
+  "CMakeFiles/db_wal_test.dir/db_wal_test.cc.o.d"
+  "db_wal_test"
+  "db_wal_test.pdb"
+  "db_wal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_wal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

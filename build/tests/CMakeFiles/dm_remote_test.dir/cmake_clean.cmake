@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dm_remote_test.dir/dm_remote_test.cc.o"
+  "CMakeFiles/dm_remote_test.dir/dm_remote_test.cc.o.d"
+  "dm_remote_test"
+  "dm_remote_test.pdb"
+  "dm_remote_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dm_remote_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

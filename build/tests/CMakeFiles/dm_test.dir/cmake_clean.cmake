@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dm_test.dir/dm_test.cc.o"
+  "CMakeFiles/dm_test.dir/dm_test.cc.o.d"
+  "dm_test"
+  "dm_test.pdb"
+  "dm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pl_test.dir/pl_test.cc.o"
+  "CMakeFiles/pl_test.dir/pl_test.cc.o.d"
+  "pl_test"
+  "pl_test.pdb"
+  "pl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

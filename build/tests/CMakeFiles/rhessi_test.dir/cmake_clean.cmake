@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhessi_test.dir/rhessi_test.cc.o"
+  "CMakeFiles/rhessi_test.dir/rhessi_test.cc.o.d"
+  "rhessi_test"
+  "rhessi_test.pdb"
+  "rhessi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhessi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

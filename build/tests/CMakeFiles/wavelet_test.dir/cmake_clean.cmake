@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavelet_test.dir/wavelet_test.cc.o"
+  "CMakeFiles/wavelet_test.dir/wavelet_test.cc.o.d"
+  "wavelet_test"
+  "wavelet_test.pdb"
+  "wavelet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavelet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

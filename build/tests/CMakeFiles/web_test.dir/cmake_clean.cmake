@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_test.dir/web_test.cc.o"
+  "CMakeFiles/web_test.dir/web_test.cc.o.d"
+  "web_test"
+  "web_test.pdb"
+  "web_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/db_value_test[1]_include.cmake")
+include("/root/repo/build/tests/db_btree_test[1]_include.cmake")
+include("/root/repo/build/tests/db_sql_test[1]_include.cmake")
+include("/root/repo/build/tests/db_database_test[1]_include.cmake")
+include("/root/repo/build/tests/db_wal_test[1]_include.cmake")
+include("/root/repo/build/tests/archive_test[1]_include.cmake")
+include("/root/repo/build/tests/wavelet_test[1]_include.cmake")
+include("/root/repo/build/tests/rhessi_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/dm_test[1]_include.cmake")
+include("/root/repo/build/tests/pl_test[1]_include.cmake")
+include("/root/repo/build/tests/web_test[1]_include.cmake")
+include("/root/repo/build/tests/client_test[1]_include.cmake")
+include("/root/repo/build/tests/testbed_test[1]_include.cmake")
+include("/root/repo/build/tests/db_explain_test[1]_include.cmake")
+include("/root/repo/build/tests/db_property_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/extension_test[1]_include.cmake")
+include("/root/repo/build/tests/db_checkpoint_test[1]_include.cmake")
+include("/root/repo/build/tests/dm_remote_test[1]_include.cmake")
