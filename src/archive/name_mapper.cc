@@ -34,7 +34,13 @@ const char* NameTypeName(NameType type) {
 }
 
 NameMapper::NameMapper(db::Database* db, Config config)
-    : db_(db), config_(std::move(config)) {}
+    : db_(db), config_(std::move(config)) {
+  MetricsRegistry* metrics = MetricsRegistry::Default();
+  resolutions_ = metrics->GetCounter("namemap.resolutions");
+  misses_ = metrics->GetCounter("namemap.misses");
+  db_queries_ = metrics->GetCounter("namemap.db_queries");
+  resolve_us_ = metrics->GetHistogram("namemap.resolve_us");
+}
 
 Status NameMapper::Init() {
   HEDC_ASSIGN_OR_RETURN(
@@ -102,7 +108,11 @@ std::string NameMapper::RootFor(NameType type) const {
 }
 
 Result<ResolvedName> NameMapper::Resolve(int64_t item_id, NameType type) {
+  resolutions_->Add();
+  ScopedTimer timer(resolve_us_);
+
   // Query 1 (indexed on item_id): the location entry.
+  db_queries_->Add();
   HEDC_ASSIGN_OR_RETURN(
       db::ResultSet entries,
       db_->Execute("SELECT archive_id, rel_path FROM location_entries "
@@ -110,6 +120,7 @@ Result<ResolvedName> NameMapper::Resolve(int64_t item_id, NameType type) {
                    {db::Value::Int(item_id),
                     db::Value::Text(NameTypeName(type))}));
   if (entries.rows.empty()) {
+    misses_->Add();
     return Status::NotFound(
         StrFormat("no %s location for item %lld", NameTypeName(type),
                   static_cast<long long>(item_id)));
@@ -118,17 +129,20 @@ Result<ResolvedName> NameMapper::Resolve(int64_t item_id, NameType type) {
   std::string rel_path = entries.Get(0, "rel_path").AsText();
 
   // Query 2 (indexed on archive_id): archive type + current prefix.
+  db_queries_->Add();
   HEDC_ASSIGN_OR_RETURN(
       db::ResultSet arch,
       db_->Execute("SELECT path_prefix, online FROM archives "
                    "WHERE archive_id = ?",
                    {db::Value::Int(archive_id)}));
   if (arch.rows.empty()) {
+    misses_->Add();
     return Status::Corruption(
         StrFormat("location entry references unknown archive %lld",
                   static_cast<long long>(archive_id)));
   }
   if (!arch.Get(0, "online").AsBool()) {
+    misses_->Add();
     return Status::Unavailable(
         StrFormat("archive %lld is offline",
                   static_cast<long long>(archive_id)));

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/config.h"
+#include "core/metrics.h"
 #include "core/status.h"
 #include "db/database.h"
 
@@ -77,6 +78,13 @@ class NameMapper {
 
   db::Database* db_;
   Config config_;
+
+  // namemap.* metrics: resolution volume/latency, miss breakdown, and the
+  // two-extra-indexed-queries cost the paper trades for relocatability.
+  Counter* resolutions_;
+  Counter* misses_;
+  Counter* db_queries_;
+  Histogram* resolve_us_;
 };
 
 }  // namespace hedc::archive

@@ -30,13 +30,11 @@ Logger* Logger::Instance() {
 }
 
 void Logger::Log(LogLevel level, const std::string& message) {
-  if (level < min_level_) return;
-  Sink sink;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    sink = sink_;
-  }
-  if (sink) sink(level, message);
+  if (level < min_level()) return;
+  // Invoke the sink under mu_: a concurrent SetSink cannot return (and
+  // free the old sink's captured state) while an invocation is in flight.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sink_) sink_(level, message);
 }
 
 Logger::Sink Logger::SetSink(Sink sink) {

@@ -5,6 +5,7 @@
 #ifndef HEDC_CORE_LOGGING_H_
 #define HEDC_CORE_LOGGING_H_
 
+#include <atomic>
 #include <functional>
 #include <mutex>
 #include <sstream>
@@ -26,16 +27,24 @@ class Logger {
   void Log(LogLevel level, const std::string& message);
 
   // Replaces the sink (default writes to stderr). Returns previous sink.
+  // Safe while other threads are inside Log: the sink is invoked under
+  // mu_, so once SetSink returns, no thread is still running the old sink
+  // and its captured state may be destroyed. Consequently a sink must not
+  // call Log (or SetSink) itself.
   Sink SetSink(Sink sink);
-  void SetMinLevel(LogLevel level) { min_level_ = level; }
-  LogLevel min_level() const { return min_level_; }
+  void SetMinLevel(LogLevel level) {
+    min_level_.store(level, std::memory_order_relaxed);
+  }
+  LogLevel min_level() const {
+    return min_level_.load(std::memory_order_relaxed);
+  }
 
  private:
   Logger();
 
   std::mutex mu_;
   Sink sink_;
-  LogLevel min_level_ = LogLevel::kInfo;
+  std::atomic<LogLevel> min_level_{LogLevel::kInfo};
 };
 
 // Stream-style helper: HEDC_LOG(kInfo) << "loaded " << n << " units";

@@ -1,0 +1,265 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+
+#include "core/strings.h"
+
+namespace hedc {
+
+// --- Counter ---------------------------------------------------------------
+
+size_t Counter::ShardIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t index =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return index;
+}
+
+int64_t Counter::Value() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+// --- Histogram -------------------------------------------------------------
+
+const std::vector<int64_t>& Histogram::DefaultLatencyBoundsUs() {
+  static const std::vector<int64_t>* const kBounds =
+      new std::vector<int64_t>{50,      100,     250,     500,      1000,
+                               2500,    5000,    10000,   25000,    50000,
+                               100000,  250000,  500000,  1000000,  2500000,
+                               10000000};
+  return *kBounds;
+}
+
+Histogram::Histogram(std::vector<int64_t> bounds)
+    : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) bounds_ = DefaultLatencyBoundsUs();
+  for (Shard& shard : shards_) {
+    shard.counts =
+        std::make_unique<std::atomic<int64_t>[]>(bounds_.size() + 1);
+    for (size_t i = 0; i <= bounds_.size(); ++i) {
+      shard.counts[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Histogram::Observe(int64_t value) {
+  size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();  // first bound >= value; bounds_.size() = overflow
+  Shard& shard = shards_[Counter::ShardIndex() % kShards];
+  shard.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.assign(bounds_.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    for (size_t i = 0; i <= bounds_.size(); ++i) {
+      snap.counts[i] += shard.counts[i].load(std::memory_order_relaxed);
+    }
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+  }
+  for (int64_t c : snap.counts) snap.count += c;
+  return snap;
+}
+
+int64_t Histogram::count() const { return TakeSnapshot().count; }
+
+double Histogram::Snapshot::Mean() const {
+  return count > 0 ? static_cast<double>(sum) / static_cast<double>(count)
+                   : 0.0;
+}
+
+double Histogram::Snapshot::Percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  int64_t rank = static_cast<int64_t>(p * static_cast<double>(count - 1));
+  int64_t seen = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    if (seen + counts[i] > rank) {
+      double lo = i == 0 ? 0.0 : static_cast<double>(bounds[i - 1]);
+      if (i >= bounds.size()) return lo;  // overflow bucket: lower bound
+      double hi = static_cast<double>(bounds[i]);
+      double within = static_cast<double>(rank - seen) /
+                      static_cast<double>(counts[i]);
+      return lo + (hi - lo) * within;
+    }
+    seen += counts[i];
+  }
+  return static_cast<double>(bounds.empty() ? 0 : bounds.back());
+}
+
+// --- TraceLog --------------------------------------------------------------
+
+void TraceLog::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+  while (events_.size() > capacity_) events_.pop_front();
+}
+
+std::vector<TraceEvent> TraceLog::SnapshotTrace() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<TraceEvent>(events_.begin(), events_.end());
+}
+
+std::vector<TraceEvent> TraceLog::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out(std::make_move_iterator(events_.begin()),
+                              std::make_move_iterator(events_.end()));
+  events_.clear();
+  return out;
+}
+
+size_t TraceLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+// --- TraceSpan -------------------------------------------------------------
+
+Micros SteadyNowUs() {
+  static const std::chrono::steady_clock::time_point kEpoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - kEpoch)
+      .count();
+}
+
+TraceSpan::TraceSpan(int64_t trace_id, std::string component,
+                     std::string span, MetricsRegistry* registry)
+    : registry_(registry != nullptr ? registry : MetricsRegistry::Default()) {
+  event_.trace_id = trace_id;
+  event_.component = std::move(component);
+  event_.span = std::move(span);
+  event_.start_us = SteadyNowUs();
+}
+
+TraceSpan::~TraceSpan() {
+  if (event_.trace_id == 0) return;
+  event_.end_us = SteadyNowUs();
+  registry_->traces().Record(std::move(event_));
+}
+
+void TraceSpan::AddNote(const std::string& note) {
+  if (!event_.note.empty()) event_.note += "; ";
+  event_.note += note;
+}
+
+// --- MetricsRegistry -------------------------------------------------------
+
+MetricsRegistry* MetricsRegistry::Default() {
+  static MetricsRegistry* const kRegistry = new MetricsRegistry();
+  return kRegistry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::make_unique<Counter>()).first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<int64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name, std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return it->second.get();
+}
+
+std::vector<MetricsRegistry::MetricValue> MetricsRegistry::SnapshotValues()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricValue> out;
+  out.reserve(counters_.size() + gauges_.size() + 3 * histograms_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.push_back({name, "counter", static_cast<double>(counter->Value())});
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out.push_back({name, "gauge", static_cast<double>(gauge->Value())});
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    Histogram::Snapshot snap = histogram->TakeSnapshot();
+    out.push_back(
+        {name + ".count", "histogram", static_cast<double>(snap.count)});
+    out.push_back(
+        {name + ".sum", "histogram", static_cast<double>(snap.sum)});
+    out.push_back({name + ".p95", "histogram", snap.Percentile(0.95)});
+  }
+  return out;
+}
+
+namespace {
+
+// Prometheus-compatible metric name: [a-z0-9_] only.
+std::string SanitizeMetricName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_') {
+      out += c;
+    } else if (c >= 'A' && c <= 'Z') {
+      out += static_cast<char>(c - 'A' + 'a');
+    } else {
+      out += '_';
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::RenderText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    out += StrFormat("%s %lld\n", SanitizeMetricName(name).c_str(),
+                     static_cast<long long>(counter->Value()));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out += StrFormat("%s %lld\n", SanitizeMetricName(name).c_str(),
+                     static_cast<long long>(gauge->Value()));
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    std::string base = SanitizeMetricName(name);
+    Histogram::Snapshot snap = histogram->TakeSnapshot();
+    int64_t cumulative = 0;
+    for (size_t i = 0; i < snap.bounds.size(); ++i) {
+      cumulative += snap.counts[i];
+      out += StrFormat("%s_bucket{le=\"%lld\"} %lld\n", base.c_str(),
+                       static_cast<long long>(snap.bounds[i]),
+                       static_cast<long long>(cumulative));
+    }
+    out += StrFormat("%s_bucket{le=\"+Inf\"} %lld\n", base.c_str(),
+                     static_cast<long long>(snap.count));
+    out += StrFormat("%s_sum %lld\n", base.c_str(),
+                     static_cast<long long>(snap.sum));
+    out += StrFormat("%s_count %lld\n", base.c_str(),
+                     static_cast<long long>(snap.count));
+  }
+  return out;
+}
+
+}  // namespace hedc

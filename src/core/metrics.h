@@ -1,0 +1,240 @@
+// Process-wide metrics & request tracing.
+//
+// HEDC's operational schema section holds "logs and messages" about system
+// behavior (§3.2); this module is the quantitative half of that story: it
+// measures the hot paths (name-mapping resolution, WAL fsyncs, the 4-phase
+// PL workflow, per-servlet latency) so performance claims are backed by
+// numbers, and follows one analysis request across tiers via trace spans.
+//
+// Hot-path design: counters and histogram buckets are sharded atomics
+// (one cache line per shard) written with relaxed ordering; readers sum
+// the shards on demand (snapshot-on-read). Snapshots are monotone but not
+// linearizable across metrics — good enough for monitoring, free on the
+// write side. Registered metrics live for the process lifetime, so
+// components may cache the returned pointers.
+#ifndef HEDC_CORE_METRICS_H_
+#define HEDC_CORE_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/clock.h"
+
+namespace hedc {
+
+// Monotone event count. Add() is wait-free on a sharded atomic; Value()
+// sums the shards.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(int64_t n = 1) {
+    shards_[ShardIndex()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+  int64_t Value() const;
+
+ private:
+  friend class Histogram;  // reuses the per-thread shard striping
+
+  static constexpr size_t kShards = 16;
+  struct alignas(64) Shard {
+    std::atomic<int64_t> value{0};
+  };
+  // Threads are striped over shards round-robin at first use.
+  static size_t ShardIndex();
+
+  Shard shards_[kShards];
+};
+
+// Point-in-time value (cache occupancy, queue depth, ...).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Fixed-bucket histogram. Bucket i counts observations with
+// value <= bounds[i] (first matching bound); one overflow bucket catches
+// the rest. Observe() touches exactly one sharded bucket plus the sum.
+class Histogram {
+ public:
+  // Default bounds suit latencies in microseconds: 50us .. 10s.
+  static const std::vector<int64_t>& DefaultLatencyBoundsUs();
+
+  explicit Histogram(std::vector<int64_t> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(int64_t value);
+
+  struct Snapshot {
+    std::vector<int64_t> bounds;
+    std::vector<int64_t> counts;  // bounds.size() + 1, last = overflow
+    int64_t count = 0;            // sum of counts
+    int64_t sum = 0;              // sum of observed values
+
+    double Mean() const;
+    // Approximate p-quantile (p in [0,1]) by linear interpolation within
+    // the containing bucket; the overflow bucket reports its lower bound.
+    double Percentile(double p) const;
+  };
+  Snapshot TakeSnapshot() const;
+
+  int64_t count() const;
+  const std::vector<int64_t>& bounds() const { return bounds_; }
+
+ private:
+  static constexpr size_t kShards = 8;
+  struct Shard {
+    std::unique_ptr<std::atomic<int64_t>[]> counts;
+    std::atomic<int64_t> sum{0};
+  };
+
+  std::vector<int64_t> bounds_;
+  Shard shards_[kShards];
+};
+
+// One completed span of a traced request: [start_us, end_us] spent in
+// `component`/`span` on behalf of request `trace_id`. Times are process
+// wall-clock microseconds (steady), independent of any virtual Clock.
+struct TraceEvent {
+  int64_t trace_id = 0;
+  std::string component;
+  std::string span;
+  Micros start_us = 0;
+  Micros end_us = 0;
+  std::string note;
+};
+
+// Bounded in-memory ring of trace events; the DM mirrors (drains) it into
+// the operational `request_traces` table.
+class TraceLog {
+ public:
+  explicit TraceLog(size_t capacity = 4096) : capacity_(capacity) {}
+
+  int64_t NewTraceId() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void Record(TraceEvent event);
+  // Oldest-first copy of the buffered events.
+  std::vector<TraceEvent> SnapshotTrace() const;
+  // Removes and returns all buffered events (oldest first).
+  std::vector<TraceEvent> Drain();
+  size_t size() const;
+
+ private:
+  size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<TraceEvent> events_;
+  std::atomic<int64_t> next_id_{1};
+};
+
+class MetricsRegistry;
+
+// RAII latency probe: records elapsed wall-clock microseconds into a
+// histogram on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram)
+      : histogram_(histogram), start_(std::chrono::steady_clock::now()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) histogram_->Observe(ElapsedUs());
+  }
+
+  int64_t ElapsedUs() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+  void Cancel() { histogram_ = nullptr; }
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// RAII trace probe: records a TraceEvent into the registry's trace log on
+// destruction. Spans with trace_id 0 are dropped (untraced request).
+class TraceSpan {
+ public:
+  // `registry` defaults to MetricsRegistry::Default().
+  TraceSpan(int64_t trace_id, std::string component, std::string span,
+            MetricsRegistry* registry = nullptr);
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan();
+
+  void AddNote(const std::string& note);
+
+ private:
+  MetricsRegistry* registry_;
+  TraceEvent event_;
+};
+
+// Named metric directory. Get* registers on first use and afterwards
+// returns the same pointer, which stays valid for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Process-wide registry used by the instrumented components.
+  static MetricsRegistry* Default();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  // `bounds` applies only on first registration; empty = default latency
+  // buckets.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<int64_t> bounds = {});
+
+  TraceLog& traces() { return traces_; }
+
+  // Flat snapshot for mirroring into the operational schema: counters and
+  // gauges one row each, histograms as <name>.count / <name>.sum /
+  // <name>.p95.
+  struct MetricValue {
+    std::string name;
+    std::string kind;  // "counter" | "gauge" | "histogram"
+    double value = 0;
+  };
+  std::vector<MetricValue> SnapshotValues() const;
+
+  // Prometheus-style text exposition (names sanitized to [a-z0-9_]).
+  std::string RenderText() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  TraceLog traces_;
+};
+
+// Microseconds since process start on the steady clock (trace timestamps).
+Micros SteadyNowUs();
+
+}  // namespace hedc
+
+#endif  // HEDC_CORE_METRICS_H_

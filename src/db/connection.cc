@@ -2,10 +2,26 @@
 
 #include <atomic>
 
+#include "core/metrics.h"
+
 namespace hedc::db {
 
 namespace {
+
 std::atomic<int64_t> g_next_connection_id{1};
+
+Histogram* PoolWaitLatency() {
+  static Histogram* const kHist =
+      MetricsRegistry::Default()->GetHistogram("db.pool_wait_us");
+  return kHist;
+}
+
+Gauge* PoolInUse() {
+  static Gauge* const kGauge =
+      MetricsRegistry::Default()->GetGauge("db.pool_in_use");
+  return kGauge;
+}
+
 }  // namespace
 
 Connection::Connection(Database* db, Clock* clock, Micros setup_cost)
@@ -73,11 +89,13 @@ PooledConnection ConnectionPool::Acquire(PoolKind kind) {
                                         options_.connection_setup_cost);
     return PooledConnection(nullptr, kind, std::move(conn));
   }
+  ScopedTimer wait_timer(PoolWaitLatency());
   std::unique_lock<std::mutex> lock(mu_);
   cv_.wait(lock, [this, k] { return !free_[k].empty(); });
   std::shared_ptr<Connection> conn = std::move(free_[k].front());
   free_[k].pop_front();
   ++outstanding_[k];
+  PoolInUse()->Add(1);
   return PooledConnection(this, kind, std::move(conn));
 }
 
@@ -87,6 +105,7 @@ void ConnectionPool::ReturnConnection(PoolKind kind,
   int k = static_cast<int>(kind);
   free_[k].push_back(std::move(conn));
   --outstanding_[k];
+  PoolInUse()->Add(-1);
   cv_.notify_all();
 }
 

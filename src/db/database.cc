@@ -2,11 +2,25 @@
 
 #include <algorithm>
 
+#include "core/metrics.h"
 #include "core/strings.h"
 
 namespace hedc::db {
 
 namespace {
+
+// Statement latency histograms, shared by every Database in the process.
+Histogram* QueryLatency() {
+  static Histogram* const kHist =
+      MetricsRegistry::Default()->GetHistogram("db.query_us");
+  return kHist;
+}
+
+Histogram* UpdateLatency() {
+  static Histogram* const kHist =
+      MetricsRegistry::Default()->GetHistogram("db.update_us");
+  return kHist;
+}
 
 std::string NormalizeName(std::string_view name) { return ToLower(name); }
 
@@ -275,18 +289,26 @@ Result<ResultSet> Database::Execute(std::string_view sql,
 Result<ResultSet> Database::ExecuteStatement(
     const Statement& stmt, const std::vector<Value>& params) {
   switch (stmt.kind) {
-    case Statement::Kind::kSelect:
+    case Statement::Kind::kSelect: {
       stats_.queries.fetch_add(1, std::memory_order_relaxed);
+      ScopedTimer timer(QueryLatency());
       return ExecSelect(stmt.select, params);
-    case Statement::Kind::kInsert:
+    }
+    case Statement::Kind::kInsert: {
       stats_.updates.fetch_add(1, std::memory_order_relaxed);
+      ScopedTimer timer(UpdateLatency());
       return ExecInsert(stmt.insert, params);
-    case Statement::Kind::kUpdate:
+    }
+    case Statement::Kind::kUpdate: {
       stats_.updates.fetch_add(1, std::memory_order_relaxed);
+      ScopedTimer timer(UpdateLatency());
       return ExecUpdate(stmt.update, params);
-    case Statement::Kind::kDelete:
+    }
+    case Statement::Kind::kDelete: {
       stats_.updates.fetch_add(1, std::memory_order_relaxed);
+      ScopedTimer timer(UpdateLatency());
       return ExecDelete(stmt.del, params);
+    }
     case Statement::Kind::kCreateTable:
       return ExecCreateTable(stmt.create_table);
     case Statement::Kind::kCreateIndex:

@@ -1,9 +1,30 @@
 #include "db/wal.h"
 
 #include "core/crc32.h"
+#include "core/metrics.h"
 #include "core/strings.h"
 
 namespace hedc::db {
+
+namespace {
+
+struct WalMetrics {
+  Counter* fsyncs;
+  Counter* append_bytes;
+  Histogram* fsync_us;
+};
+
+const WalMetrics& Metrics() {
+  static const WalMetrics kMetrics = [] {
+    MetricsRegistry* registry = MetricsRegistry::Default();
+    return WalMetrics{registry->GetCounter("wal.fsyncs"),
+                      registry->GetCounter("wal.append_bytes"),
+                      registry->GetHistogram("wal.fsync_us")};
+  }();
+  return kMetrics;
+}
+
+}  // namespace
 
 void EncodeValue(const Value& v, ByteBuffer* out) {
   out->PutU8(static_cast<uint8_t>(v.type()));
@@ -210,7 +231,12 @@ Status WriteAheadLog::Append(const WalRecord& record) {
   size_t written =
       std::fwrite(frame.data().data(), 1, frame.size(), file_);
   if (written != frame.size()) return Status::Internal("WAL write failed");
-  std::fflush(file_);
+  {
+    ScopedTimer timer(Metrics().fsync_us);
+    std::fflush(file_);
+  }
+  Metrics().fsyncs->Add();
+  Metrics().append_bytes->Add(static_cast<int64_t>(frame.size()));
   return Status::Ok();
 }
 

@@ -50,4 +50,42 @@ Status DataManager::LogOperational(const std::string& component,
   return Status::Ok();
 }
 
+Status DataManager::MirrorMetrics(MetricsRegistry* registry) {
+  if (registry == nullptr) registry = MetricsRegistry::Default();
+  double now_seconds =
+      static_cast<double>(clock_->Now()) / kMicrosPerSecond;
+
+  // Keep only the latest snapshot so readers can SELECT without MAX().
+  HEDC_ASSIGN_OR_RETURN(
+      db::ResultSet cleared,
+      io_->Update("metric_snapshots", "DELETE FROM metric_snapshots", {}));
+  (void)cleared;
+  for (const MetricsRegistry::MetricValue& m : registry->SnapshotValues()) {
+    HEDC_ASSIGN_OR_RETURN(
+        db::ResultSet r,
+        io_->Update("metric_snapshots",
+                    "INSERT INTO metric_snapshots VALUES (?, ?, ?, ?, ?)",
+                    {db::Value::Int(snap_ids_.Next()),
+                     db::Value::Real(now_seconds), db::Value::Text(m.name),
+                     db::Value::Text(m.kind), db::Value::Real(m.value)}));
+    (void)r;
+  }
+
+  for (const TraceEvent& event : registry->traces().Drain()) {
+    HEDC_ASSIGN_OR_RETURN(
+        db::ResultSet r,
+        io_->Update("request_traces",
+                    "INSERT INTO request_traces VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    {db::Value::Int(trace_row_ids_.Next()),
+                     db::Value::Int(event.trace_id),
+                     db::Value::Text(event.component),
+                     db::Value::Text(event.span),
+                     db::Value::Int(event.start_us),
+                     db::Value::Int(event.end_us),
+                     db::Value::Text(event.note)}));
+    (void)r;
+  }
+  return Status::Ok();
+}
+
 }  // namespace hedc::dm

@@ -16,6 +16,7 @@
 #include "archive/archive.h"
 #include "archive/name_mapper.h"
 #include "core/clock.h"
+#include "core/metrics.h"
 #include "core/thread_pool.h"
 #include "db/connection.h"
 #include "db/database.h"
@@ -74,6 +75,11 @@ class DataManager {
   Status LogOperational(const std::string& component,
                         const std::string& message);
 
+  // Mirrors the registry into the operational schema: replaces the
+  // metric_snapshots table with the current snapshot and drains buffered
+  // trace spans into request_traces. nullptr = the process-wide registry.
+  Status MirrorMetrics(MetricsRegistry* registry = nullptr);
+
   int64_t requests_handled() const {
     return requests_handled_.load(std::memory_order_relaxed);
   }
@@ -98,6 +104,8 @@ class DataManager {
   std::atomic<size_t> route_counter_{0};
   std::atomic<int64_t> requests_handled_{0};
   IdGenerator log_ids_{1};
+  IdGenerator snap_ids_{1};
+  IdGenerator trace_row_ids_{1};
 };
 
 }  // namespace hedc::dm

@@ -58,6 +58,19 @@ Status CreateGenericSchema(db::Database* db) {
       "CREATE TABLE IF NOT EXISTS usage_stats ("
       "stat_id INT PRIMARY KEY, stat_time REAL, user_id INT, "
       "operation TEXT, duration_ms REAL)",
+
+      // Mirrored metrics: the latest MetricsRegistry snapshot, one row per
+      // counter/gauge/histogram facet (see DataManager::MirrorMetrics).
+      "CREATE TABLE IF NOT EXISTS metric_snapshots ("
+      "snap_id INT PRIMARY KEY, snap_time REAL, metric TEXT, kind TEXT, "
+      "value REAL)",
+
+      // Drained trace spans: one row per completed span of a traced
+      // request, queryable by trace id.
+      "CREATE TABLE IF NOT EXISTS request_traces ("
+      "trace_row_id INT PRIMARY KEY, trace_id INT, component TEXT, "
+      "span TEXT, start_us INT, end_us INT, note TEXT)",
+      "CREATE INDEX traces_by_id ON request_traces (trace_id) USING HASH",
   };
   return ExecAll(db, kStatements,
                  sizeof(kStatements) / sizeof(kStatements[0]));

@@ -2,9 +2,32 @@
 
 #include <algorithm>
 
+#include "core/metrics.h"
 #include "core/strings.h"
 
 namespace hedc::dm {
+
+namespace {
+
+struct SessionMetrics {
+  Counter* hits;
+  Counter* creates;
+  Gauge* cache_size;
+  Histogram* get_us;
+};
+
+const SessionMetrics& Metrics() {
+  static const SessionMetrics kMetrics = [] {
+    MetricsRegistry* registry = MetricsRegistry::Default();
+    return SessionMetrics{registry->GetCounter("dm.sessions.hits"),
+                          registry->GetCounter("dm.sessions.creates"),
+                          registry->GetGauge("dm.sessions.cache_size"),
+                          registry->GetHistogram("dm.sessions.get_us")};
+  }();
+  return kMetrics;
+}
+
+}  // namespace
 
 const char* SessionKindName(SessionKind kind) {
   switch (kind) {
@@ -29,12 +52,14 @@ Result<Session> SessionManager::GetOrCreate(const UserProfile& profile,
                                             const std::string& cookie,
                                             SessionKind kind) {
   std::string key = KeyOf(client_ip, cookie, kind);
+  ScopedTimer timer(Metrics().get_us);
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (options_.caching_enabled) {
       auto it = cache_.find(key);
       if (it != cache_.end()) {
         ++cache_hits_;
+        Metrics().hits->Add();
         it->second.last_used = clock_->Now();
         lru_.remove(key);
         lru_.push_front(key);
@@ -66,10 +91,12 @@ Result<Session> SessionManager::GetOrCreate(const UserProfile& profile,
 
   std::lock_guard<std::mutex> lock(mu_);
   ++sessions_created_;
+  Metrics().creates->Add();
   if (options_.caching_enabled) {
     cache_[key] = session;
     lru_.push_front(key);
     EvictIfNeeded();
+    Metrics().cache_size->Set(static_cast<int64_t>(cache_.size()));
   }
   return session;
 }
@@ -83,6 +110,7 @@ void SessionManager::Invalidate(const std::string& client_ip,
     cache_.erase(key);
     lru_.remove(key);
   }
+  Metrics().cache_size->Set(static_cast<int64_t>(cache_.size()));
 }
 
 size_t SessionManager::CacheSize() const {

@@ -95,6 +95,16 @@ Frontend::Frontend(GlobalDirectory* directory, DurationPredictor* predictor,
       clock_(clock),
       committer_(std::move(committer)),
       options_(options) {
+  MetricsRegistry* metrics = MetricsRegistry::Default();
+  estimate_us_ = metrics->GetHistogram("pl.estimate_us");
+  execute_us_ = metrics->GetHistogram("pl.execute_us");
+  deliver_us_ = metrics->GetHistogram("pl.deliver_us");
+  commit_us_ = metrics->GetHistogram("pl.commit_us");
+  submitted_ = metrics->GetCounter("pl.requests.submitted");
+  completed_counter_ = metrics->GetCounter("pl.requests.completed");
+  failed_ = metrics->GetCounter("pl.requests.failed");
+  cancelled_ = metrics->GetCounter("pl.requests.cancelled");
+  queue_depth_ = metrics->GetGauge("pl.queue_depth");
   size_t n = std::max<size_t>(options_.dispatcher_threads, 1);
   dispatchers_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
@@ -134,13 +144,19 @@ Result<int64_t> Frontend::Submit(ProcessingRequest request) {
   }
   int64_t id = next_request_id_++;
   request.request_id = id;
+  if (request.trace_id == 0) request.trace_id = id;
+  submitted_->Add();
   auto slot = std::make_unique<Slot>();
   slot->request = std::move(request);
   slot->outcome.state = RequestState::kQueued;
   slot->outcome.submitted_at = clock_->Now();
   if (!slot->request.skip_estimation) {
     lock.unlock();
-    Result<double> predicted = Estimate(slot->request);
+    Result<double> predicted = [&]() -> Result<double> {
+      ScopedTimer timer(estimate_us_);
+      TraceSpan span(slot->request.trace_id, "pl", "estimate");
+      return Estimate(slot->request);
+    }();
     lock.lock();
     if (predicted.ok()) {
       slot->outcome.predicted_seconds = predicted.value();
@@ -149,6 +165,7 @@ Result<int64_t> Frontend::Submit(ProcessingRequest request) {
   }
   slots_[id] = std::move(slot);
   queue_.push_back(id);
+  queue_depth_->Set(static_cast<int64_t>(queue_.size()));
   queue_cv_.notify_one();
   return id;
 }
@@ -178,6 +195,17 @@ void Frontend::Finish(Slot* slot, RequestState state, Status status) {
   slot->outcome.status = std::move(status);
   slot->outcome.finished_at = clock_->Now();
   ++completed_;
+  switch (state) {
+    case RequestState::kFailed:
+      failed_->Add();
+      break;
+    case RequestState::kCancelled:
+      cancelled_->Add();
+      break;
+    default:
+      completed_counter_->Add();
+      break;
+  }
   done_cv_.notify_all();
 }
 
@@ -189,6 +217,7 @@ void Frontend::DispatcherLoop() {
       queue_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
       if (shutdown_ && queue_.empty()) return;
       int64_t id = PopNext();
+      queue_depth_->Set(static_cast<int64_t>(queue_.size()));
       if (id < 0) continue;
       slot = slots_[id].get();
       if (slot->cancel_requested) {
@@ -222,8 +251,13 @@ void Frontend::DispatcherLoop() {
     }
 
     Micros exec_start = clock_->Now();
-    Result<analysis::AnalysisProduct> product = manager->Invoke(
-        slot->request.routine, slot->request.photons, slot->request.params);
+    Result<analysis::AnalysisProduct> product =
+        [&]() -> Result<analysis::AnalysisProduct> {
+      ScopedTimer timer(execute_us_);
+      TraceSpan span(slot->request.trace_id, "pl", "execute");
+      return manager->Invoke(slot->request.routine, slot->request.photons,
+                             slot->request.params);
+    }();
     Micros exec_end = clock_->Now();
 
     if (!product.ok()) {
@@ -247,6 +281,8 @@ void Frontend::DispatcherLoop() {
 
     // --- delivery phase ------------------------------------------------
     {
+      ScopedTimer timer(deliver_us_);
+      TraceSpan span(slot->request.trace_id, "pl", "deliver");
       std::lock_guard<std::mutex> lock(mu_);
       if (slot->cancel_requested) {
         // Cancellation cleanup: discard the product before commit.
@@ -264,8 +300,11 @@ void Frontend::DispatcherLoop() {
       Finish(slot, RequestState::kDelivered, Status::Ok());
       continue;
     }
-    Result<int64_t> ana_id =
-        committer_(slot->request, slot->outcome.product);
+    Result<int64_t> ana_id = [&]() -> Result<int64_t> {
+      ScopedTimer timer(commit_us_);
+      TraceSpan span(slot->request.trace_id, "pl", "commit");
+      return committer_(slot->request, slot->outcome.product);
+    }();
     std::lock_guard<std::mutex> lock(mu_);
     if (!ana_id.ok()) {
       Finish(slot, RequestState::kFailed, ana_id.status());

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/clock.h"
+#include "core/metrics.h"
 #include "core/status.h"
 #include "pl/server_manager.h"
 
@@ -86,6 +87,9 @@ const char* RequestStateName(RequestState state);
 
 struct ProcessingRequest {
   int64_t request_id = 0;
+  // Request-tracing id carried through all four phases; Submit defaults it
+  // to the request id when the caller leaves it 0.
+  int64_t trace_id = 0;
   int priority = 0;  // higher runs first
   int64_t hle_id = 0;
   std::string routine;
@@ -171,6 +175,17 @@ class Frontend {
   int64_t completed_ = 0;
   std::vector<std::thread> dispatchers_;
   std::atomic<size_t> dispatch_counter_{0};
+
+  // pl.* metrics: per-phase latencies, request outcomes, queue depth.
+  Histogram* estimate_us_;
+  Histogram* execute_us_;
+  Histogram* deliver_us_;
+  Histogram* commit_us_;
+  Counter* submitted_;
+  Counter* completed_counter_;
+  Counter* failed_;
+  Counter* cancelled_;
+  Gauge* queue_depth_;
 };
 
 }  // namespace hedc::pl

@@ -5,6 +5,16 @@ namespace hedc::pl {
 IdlServerManager::IdlServerManager(std::string host_name, Options options)
     : host_name_(std::move(host_name)), options_(options) {
   workers_ = std::make_unique<ThreadPool>(options_.worker_threads);
+  MetricsRegistry* metrics = MetricsRegistry::Default();
+  attempts_ = metrics->GetCounter("pl.invoke.attempts");
+  retries_ = metrics->GetCounter("pl.invoke.retries");
+  failures_ = metrics->GetCounter("pl.invoke.failures");
+  restart_counter_ = metrics->GetCounter("pl.interpreter.restarts");
+}
+
+void IdlServerManager::CountRestart() {
+  restarts_.fetch_add(1, std::memory_order_relaxed);
+  restart_counter_->Add();
 }
 
 IdlServerManager::~IdlServerManager() { workers_->Shutdown(); }
@@ -51,7 +61,7 @@ IdlServer* IdlServerManager::AcquireIdle() {
     if (server->state() == ServerState::kCrashed) {
       // Opportunistic recovery: restart crashed interpreters on the way.
       if (server->Restart().ok()) {
-        ++restarts_;
+        CountRestart();
         return server.get();
       }
     }
@@ -66,22 +76,27 @@ Result<analysis::AnalysisProduct> IdlServerManager::Invoke(
   for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
     IdlServer* server = AcquireIdle();
     if (server == nullptr) {
+      failures_->Add();
       return Status::ResourceExhausted(host_name_ +
                                        ": no idle IDL interpreter");
     }
+    attempts_->Add();
+    if (attempt > 0) retries_->Add();
     Result<analysis::AnalysisProduct> result =
         server->Invoke(routine, photons, params);
     if (result.ok()) return result;
     last_error = result.status();
     if (last_error.code() == StatusCode::kNotFound ||
         last_error.code() == StatusCode::kInvalidArgument) {
+      failures_->Add();
       return last_error;  // not recoverable by retry
     }
     if (server->state() == ServerState::kCrashed) {
-      if (server->Restart().ok()) ++restarts_;
+      if (server->Restart().ok()) CountRestart();
     }
     // kTimeout/kUnavailable: retry on a (restarted) interpreter.
   }
+  failures_->Add();
   return last_error;
 }
 

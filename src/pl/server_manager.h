@@ -7,12 +7,14 @@
 #ifndef HEDC_PL_SERVER_MANAGER_H_
 #define HEDC_PL_SERVER_MANAGER_H_
 
+#include <atomic>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "core/metrics.h"
 #include "core/thread_pool.h"
 #include "pl/idl_server.h"
 
@@ -48,17 +50,27 @@ class IdlServerManager {
       std::string routine, rhessi::PhotonList photons,
       analysis::AnalysisParams params);
 
-  int64_t restarts() const { return restarts_; }
+  int64_t restarts() const {
+    return restarts_.load(std::memory_order_relaxed);
+  }
 
  private:
   IdlServer* AcquireIdle();
+  void CountRestart();
 
   std::string host_name_;
   Options options_;
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<IdlServer>> servers_;
   std::unique_ptr<ThreadPool> workers_;
-  int64_t restarts_ = 0;
+  // Atomic: Invoke restarts crashed interpreters outside mu_.
+  std::atomic<int64_t> restarts_{0};
+
+  // pl.invoke.* / pl.interpreter.* metrics.
+  Counter* attempts_;
+  Counter* retries_;
+  Counter* failures_;
+  Counter* restart_counter_;
 };
 
 }  // namespace hedc::pl

@@ -19,6 +19,9 @@ struct HttpRequest {
   std::map<std::string, std::string> cookies;
   std::string client_ip = "127.0.0.1";
   std::string body;
+  // Request-tracing id; assigned by WebServer::Dispatch (mutable so the
+  // server can stamp a const request). 0 = untraced.
+  mutable int64_t trace_id = 0;
 
   std::string GetQuery(const std::string& key,
                        const std::string& fallback = "") const {

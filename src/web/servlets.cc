@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "analysis/product.h"
+#include "core/metrics.h"
 #include "core/strings.h"
 #include "dm/predefined_queries.h"
 #include "dm/process_layer.h"
@@ -55,7 +56,11 @@ dm::Session BrowseSession(dm::DataManager* dm, WebServer* server,
   dm::UserProfile profile = server->ProfileFor(request);
   Result<dm::Session> session = dm->sessions().GetOrCreate(
       profile, request.client_ip, request.GetCookie("hedc_session"), kind);
-  return session.ok() ? session.value() : dm::Session{};
+  dm::Session out = session.ok() ? session.value() : dm::Session{};
+  // Propagate the request's trace id through this per-request session
+  // copy (the cached session stays untraced).
+  out.trace_id = request.trace_id;
+  return out;
 }
 
 class LoginServlet : public Servlet {
@@ -306,6 +311,7 @@ class AnalyzeServlet : public Servlet {
     }
 
     pl::ProcessingRequest processing;
+    processing.trace_id = session.trace_id;
     processing.hle_id = hle_id;
     processing.routine = routine;
     processing.params = params;
@@ -487,17 +493,47 @@ class StatusServlet : public Servlet {
         row.Set("count", usage.value().rows[i][1].AsText());
       }
     }
+    // Metrics section from the operational schema: refresh the mirror,
+    // then render the snapshot rows.
+    dm->MirrorMetrics();
+    Result<db::ResultSet> metrics = dm->database()->Execute(
+        "SELECT metric, kind, value FROM metric_snapshots ORDER BY metric");
+    if (metrics.ok()) {
+      for (size_t i = 0; i < metrics.value().num_rows(); ++i) {
+        TemplateContext& row = ctx.AddRow("metrics");
+        row.Set("metric", metrics.value().rows[i][0].AsText());
+        row.Set("kind", metrics.value().rows[i][1].AsText());
+        row.Set("value",
+                StrFormat("%.1f", metrics.value().rows[i][2].AsReal()));
+      }
+    }
     std::string inner =
         RenderTemplate(
             "<h2>Node {{node}} ({{requests}} requests)</h2>"
             "<h3>Archives</h3><ul>{{#archives}}<li>#{{id}} {{type}} "
             "{{root}}: {{online}}</li>{{/archives}}</ul>"
             "<h3>Usage</h3><ul>{{#usage}}<li>{{op}}: {{count}}</li>"
-            "{{/usage}}</ul>",
+            "{{/usage}}</ul>"
+            "<h3>Metrics</h3><table>{{#metrics}}<tr><td>{{metric}}</td>"
+            "<td>{{kind}}</td><td>{{value}}</td></tr>{{/metrics}}</table>",
             ctx)
             .value_or("");
     return HttpResponse{200, "text/html", RenderPage("Status", inner),
                         {}, {}};
+  }
+};
+
+// Text exposition of the process-wide registry; also refreshes the
+// operational-schema mirror so DB readers see the same snapshot.
+class MetricsServlet : public Servlet {
+ public:
+  HttpResponse Handle(const HttpRequest&, dm::DataManager* dm,
+                      WebServer*) override {
+    dm->MirrorMetrics();
+    HttpResponse response;
+    response.content_type = "text/plain";
+    response.body = MetricsRegistry::Default()->RenderText();
+    return response;
   }
 };
 
@@ -517,6 +553,7 @@ void WebServer::RegisterStandardServlets() {
   Register("/explore", std::make_unique<ExploreServlet>());
   Register("/query", std::make_unique<QueryServlet>());
   Register("/status", std::make_unique<StatusServlet>());
+  Register("/metrics", std::make_unique<MetricsServlet>());
 }
 
 void WebServer::Register(const std::string& path,
@@ -526,15 +563,30 @@ void WebServer::Register(const std::string& path,
 
 HttpResponse WebServer::Dispatch(const HttpRequest& request) {
   requests_served_.fetch_add(1, std::memory_order_relaxed);
+  MetricsRegistry* metrics = MetricsRegistry::Default();
   auto it = servlets_.find(request.path);
   if (it == servlets_.end()) {
+    metrics->GetCounter("web.status.404")->Add();
     return HttpResponse::NotFound("no servlet for " + request.path);
   }
+  // Every dispatched request gets a trace id; servlets thread it through
+  // their session into the PL so the whole request is followable.
+  if (request.trace_id == 0) {
+    request.trace_id = metrics->traces().NewTraceId();
+  }
+  metrics->GetCounter("web.requests" + request.path)->Add();
   // Call redirection: the request may execute on a peer DM node (§5.4).
   dm::DataManager* node = dm_->Route();
   node->CountRequest();
   Micros start = node->clock()->Now();
-  HttpResponse response = it->second->Handle(request, node, this);
+  HttpResponse response = [&] {
+    ScopedTimer timer(
+        metrics->GetHistogram("web.latency_us" + request.path));
+    TraceSpan span(request.trace_id, "web", request.path);
+    return it->second->Handle(request, node, this);
+  }();
+  metrics->GetCounter("web.status." + std::to_string(response.status_code))
+      ->Add();
   if (record_usage_) {
     // Operational section: usage statistics / audit trail (§4.1).
     dm::UserProfile profile = ProfileFor(request);

@@ -5,6 +5,7 @@
 #include "archive/compression.h"
 #include "archive/fits.h"
 #include "archive/name_mapper.h"
+#include "core/metrics.h"
 #include "core/rng.h"
 
 namespace hedc::archive {
@@ -342,6 +343,74 @@ TEST_F(NameMapperTest, DanglingArchiveIsCorruption) {
   ASSERT_TRUE(mapper_->AddLocation(300, NameType::kFilename, 77, "x").ok());
   EXPECT_EQ(mapper_->Resolve(300, NameType::kFilename).status().code(),
             StatusCode::kCorruption);
+}
+
+// --- Edge cases around the moving target: counters must tick for every
+// kind of resolution miss (the process registry is shared, so all
+// assertions are on deltas).
+
+TEST_F(NameMapperTest, UnknownItemTicksMissCounter) {
+  MetricsRegistry* metrics = MetricsRegistry::Default();
+  int64_t res0 = metrics->GetCounter("namemap.resolutions")->Value();
+  int64_t miss0 = metrics->GetCounter("namemap.misses")->Value();
+  EXPECT_TRUE(
+      mapper_->Resolve(424242, NameType::kFilename).status().IsNotFound());
+  EXPECT_EQ(metrics->GetCounter("namemap.resolutions")->Value() - res0, 1);
+  EXPECT_EQ(metrics->GetCounter("namemap.misses")->Value() - miss0, 1);
+}
+
+TEST_F(NameMapperTest, OfflineArchiveIsUnavailableAndTicksMiss) {
+  // Take the disk archive offline behind the mapper's back.
+  ASSERT_TRUE(
+      db_.Execute("UPDATE archives SET online = FALSE WHERE archive_id = 1")
+          .ok());
+  int64_t miss0 =
+      MetricsRegistry::Default()->GetCounter("namemap.misses")->Value();
+  auto r = mapper_->Resolve(100, NameType::kFilename);
+  EXPECT_TRUE(r.status().IsUnavailable()) << r.status().ToString();
+  EXPECT_EQ(
+      MetricsRegistry::Default()->GetCounter("namemap.misses")->Value() -
+          miss0,
+      1);
+  // Bringing it back online heals resolution without touching items.
+  ASSERT_TRUE(
+      db_.Execute("UPDATE archives SET online = TRUE WHERE archive_id = 1")
+          .ok());
+  EXPECT_TRUE(mapper_->Resolve(100, NameType::kFilename).ok());
+}
+
+TEST_F(NameMapperTest, RemovedArchiveRootIsCorruptionAndTicksMiss) {
+  // The archive tuple disappears (a stale root): entries now dangle.
+  ASSERT_TRUE(
+      db_.Execute("DELETE FROM archives WHERE archive_id = 1").ok());
+  int64_t miss0 =
+      MetricsRegistry::Default()->GetCounter("namemap.misses")->Value();
+  EXPECT_EQ(mapper_->Resolve(100, NameType::kFilename).status().code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(
+      MetricsRegistry::Default()->GetCounter("namemap.misses")->Value() -
+          miss0,
+      1);
+}
+
+TEST_F(NameMapperTest, RelocationToMissingArchiveIsCorruption) {
+  // A resolution that worked a moment ago breaks when the item is
+  // relocated to an archive that was never registered.
+  ASSERT_TRUE(mapper_->Resolve(100, NameType::kFilename).ok());
+  ASSERT_TRUE(mapper_->RelocateArchive(1, 99).ok());
+  int64_t miss0 =
+      MetricsRegistry::Default()->GetCounter("namemap.misses")->Value();
+  EXPECT_EQ(mapper_->Resolve(100, NameType::kFilename).status().code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(
+      MetricsRegistry::Default()->GetCounter("namemap.misses")->Value() -
+          miss0,
+      1);
+  // Relocating onward to a real archive repairs it mid-flight.
+  ASSERT_TRUE(mapper_->RelocateArchive(99, 2).ok());
+  auto r = mapper_->Resolve(100, NameType::kFilename);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().archive_id, 2);
 }
 
 }  // namespace

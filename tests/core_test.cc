@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "core/bytes.h"
 #include "core/clock.h"
@@ -368,6 +370,46 @@ TEST(LoggingTest, MinLevelFilters) {
   Logger::Instance()->SetSink(prev);
   ASSERT_EQ(captured.size(), 1u);
   EXPECT_EQ(captured[0], "kept");
+}
+
+// Regression: SetSink used to copy the sink outside the lock, so a swap
+// could destroy a sink while another thread was invoking it. The sink now
+// runs under the logger mutex; swapping sinks while other threads log must
+// never drop, duplicate, or tear a message.
+TEST(LoggingTest, StressSinkSwapUnderConcurrentLogging) {
+  constexpr int kThreads = 4;
+  constexpr int kMessagesPerThread = 2000;
+  constexpr int kSwaps = 200;
+  std::atomic<int64_t> delivered{0};
+  auto counting_sink = [&delivered](LogLevel, const std::string& m) {
+    // A torn/destroyed sink would crash or mangle the payload here.
+    ASSERT_EQ(m, "tick");
+    delivered.fetch_add(1, std::memory_order_relaxed);
+  };
+  auto prev = Logger::Instance()->SetSink(counting_sink);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> loggers;
+  for (int t = 0; t < kThreads; ++t) {
+    loggers.emplace_back([] {
+      for (int i = 0; i < kMessagesPerThread; ++i) HEDC_LOG(kInfo) << "tick";
+    });
+  }
+  std::thread swapper([&] {
+    int swaps = 0;
+    while (!stop.load(std::memory_order_relaxed) && swaps < kSwaps) {
+      // Every installed sink counts into the same atomic, so the total
+      // stays exact no matter which one a given Log call lands on.
+      Logger::Instance()->SetSink(counting_sink);
+      ++swaps;
+    }
+  });
+  for (auto& t : loggers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  swapper.join();
+  Logger::Instance()->SetSink(prev);
+
+  EXPECT_EQ(delivered.load(), kThreads * kMessagesPerThread);
 }
 
 }  // namespace

@@ -292,5 +292,71 @@ TEST_F(FrontendTest, UnknownRequestIdInWaitAndCancel) {
   EXPECT_FALSE(frontend.GetState(999).ok());
 }
 
+// Fault-injection hammer: many concurrent invocations against seeded
+// crashy interpreters. Every future must be satisfied (success or error)
+// and the retry/restart accounting must balance regardless of scheduling.
+TEST_F(PlTest, StressFaultInjectionConcurrentInvokes) {
+  MetricsRegistry* metrics = MetricsRegistry::Default();
+  int64_t attempts0 = metrics->GetCounter("pl.invoke.attempts")->Value();
+  int64_t retries0 = metrics->GetCounter("pl.invoke.retries")->Value();
+  int64_t restarts0 =
+      metrics->GetCounter("pl.interpreter.restarts")->Value();
+
+  IdlServerManager::Options options;
+  options.max_retries = 6;
+  // Workers <= interpreters guarantees AcquireIdle never comes up empty,
+  // which keeps the attempts == requests + retries invariant exact.
+  options.worker_threads = 3;
+  IdlServerManager manager("host0", options);
+  uint64_t seed = 11;
+  for (const char* name : {"idl0", "idl1", "idl2"}) {
+    IdlServer::Options flaky;
+    flaky.crash_probability = 0.3;
+    flaky.fault_seed = seed++;
+    ASSERT_TRUE(manager.AddServer(MakeServer(name, flaky)).ok());
+  }
+
+  constexpr int kRequests = 40;
+  rhessi::PhotonList photons = SmallPhotons();
+  std::vector<std::future<Result<analysis::AnalysisProduct>>> futures;
+  futures.reserve(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    futures.push_back(manager.InvokeAsync("histogram", photons, {}));
+  }
+  int successes = 0;
+  int failures = 0;
+  for (auto& future : futures) {
+    Result<analysis::AnalysisProduct> result = future.get();
+    if (result.ok()) {
+      ++successes;
+    } else {
+      ++failures;
+      // Crash faults surface as kUnavailable after retries are exhausted.
+      EXPECT_TRUE(result.status().IsUnavailable())
+          << result.status().ToString();
+    }
+  }
+  // Every request completed one way or the other.
+  EXPECT_EQ(successes + failures, kRequests);
+  // With restart+retry at a 30% crash rate, most requests succeed.
+  EXPECT_GE(successes, kRequests * 3 / 4);
+
+  int64_t attempts = metrics->GetCounter("pl.invoke.attempts")->Value() -
+                     attempts0;
+  int64_t retries =
+      metrics->GetCounter("pl.invoke.retries")->Value() - retries0;
+  int64_t restarts =
+      metrics->GetCounter("pl.interpreter.restarts")->Value() - restarts0;
+  // Each request pays exactly 1 + its retries attempts (3 interpreters at
+  // 4 workers: acquisition never fails outright).
+  EXPECT_EQ(attempts, kRequests + retries);
+  // The manager's own restart count and the process counter agree.
+  EXPECT_EQ(restarts, manager.restarts());
+  // The seeded fault plan forces crashes, hence restarts.
+  EXPECT_GT(restarts, 0);
+  // No interpreter is left permanently crashed: all recover to idle.
+  EXPECT_EQ(manager.idle_servers(), 3);
+}
+
 }  // namespace
 }  // namespace hedc::pl
