@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Validates the BENCH_*.json schema emitted by the perf harnesses.
+
+Schema (see bench/bench_json.h):
+  {"bench": str, "results": [{"label": str, <metric>: number, ...}]}
+with every result row carrying at least throughput_per_sec, p50_us and
+p99_us. Run under the `bench-smoke` ctest label so benches that stop
+emitting valid JSON fail CI instead of silently bit-rotting.
+"""
+import json
+import sys
+
+REQUIRED_METRICS = ("throughput_per_sec", "p50_us", "p99_us")
+
+
+def validate(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict):
+        return "top level is not an object"
+    if not isinstance(doc.get("bench"), str) or not doc["bench"]:
+        return "missing/empty 'bench' name"
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        return "missing/empty 'results' list"
+    labels = set()
+    for i, row in enumerate(results):
+        if not isinstance(row, dict):
+            return f"results[{i}] is not an object"
+        label = row.get("label")
+        if not isinstance(label, str) or not label:
+            return f"results[{i}] missing 'label'"
+        if label in labels:
+            return f"duplicate label {label!r}"
+        labels.add(label)
+        for metric in REQUIRED_METRICS:
+            value = row.get(metric)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                return f"results[{i}] ({label}): missing numeric {metric!r}"
+            if value < 0:
+                return f"results[{i}] ({label}): negative {metric!r}"
+        for key, value in row.items():
+            if key == "label":
+                continue
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                return f"results[{i}] ({label}): non-numeric metric {key!r}"
+    return None
+
+
+def main(argv):
+    if len(argv) < 2:
+        print("usage: validate_bench_json.py BENCH_foo.json...",
+              file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        try:
+            error = validate(path)
+        except (OSError, json.JSONDecodeError) as exc:
+            error = str(exc)
+        if error:
+            print(f"FAIL {path}: {error}", file=sys.stderr)
+            failed = True
+        else:
+            print(f"OK   {path}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, full test suite (including the bench-smoke
+# JSON-schema checks), then the concurrency stress suite under
+# ThreadSanitizer. Run from the repo root:
+#   scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== build (default) ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j
+
+echo "=== full suite (fast tests + stress + bench-smoke) ==="
+(cd build && ctest --output-on-failure -j)
+
+echo "=== build (HEDC_SANITIZE=thread) ==="
+cmake -B build-tsan -S . -DHEDC_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j
+
+echo "=== stress suite under TSan ==="
+(cd build-tsan && ctest -L stress --output-on-failure)
+
+echo "verify: OK"

@@ -1,5 +1,7 @@
 #include "archive/name_mapper.h"
 
+#include <algorithm>
+
 #include "core/ids.h"
 #include "core/strings.h"
 
@@ -35,11 +37,92 @@ const char* NameTypeName(NameType type) {
 
 NameMapper::NameMapper(db::Database* db, Config config)
     : db_(db), config_(std::move(config)) {
+  int64_t capacity = config_.GetInt("name_mapper.cache_capacity", 1024);
+  if (capacity > 0) {
+    cache_capacity_per_shard_ = std::max<size_t>(
+        1, static_cast<size_t>(capacity) / kCacheShards);
+  }
   MetricsRegistry* metrics = MetricsRegistry::Default();
   resolutions_ = metrics->GetCounter("namemap.resolutions");
   misses_ = metrics->GetCounter("namemap.misses");
   db_queries_ = metrics->GetCounter("namemap.db_queries");
   resolve_us_ = metrics->GetHistogram("namemap.resolve_us");
+  cache_hits_ = metrics->GetCounter("name_mapper.cache_hits");
+  cache_misses_ = metrics->GetCounter("name_mapper.cache_misses");
+  cache_invalidations_ =
+      metrics->GetCounter("name_mapper.cache_invalidations");
+}
+
+uint64_t NameMapper::CacheKey(int64_t item_id, NameType type) {
+  return static_cast<uint64_t>(item_id) * 4 +
+         static_cast<uint64_t>(type);
+}
+
+NameMapper::CacheShard& NameMapper::ShardFor(int64_t item_id) {
+  return cache_shards_[static_cast<uint64_t>(item_id) % kCacheShards];
+}
+
+bool NameMapper::CacheGet(int64_t item_id, NameType type,
+                          ResolvedName* out) {
+  if (cache_capacity_per_shard_ == 0) return false;
+  CacheShard& shard = ShardFor(item_id);
+  uint64_t key = CacheKey(item_id, type);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) return false;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  *out = it->second->value;
+  return true;
+}
+
+void NameMapper::CachePut(uint64_t gen_snapshot, int64_t item_id,
+                          NameType type, const ResolvedName& value) {
+  if (cache_capacity_per_shard_ == 0) return;
+  CacheShard& shard = ShardFor(item_id);
+  uint64_t key = CacheKey(item_id, type);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  // A relocation may have landed between our DB queries and now; its
+  // invalidation already ran, so installing this result would cache a
+  // stale path. The generation check is made under the shard lock,
+  // ordering it against the eraser's locked pass.
+  if (cache_gen_.load(std::memory_order_acquire) != gen_snapshot) return;
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->value = value;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(CacheEntry{key, value});
+  shard.index[key] = shard.lru.begin();
+  if (shard.lru.size() > cache_capacity_per_shard_) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+  }
+}
+
+void NameMapper::CacheEraseItem(int64_t item_id) {
+  if (cache_capacity_per_shard_ == 0) return;
+  cache_gen_.fetch_add(1, std::memory_order_acq_rel);
+  cache_invalidations_->Add();
+  CacheShard& shard = ShardFor(item_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  for (int t = 0; t < 3; ++t) {
+    auto it = shard.index.find(CacheKey(item_id, static_cast<NameType>(t)));
+    if (it == shard.index.end()) continue;
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+  }
+}
+
+void NameMapper::InvalidateCache() {
+  if (cache_capacity_per_shard_ == 0) return;
+  cache_gen_.fetch_add(1, std::memory_order_acq_rel);
+  cache_invalidations_->Add();
+  for (CacheShard& shard : cache_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.index.clear();
+  }
 }
 
 Status NameMapper::Init() {
@@ -92,6 +175,7 @@ Status NameMapper::AddLocation(int64_t item_id, NameType type,
            db::Value::Text(NameTypeName(type)), db::Value::Int(archive_id),
            db::Value::Text(rel_path)}));
   (void)r;
+  CacheEraseItem(item_id);
   return Status::Ok();
 }
 
@@ -110,6 +194,17 @@ std::string NameMapper::RootFor(NameType type) const {
 Result<ResolvedName> NameMapper::Resolve(int64_t item_id, NameType type) {
   resolutions_->Add();
   ScopedTimer timer(resolve_us_);
+
+  ResolvedName cached;
+  if (CacheGet(item_id, type, &cached)) {
+    cache_hits_->Add();
+    return cached;
+  }
+  cache_misses_->Add();
+  // Snapshot before the queries: if a relocation bumps the generation
+  // while we read, CachePut refuses to install the (possibly stale)
+  // result. Misses and offline archives are never cached.
+  uint64_t gen = cache_gen_.load(std::memory_order_acquire);
 
   // Query 1 (indexed on item_id): the location entry.
   db_queries_->Add();
@@ -160,6 +255,7 @@ Result<ResolvedName> NameMapper::Resolve(int64_t item_id, NameType type) {
   out.name += prefix;
   if (!out.name.empty()) out.name += "/";
   out.name += out.rel_path;
+  CachePut(gen, item_id, type, out);
   return out;
 }
 
@@ -188,6 +284,8 @@ Status NameMapper::RelocateArchive(int64_t from_archive,
                    {db::Value::Int(to_archive),
                     db::Value::Int(from_archive)}));
   (void)r;
+  // Any cached name may point into the old archive; drop everything.
+  InvalidateCache();
   return Status::Ok();
 }
 
@@ -201,6 +299,8 @@ Status NameMapper::Remount(int64_t archive_id,
   if (r.affected_rows == 0) {
     return Status::NotFound("archive " + std::to_string(archive_id));
   }
+  // The cache has no archive→item reverse index; drop everything.
+  InvalidateCache();
   return Status::Ok();
 }
 
@@ -219,6 +319,7 @@ Status NameMapper::MoveItem(int64_t item_id, NameType type,
         StrFormat("no %s location for item %lld", NameTypeName(type),
                   static_cast<long long>(item_id)));
   }
+  CacheEraseItem(item_id);
   return Status::Ok();
 }
 
@@ -228,6 +329,7 @@ Status NameMapper::RemoveLocations(int64_t item_id) {
       db_->Execute("DELETE FROM location_entries WHERE item_id = ?",
                    {db::Value::Int(item_id)}));
   (void)r;
+  CacheEraseItem(item_id);
   return Status::Ok();
 }
 

@@ -11,11 +11,23 @@
 // The cost is exactly two extra indexed queries; the payoff is that
 // administrators relocate files (disk repair, disk→tape migration, data
 // reorganization) by updating location tuples only, at run time.
+//
+// A sharded read-through LRU cache elides the two queries on warm
+// resolutions. Relocation primitives invalidate strictly: they update the
+// database first, then bump a generation counter, then drop the affected
+// entries; readers snapshot the generation before querying and only
+// install a result if the generation is unchanged, so a resolution racing
+// a relocation can never pin a stale path into the cache.
 #ifndef HEDC_ARCHIVE_NAME_MAPPER_H_
 #define HEDC_ARCHIVE_NAME_MAPPER_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <list>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/config.h"
@@ -73,11 +85,41 @@ class NameMapper {
 
   Status RemoveLocations(int64_t item_id);
 
+  // Drops every cached resolution and bumps the generation (admin paths
+  // that mutate the location tables behind the mapper's back).
+  void InvalidateCache();
+
  private:
+  static constexpr size_t kCacheShards = 8;
+
+  struct CacheEntry {
+    uint64_t key = 0;
+    ResolvedName value;
+  };
+  // Entries for one slice of the item-id space. All name types of an item
+  // hash to the same shard, so per-item invalidation locks one shard.
+  struct CacheShard {
+    std::mutex mu;
+    std::list<CacheEntry> lru;  // front = most recently used
+    std::unordered_map<uint64_t, std::list<CacheEntry>::iterator> index;
+  };
+
   std::string RootFor(NameType type) const;
+
+  static uint64_t CacheKey(int64_t item_id, NameType type);
+  CacheShard& ShardFor(int64_t item_id);
+  bool CacheGet(int64_t item_id, NameType type, ResolvedName* out);
+  // Installs `value` unless the generation moved past `gen_snapshot`
+  // (a relocation landed during the DB queries).
+  void CachePut(uint64_t gen_snapshot, int64_t item_id, NameType type,
+                const ResolvedName& value);
+  void CacheEraseItem(int64_t item_id);
 
   db::Database* db_;
   Config config_;
+  size_t cache_capacity_per_shard_ = 0;  // 0 disables the cache
+  std::atomic<uint64_t> cache_gen_{0};
+  std::array<CacheShard, kCacheShards> cache_shards_;
 
   // namemap.* metrics: resolution volume/latency, miss breakdown, and the
   // two-extra-indexed-queries cost the paper trades for relocatability.
@@ -85,6 +127,9 @@ class NameMapper {
   Counter* misses_;
   Counter* db_queries_;
   Histogram* resolve_us_;
+  Counter* cache_hits_;
+  Counter* cache_misses_;
+  Counter* cache_invalidations_;
 };
 
 }  // namespace hedc::archive

@@ -138,6 +138,7 @@ Status Database::OpenWal(const std::string& wal_path) {
   std::vector<WalRecord> records;
   Status read = WriteAheadLog::ReadAll(wal_path, &records);
   if (!read.ok() && !read.IsNotFound()) return read;
+  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
   // Replay into the catalog before enabling logging so replay itself is
   // not re-logged.
   for (const WalRecord& record : records) {
@@ -146,13 +147,13 @@ Status Database::OpenWal(const std::string& wal_path) {
       case WalOp::kCreateTable:
         if (tables_.count(key) == 0) {
           tables_[key] =
-              std::make_unique<Table>(record.table, record.schema);
+              std::make_unique<TableEntry>(record.table, record.schema);
         }
         break;
       case WalOp::kCreateIndex: {
         auto it = tables_.find(key);
         if (it != tables_.end()) {
-          Status s = it->second->CreateIndex(
+          Status s = it->second->table.CreateIndex(
               record.index_name, record.column,
               record.hash_index ? IndexKind::kHash : IndexKind::kBTree);
           if (!s.ok() && s.code() != StatusCode::kAlreadyExists) return s;
@@ -166,19 +167,20 @@ Status Database::OpenWal(const std::string& wal_path) {
         auto it = tables_.find(key);
         if (it == tables_.end()) break;
         HEDC_RETURN_IF_ERROR(
-            it->second->InsertWithId(record.row_id, record.row));
+            it->second->table.InsertWithId(record.row_id, record.row));
         break;
       }
       case WalOp::kUpdate: {
         auto it = tables_.find(key);
         if (it == tables_.end()) break;
-        HEDC_RETURN_IF_ERROR(it->second->Update(record.row_id, record.row));
+        HEDC_RETURN_IF_ERROR(
+            it->second->table.Update(record.row_id, record.row));
         break;
       }
       case WalOp::kDelete: {
         auto it = tables_.find(key);
         if (it == tables_.end()) break;
-        HEDC_RETURN_IF_ERROR(it->second->Delete(record.row_id));
+        HEDC_RETURN_IF_ERROR(it->second->table.Delete(record.row_id));
         break;
       }
     }
@@ -189,7 +191,9 @@ Status Database::OpenWal(const std::string& wal_path) {
 }
 
 Status Database::ResetWal(const std::string& wal_path) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  // Exclusive catalog lock: no statement (and hence no WAL append) can be
+  // in flight while the log file is swapped out underneath.
+  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
   if (!wal_enabled_) {
     return Status::FailedPrecondition("WAL is not enabled");
   }
@@ -204,43 +208,99 @@ Status Database::ResetWal(const std::string& wal_path) {
 
 void Database::LogOrBuffer(WalRecord record) {
   if (!wal_enabled_) return;
-  if (in_txn_) {
-    txn_wal_buffer_.push_back(std::move(record));
-  } else {
-    wal_.Append(record);
+  if (in_txn_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(txn_state_mu_);
+    if (in_txn_.load(std::memory_order_relaxed)) {
+      txn_wal_buffer_.push_back(std::move(record));
+      return;
+    }
   }
+  wal_.Append(record);
+}
+
+void Database::RecordMutation(WalRecord record, UndoOp undo) {
+  if (in_txn_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(txn_state_mu_);
+    if (in_txn_.load(std::memory_order_relaxed)) {
+      undo_log_.push_back(std::move(undo));
+      if (wal_enabled_) txn_wal_buffer_.push_back(std::move(record));
+      return;
+    }
+  }
+  if (wal_enabled_) wal_.Append(record);
 }
 
 Status Database::Begin() {
   std::lock_guard<std::mutex> lock(txn_mu_);
-  if (in_txn_) return Status::FailedPrecondition("transaction already open");
-  in_txn_ = true;
+  if (in_txn_.load(std::memory_order_relaxed)) {
+    return Status::FailedPrecondition("transaction already open");
+  }
+  std::lock_guard<std::mutex> state_lock(txn_state_mu_);
   undo_log_.clear();
   txn_wal_buffer_.clear();
+  in_txn_.store(true, std::memory_order_release);
   return Status::Ok();
 }
 
 Status Database::Commit() {
   std::lock_guard<std::mutex> lock(txn_mu_);
-  if (!in_txn_) return Status::FailedPrecondition("no open transaction");
-  for (const WalRecord& record : txn_wal_buffer_) {
-    HEDC_RETURN_IF_ERROR(wal_.is_open() ? wal_.Append(record) : Status::Ok());
+  if (!in_txn_.load(std::memory_order_relaxed)) {
+    return Status::FailedPrecondition("no open transaction");
   }
-  txn_wal_buffer_.clear();
+  std::vector<WalRecord> to_flush;
+  {
+    std::lock_guard<std::mutex> state_lock(txn_state_mu_);
+    to_flush = std::move(txn_wal_buffer_);
+    txn_wal_buffer_.clear();
+  }
+  if (wal_.is_open() && !to_flush.empty()) {
+    // One durable unit: the whole transaction shares a single fsync.
+    Status appended = wal_.AppendBatch(to_flush);
+    if (!appended.ok()) {
+      std::lock_guard<std::mutex> state_lock(txn_state_mu_);
+      txn_wal_buffer_ = std::move(to_flush);
+      return appended;
+    }
+  }
+  std::lock_guard<std::mutex> state_lock(txn_state_mu_);
   undo_log_.clear();
-  in_txn_ = false;
+  in_txn_.store(false, std::memory_order_release);
   return Status::Ok();
 }
 
 Status Database::Rollback() {
   std::lock_guard<std::mutex> txn_lock(txn_mu_);
-  if (!in_txn_) return Status::FailedPrecondition("no open transaction");
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (!in_txn_.load(std::memory_order_relaxed)) {
+    return Status::FailedPrecondition("no open transaction");
+  }
+  std::vector<UndoOp> undo;
+  {
+    std::lock_guard<std::mutex> state_lock(txn_state_mu_);
+    undo = std::move(undo_log_);
+    undo_log_.clear();
+    txn_wal_buffer_.clear();
+    in_txn_.store(false, std::memory_order_release);
+  }
+
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  // Latch every touched table exclusively, in ascending name order (the
+  // deterministic order that keeps the latch hierarchy deadlock-free).
+  std::vector<std::string> keys;
+  for (const UndoOp& op : undo) keys.push_back(NormalizeName(op.table));
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  std::vector<std::unique_lock<std::shared_mutex>> latches;
+  latches.reserve(keys.size());
+  for (const std::string& key : keys) {
+    auto it = tables_.find(key);
+    if (it != tables_.end()) latches.emplace_back(it->second->latch);
+  }
+
   // Undo in reverse order.
-  for (auto it = undo_log_.rbegin(); it != undo_log_.rend(); ++it) {
+  for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
     auto table_it = tables_.find(NormalizeName(it->table));
     if (table_it == tables_.end()) continue;
-    Table* table = table_it->second.get();
+    Table* table = &table_it->second->table;
     switch (it->op) {
       case WalOp::kInsert:
         table->Delete(it->row_id);
@@ -255,27 +315,31 @@ Status Database::Rollback() {
         break;
     }
   }
-  undo_log_.clear();
-  txn_wal_buffer_.clear();
-  in_txn_ = false;
   return Status::Ok();
 }
 
-Table* Database::GetTable(const std::string& name) {
+Database::TableEntry* Database::FindEntry(const std::string& name) {
   auto it = tables_.find(NormalizeName(name));
   return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Table* Database::GetTable(const std::string& name) {
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  TableEntry* entry = FindEntry(name);
+  return entry == nullptr ? nullptr : &entry->table;
 }
 
 const Table* Database::GetTable(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
   auto it = tables_.find(NormalizeName(name));
-  return it == tables_.end() ? nullptr : it->second.get();
+  return it == tables_.end() ? nullptr : &it->second->table;
 }
 
 std::vector<std::string> Database::TableNames() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
-  for (const auto& [key, table] : tables_) names.push_back(table->name());
+  for (const auto& [key, entry] : tables_) names.push_back(entry->table.name());
   std::sort(names.begin(), names.end());
   return names;
 }
@@ -331,9 +395,9 @@ Result<ResultSet> Database::ExecuteStatement(
   return Status::Internal("unreachable statement kind");
 }
 
-Status Database::CollectCandidates(Table* table, const Expr* where,
-                                   std::vector<int64_t>* row_ids,
-                                   bool* used_index) {
+Status Database::CollectIndexCandidates(Table* table, const Expr* where,
+                                        std::vector<int64_t>* row_ids,
+                                        bool* used_index) {
   *used_index = false;
   if (where != nullptr) {
     std::vector<const Expr*> conjuncts;
@@ -364,19 +428,19 @@ Status Database::CollectCandidates(Table* table, const Expr* where,
       return Status::Ok();
     }
   }
+  // No usable index: the caller streams the heap scan with the predicate
+  // pushed down (rows are visited by reference, survivors copied).
   stats_.full_scans.fetch_add(1, std::memory_order_relaxed);
-  table->Scan([row_ids](int64_t row_id, const Row&) {
-    row_ids->push_back(row_id);
-    return true;
-  });
   return Status::Ok();
 }
 
 Result<ResultSet> Database::ExecSelect(const SelectStmt& stmt,
                                        const std::vector<Value>& params) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  Table* table = GetTable(stmt.table);
-  if (table == nullptr) return Status::NotFound("table " + stmt.table);
+  std::shared_lock<std::shared_mutex> catalog(catalog_mu_);
+  TableEntry* entry = FindEntry(stmt.table);
+  if (entry == nullptr) return Status::NotFound("table " + stmt.table);
+  std::shared_lock<std::shared_mutex> latch(entry->latch);
+  Table* table = &entry->table;
   const Schema& schema = table->schema();
 
   std::unique_ptr<Expr> where;
@@ -388,19 +452,42 @@ Result<ResultSet> Database::ExecSelect(const SelectStmt& stmt,
   bool used_index = false;
   std::vector<int64_t> candidates;
   HEDC_RETURN_IF_ERROR(
-      CollectCandidates(table, where.get(), &candidates, &used_index));
+      CollectIndexCandidates(table, where.get(), &candidates, &used_index));
 
-  // Filter with the full predicate (residual included).
   std::vector<std::pair<int64_t, Row>> matches;
-  for (int64_t row_id : candidates) {
-    Result<Row> row = table->Get(row_id);
-    if (!row.ok()) continue;  // concurrent delete between index and heap
-    stats_.rows_examined.fetch_add(1, std::memory_order_relaxed);
-    if (where != nullptr) {
-      HEDC_ASSIGN_OR_RETURN(Value keep, EvalExpr(*where, row.value()));
-      if (!keep.AsBool()) continue;
+  if (used_index) {
+    // Filter the index candidates with the full predicate (residual
+    // included).
+    for (int64_t row_id : candidates) {
+      Result<Row> row = table->Get(row_id);
+      if (!row.ok()) continue;  // stale index entry
+      stats_.rows_examined.fetch_add(1, std::memory_order_relaxed);
+      if (where != nullptr) {
+        HEDC_ASSIGN_OR_RETURN(Value keep, EvalExpr(*where, row.value()));
+        if (!keep.AsBool()) continue;
+      }
+      matches.emplace_back(row_id, std::move(row).value());
     }
-    matches.emplace_back(row_id, std::move(row).value());
+  } else {
+    // Streamed heap scan: evaluate the predicate against the visited row
+    // and copy only survivors.
+    Status eval_error;
+    int64_t examined = 0;
+    table->Scan([&](int64_t row_id, const Row& row) {
+      ++examined;
+      if (where != nullptr) {
+        Result<Value> keep = EvalExpr(*where, row);
+        if (!keep.ok()) {
+          eval_error = keep.status();
+          return false;
+        }
+        if (!keep.value().AsBool()) return true;
+      }
+      matches.emplace_back(row_id, row);
+      return true;
+    });
+    stats_.rows_examined.fetch_add(examined, std::memory_order_relaxed);
+    if (!eval_error.ok()) return eval_error;
   }
 
   // ORDER BY before projection/limit.
@@ -579,9 +666,11 @@ Result<ResultSet> Database::ExecSelect(const SelectStmt& stmt,
 
 Result<ResultSet> Database::ExecInsert(const InsertStmt& stmt,
                                        const std::vector<Value>& params) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  Table* table = GetTable(stmt.table);
-  if (table == nullptr) return Status::NotFound("table " + stmt.table);
+  std::shared_lock<std::shared_mutex> catalog(catalog_mu_);
+  TableEntry* entry = FindEntry(stmt.table);
+  if (entry == nullptr) return Status::NotFound("table " + stmt.table);
+  std::unique_lock<std::shared_mutex> latch(entry->latch);
+  Table* table = &entry->table;
   const Schema& schema = table->schema();
 
   // Column mapping.
@@ -612,12 +701,10 @@ Result<ResultSet> Database::ExecInsert(const InsertStmt& stmt,
     }
     HEDC_ASSIGN_OR_RETURN(int64_t row_id, table->Insert(std::move(row)));
     Result<Row> inserted = table->Get(row_id);
-    LogOrBuffer(WalRecord{WalOp::kInsert, table->name(), row_id,
-                          inserted.ok() ? inserted.value() : Row{},
-                          Schema{}, "", "", false});
-    if (in_txn_) {
-      undo_log_.push_back(UndoOp{WalOp::kInsert, table->name(), row_id, {}});
-    }
+    RecordMutation(WalRecord{WalOp::kInsert, table->name(), row_id,
+                             inserted.ok() ? inserted.value() : Row{},
+                             Schema{}, "", "", false},
+                   UndoOp{WalOp::kInsert, table->name(), row_id, {}});
     result.last_insert_row_id = row_id;
     ++result.affected_rows;
   }
@@ -626,9 +713,11 @@ Result<ResultSet> Database::ExecInsert(const InsertStmt& stmt,
 
 Result<ResultSet> Database::ExecUpdate(const UpdateStmt& stmt,
                                        const std::vector<Value>& params) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  Table* table = GetTable(stmt.table);
-  if (table == nullptr) return Status::NotFound("table " + stmt.table);
+  std::shared_lock<std::shared_mutex> catalog(catalog_mu_);
+  TableEntry* entry = FindEntry(stmt.table);
+  if (entry == nullptr) return Status::NotFound("table " + stmt.table);
+  std::unique_lock<std::shared_mutex> latch(entry->latch);
+  Table* table = &entry->table;
   const Schema& schema = table->schema();
 
   std::unique_ptr<Expr> where;
@@ -651,13 +740,21 @@ Result<ResultSet> Database::ExecUpdate(const UpdateStmt& stmt,
   bool used_index = false;
   std::vector<int64_t> candidates;
   HEDC_RETURN_IF_ERROR(
-      CollectCandidates(table, where.get(), &candidates, &used_index));
+      CollectIndexCandidates(table, where.get(), &candidates, &used_index));
+  bool residual_needed = used_index;
+  if (!used_index) {
+    // Streamed scan under the exclusive latch: rows cannot change between
+    // the scan and the mutation loop, so survivors need no re-check and
+    // non-matching rows are never copied.
+    HEDC_RETURN_IF_ERROR(
+        FilterByScan(table, where.get(), &candidates));
+  }
 
   ResultSet result;
   for (int64_t row_id : candidates) {
     Result<Row> current = table->Get(row_id);
     if (!current.ok()) continue;
-    if (where != nullptr) {
+    if (residual_needed && where != nullptr) {
       HEDC_ASSIGN_OR_RETURN(Value keep, EvalExpr(*where, current.value()));
       if (!keep.AsBool()) continue;
     }
@@ -669,13 +766,11 @@ Result<ResultSet> Database::ExecUpdate(const UpdateStmt& stmt,
     Row old_row;
     HEDC_RETURN_IF_ERROR(table->Update(row_id, std::move(updated), &old_row));
     Result<Row> new_row = table->Get(row_id);
-    LogOrBuffer(WalRecord{WalOp::kUpdate, table->name(), row_id,
-                          new_row.ok() ? new_row.value() : Row{}, Schema{},
-                          "", "", false});
-    if (in_txn_) {
-      undo_log_.push_back(
-          UndoOp{WalOp::kUpdate, table->name(), row_id, std::move(old_row)});
-    }
+    RecordMutation(
+        WalRecord{WalOp::kUpdate, table->name(), row_id,
+                  new_row.ok() ? new_row.value() : Row{}, Schema{}, "", "",
+                  false},
+        UndoOp{WalOp::kUpdate, table->name(), row_id, std::move(old_row)});
     ++result.affected_rows;
   }
   return result;
@@ -683,9 +778,11 @@ Result<ResultSet> Database::ExecUpdate(const UpdateStmt& stmt,
 
 Result<ResultSet> Database::ExecDelete(const DeleteStmt& stmt,
                                        const std::vector<Value>& params) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  Table* table = GetTable(stmt.table);
-  if (table == nullptr) return Status::NotFound("table " + stmt.table);
+  std::shared_lock<std::shared_mutex> catalog(catalog_mu_);
+  TableEntry* entry = FindEntry(stmt.table);
+  if (entry == nullptr) return Status::NotFound("table " + stmt.table);
+  std::unique_lock<std::shared_mutex> latch(entry->latch);
+  Table* table = &entry->table;
   const Schema& schema = table->schema();
 
   std::unique_ptr<Expr> where;
@@ -697,47 +794,70 @@ Result<ResultSet> Database::ExecDelete(const DeleteStmt& stmt,
   bool used_index = false;
   std::vector<int64_t> candidates;
   HEDC_RETURN_IF_ERROR(
-      CollectCandidates(table, where.get(), &candidates, &used_index));
+      CollectIndexCandidates(table, where.get(), &candidates, &used_index));
+  bool residual_needed = used_index;
+  if (!used_index) {
+    HEDC_RETURN_IF_ERROR(FilterByScan(table, where.get(), &candidates));
+  }
 
   ResultSet result;
   for (int64_t row_id : candidates) {
     Result<Row> current = table->Get(row_id);
     if (!current.ok()) continue;
-    if (where != nullptr) {
+    if (residual_needed && where != nullptr) {
       HEDC_ASSIGN_OR_RETURN(Value keep, EvalExpr(*where, current.value()));
       if (!keep.AsBool()) continue;
     }
     Row old_row;
     HEDC_RETURN_IF_ERROR(table->Delete(row_id, &old_row));
-    LogOrBuffer(WalRecord{WalOp::kDelete, table->name(), row_id, Row{},
-                          Schema{}, "", "", false});
-    if (in_txn_) {
-      undo_log_.push_back(
-          UndoOp{WalOp::kDelete, table->name(), row_id, std::move(old_row)});
-    }
+    RecordMutation(
+        WalRecord{WalOp::kDelete, table->name(), row_id, Row{}, Schema{},
+                  "", "", false},
+        UndoOp{WalOp::kDelete, table->name(), row_id, std::move(old_row)});
     ++result.affected_rows;
   }
   return result;
 }
 
+Status Database::FilterByScan(Table* table, const Expr* where,
+                              std::vector<int64_t>* row_ids) {
+  Status eval_error;
+  int64_t examined = 0;
+  table->Scan([&](int64_t row_id, const Row& row) {
+    ++examined;
+    if (where != nullptr) {
+      Result<Value> keep = EvalExpr(*where, row);
+      if (!keep.ok()) {
+        eval_error = keep.status();
+        return false;
+      }
+      if (!keep.value().AsBool()) return true;
+    }
+    row_ids->push_back(row_id);
+    return true;
+  });
+  stats_.rows_examined.fetch_add(examined, std::memory_order_relaxed);
+  return eval_error;
+}
+
 Result<ResultSet> Database::ExecCreateTable(const CreateTableStmt& stmt) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
   std::string key = NormalizeName(stmt.table);
   if (tables_.count(key) > 0) {
     if (stmt.if_not_exists) return ResultSet{};
     return Status::AlreadyExists("table " + stmt.table);
   }
-  tables_[key] = std::make_unique<Table>(stmt.table, stmt.schema);
+  tables_[key] = std::make_unique<TableEntry>(stmt.table, stmt.schema);
   LogOrBuffer(WalRecord{WalOp::kCreateTable, stmt.table, 0, Row{},
                         stmt.schema, "", "", false});
   return ResultSet{};
 }
 
 Result<ResultSet> Database::ExecCreateIndex(const CreateIndexStmt& stmt) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  Table* table = GetTable(stmt.table);
-  if (table == nullptr) return Status::NotFound("table " + stmt.table);
-  HEDC_RETURN_IF_ERROR(table->CreateIndex(
+  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+  TableEntry* entry = FindEntry(stmt.table);
+  if (entry == nullptr) return Status::NotFound("table " + stmt.table);
+  HEDC_RETURN_IF_ERROR(entry->table.CreateIndex(
       stmt.index_name, stmt.column,
       stmt.hash ? IndexKind::kHash : IndexKind::kBTree));
   LogOrBuffer(WalRecord{WalOp::kCreateIndex, stmt.table, 0, Row{}, Schema{},
@@ -746,7 +866,7 @@ Result<ResultSet> Database::ExecCreateIndex(const CreateIndexStmt& stmt) {
 }
 
 Result<ResultSet> Database::ExecDropTable(const DropTableStmt& stmt) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
   std::string key = NormalizeName(stmt.table);
   auto it = tables_.find(key);
   if (it == tables_.end()) {

@@ -2,8 +2,17 @@
 //
 // Plays the role Oracle plays in HEDC: it stores only metadata (the actual
 // science data lives in the archive's file system) and serves the indexed
-// point/range/count queries the DM issues. Thread-safe: SELECTs take a
-// shared lock, DML takes an exclusive lock per database.
+// point/range/count queries the DM issues.
+//
+// Concurrency model (latch hierarchy, acquired strictly in this order):
+//   1. catalog_mu_ — shared by every statement, exclusive for DDL
+//      (CREATE/DROP TABLE, CREATE INDEX) and WAL reset;
+//   2. one per-table latch — shared for SELECT, exclusive for DML.
+// A single statement touches at most one table latch, so writers to
+// different tables proceed in parallel; the only multi-latch path
+// (transaction rollback) acquires latches in ascending table-name order,
+// which keeps the hierarchy deadlock-free. Explicit transactions assume a
+// single writer thread (Begin/Commit/Rollback serialize on txn_mu_).
 #ifndef HEDC_DB_DATABASE_H_
 #define HEDC_DB_DATABASE_H_
 
@@ -69,13 +78,17 @@ class Database {
 
   // Explicit transactions (single writer at a time). DML inside a
   // transaction is applied immediately but undone on Rollback; WAL records
-  // are buffered until Commit.
+  // are buffered until Commit (flushed as one group-committed batch).
   Status Begin();
   Status Commit();
   Status Rollback();
-  bool in_transaction() const { return in_txn_; }
+  bool in_transaction() const {
+    return in_txn_.load(std::memory_order_acquire);
+  }
 
   // Direct table access for substrates that bypass SQL (BlobStore, tests).
+  // The lookup is latched, but the returned table is not: callers are
+  // expected to coordinate their own access (single-threaded admin paths).
   Table* GetTable(const std::string& name);
   const Table* GetTable(const std::string& name) const;
   std::vector<std::string> TableNames() const;
@@ -90,6 +103,16 @@ class Database {
     Row old_row;
   };
 
+  // A catalog slot: the table plus its latch. Entries are only created or
+  // destroyed under an exclusive catalog_mu_, so holding catalog_mu_
+  // shared keeps the entry (and its latch) alive.
+  struct TableEntry {
+    TableEntry(std::string name, Schema schema)
+        : table(std::move(name), std::move(schema)) {}
+    Table table;
+    mutable std::shared_mutex latch;
+  };
+
   Result<ResultSet> ExecSelect(const SelectStmt& stmt,
                                const std::vector<Value>& params);
   Result<ResultSet> ExecInsert(const InsertStmt& stmt,
@@ -102,21 +125,37 @@ class Database {
   Result<ResultSet> ExecCreateIndex(const CreateIndexStmt& stmt);
   Result<ResultSet> ExecDropTable(const DropTableStmt& stmt);
 
-  // Collects matching row ids for `where` on `table`, using an index when
-  // a sargable conjunct exists, else a full scan. Returned ids still need
-  // residual predicate evaluation (done by caller via `residual`).
-  Status CollectCandidates(Table* table, const Expr* where,
-                           std::vector<int64_t>* row_ids, bool* used_index);
+  // Catalog lookup; caller must hold catalog_mu_ (shared or exclusive).
+  TableEntry* FindEntry(const std::string& name);
+
+  // If an index serves a sargable conjunct of `where`, fills `row_ids`
+  // with candidates (residual predicate still required) and sets
+  // *used_index. Otherwise only bumps the full-scan counter: callers
+  // stream the heap scan themselves with the predicate pushed down, so
+  // non-matching rows are never copied.
+  Status CollectIndexCandidates(Table* table, const Expr* where,
+                                std::vector<int64_t>* row_ids,
+                                bool* used_index);
+
+  // Streams the heap scan with `where` pushed down, appending surviving
+  // row ids. Rows are evaluated in place; only ids are collected.
+  Status FilterByScan(Table* table, const Expr* where,
+                      std::vector<int64_t>* row_ids);
 
   void LogOrBuffer(WalRecord record);
+  // DML bookkeeping: buffers WAL record + undo inside a transaction,
+  // appends straight to the WAL otherwise.
+  void RecordMutation(WalRecord record, UndoOp undo);
 
-  mutable std::shared_mutex mu_;
-  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  // Latch hierarchy level 1 (see file comment).
+  mutable std::shared_mutex catalog_mu_;
+  std::unordered_map<std::string, std::unique_ptr<TableEntry>> tables_;
   WriteAheadLog wal_;
   bool wal_enabled_ = false;
 
   std::mutex txn_mu_;  // serializes explicit transactions
-  bool in_txn_ = false;
+  std::atomic<bool> in_txn_{false};
+  std::mutex txn_state_mu_;  // guards the two buffers below
   std::vector<UndoOp> undo_log_;
   std::vector<WalRecord> txn_wal_buffer_;
 

@@ -1,5 +1,7 @@
 #include "db/wal.h"
 
+#include <unistd.h>
+
 #include "core/crc32.h"
 #include "core/metrics.h"
 #include "core/strings.h"
@@ -9,17 +11,21 @@ namespace hedc::db {
 namespace {
 
 struct WalMetrics {
-  Counter* fsyncs;
+  Counter* fsyncs;        // real fsync(2) calls, one per commit group
   Counter* append_bytes;
-  Histogram* fsync_us;
+  Histogram* fsync_us;    // write+fflush+fsync latency per group
+  Histogram* group_size;  // records made durable per fsync
 };
 
 const WalMetrics& Metrics() {
   static const WalMetrics kMetrics = [] {
     MetricsRegistry* registry = MetricsRegistry::Default();
-    return WalMetrics{registry->GetCounter("wal.fsyncs"),
-                      registry->GetCounter("wal.append_bytes"),
-                      registry->GetHistogram("wal.fsync_us")};
+    return WalMetrics{
+        registry->GetCounter("wal.fsyncs"),
+        registry->GetCounter("wal.append_bytes"),
+        registry->GetHistogram("wal.fsync_us"),
+        registry->GetHistogram("wal.group_size",
+                               {1, 2, 4, 8, 16, 32, 64, 128, 256})};
   }();
   return kMetrics;
 }
@@ -207,37 +213,121 @@ Status WriteAheadLog::Open(const std::string& path) {
   if (file_ == nullptr) {
     return Status::Internal("cannot open WAL file: " + path);
   }
+  io_error_ = Status::Ok();
   return Status::Ok();
 }
 
 void WriteAheadLog::Close() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
+  // Let in-flight groups drain so no appender is left waiting on a file
+  // we are about to close.
+  cv_.wait(lock, [this] { return queue_.empty() && !leader_active_; });
   if (file_ != nullptr) {
     std::fclose(file_);
     file_ = nullptr;
   }
 }
 
-Status WriteAheadLog::Append(const WalRecord& record) {
+bool WriteAheadLog::is_open() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return file_ != nullptr;
+}
+
+namespace {
+
+// Frames one record: u32 crc, u32 len, payload.
+void AppendFrame(const WalRecord& record, std::string* out) {
   ByteBuffer payload;
-  EncodeRecord(record, &payload);
+  WriteAheadLog::EncodeRecord(record, &payload);
   ByteBuffer frame;
   frame.PutU32(Crc32(payload.data()));
   frame.PutU32(static_cast<uint32_t>(payload.size()));
   frame.PutBytes(payload.data().data(), payload.size());
+  out->append(reinterpret_cast<const char*>(frame.data().data()),
+              frame.size());
+}
 
-  std::lock_guard<std::mutex> lock(mu_);
-  if (file_ == nullptr) return Status::FailedPrecondition("WAL not open");
-  size_t written =
-      std::fwrite(frame.data().data(), 1, frame.size(), file_);
-  if (written != frame.size()) return Status::Internal("WAL write failed");
+}  // namespace
+
+Status WriteAheadLog::Append(const WalRecord& record) {
+  std::string bytes;
+  AppendFrame(record, &bytes);
+  return EnqueueAndWait(std::move(bytes), 1);
+}
+
+Status WriteAheadLog::AppendBatch(const std::vector<WalRecord>& records) {
+  if (records.empty()) return Status::Ok();
+  std::string bytes;
+  for (const WalRecord& record : records) AppendFrame(record, &bytes);
+  return EnqueueAndWait(std::move(bytes), records.size());
+}
+
+Status WriteAheadLog::WriteBatch(std::unique_lock<std::mutex>* lock,
+                                 std::vector<PendingUnit> batch) {
+  std::FILE* file = file_;
+  lock->unlock();
+  size_t total_bytes = 0;
+  size_t total_records = 0;
+  Status status;
   {
     ScopedTimer timer(Metrics().fsync_us);
-    std::fflush(file_);
+    for (const PendingUnit& unit : batch) {
+      size_t written =
+          std::fwrite(unit.bytes.data(), 1, unit.bytes.size(), file);
+      if (written != unit.bytes.size()) {
+        status = Status::Internal("WAL write failed");
+        break;
+      }
+      total_bytes += unit.bytes.size();
+      total_records += unit.records;
+    }
+    if (status.ok()) {
+      if (std::fflush(file) != 0 || ::fsync(::fileno(file)) != 0) {
+        status = Status::Internal("WAL fsync failed");
+      }
+    }
   }
-  Metrics().fsyncs->Add();
-  Metrics().append_bytes->Add(static_cast<int64_t>(frame.size()));
-  return Status::Ok();
+  if (status.ok()) {
+    Metrics().fsyncs->Add();
+    Metrics().append_bytes->Add(static_cast<int64_t>(total_bytes));
+    Metrics().group_size->Observe(static_cast<int64_t>(total_records));
+  }
+  lock->lock();
+  return status;
+}
+
+Status WriteAheadLog::EnqueueAndWait(std::string bytes, size_t records) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (file_ == nullptr) return Status::FailedPrecondition("WAL not open");
+  if (!io_error_.ok()) return io_error_;
+  cv_.wait(lock, [this] { return queue_.size() < kMaxQueuedUnits; });
+  if (file_ == nullptr) return Status::FailedPrecondition("WAL not open");
+  uint64_t my_seq = ++enqueued_units_;
+  queue_.push_back(PendingUnit{std::move(bytes), records});
+
+  while (durable_units_ < my_seq && io_error_.ok()) {
+    if (!leader_active_ && !queue_.empty()) {
+      // Become the leader: drain everything queued so far and make it
+      // durable with one write+fsync; followers keep waiting.
+      leader_active_ = true;
+      std::vector<PendingUnit> batch(
+          std::make_move_iterator(queue_.begin()),
+          std::make_move_iterator(queue_.end()));
+      queue_.clear();
+      size_t batch_units = batch.size();
+      Status status = WriteBatch(&lock, std::move(batch));
+      if (status.ok()) {
+        durable_units_ += batch_units;
+      } else {
+        io_error_ = status;  // sticky; this batch's waiters all fail
+      }
+      leader_active_ = false;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock);
+    }
+  }
+  return durable_units_ >= my_seq ? Status::Ok() : io_error_;
 }
 
 Status WriteAheadLog::ReadAll(const std::string& path,

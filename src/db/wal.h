@@ -3,10 +3,19 @@
 // into an empty Database. Records belonging to an explicit transaction are
 // buffered and only flushed at COMMIT, so an interrupted transaction never
 // reaches the log.
+//
+// Durability is group-committed: concurrent appenders enqueue encoded
+// frames and one of them (the leader) drains the queue with a single
+// buffered write + fflush + fsync, then wakes the followers. Append()
+// returns only once the record is durable (or the log hit an I/O error,
+// which is sticky). The on-disk format is unchanged: a batch is just
+// consecutive frames, so recovery needs no batch awareness.
 #ifndef HEDC_DB_WAL_H_
 #define HEDC_DB_WAL_H_
 
+#include <condition_variable>
 #include <cstdio>
+#include <deque>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -55,11 +64,16 @@ class WriteAheadLog {
 
   // Opens (creating or appending) the log file at `path`.
   Status Open(const std::string& path);
+  // Waits for in-flight appends to drain, then closes the file.
   void Close();
-  bool is_open() const { return file_ != nullptr; }
+  bool is_open() const;
 
-  // Appends one record and flushes.
+  // Appends one record; returns once it is durable (fsync'ed).
   Status Append(const WalRecord& record);
+
+  // Appends `records` as one durable unit: the frames are written
+  // back-to-back under a single flush+fsync (the COMMIT fast path).
+  Status AppendBatch(const std::vector<WalRecord>& records);
 
   // Reads every valid record from `path`. Stops cleanly at the first torn
   // record (partial trailing write) but fails on mid-file corruption.
@@ -70,8 +84,30 @@ class WriteAheadLog {
   static Status DecodeRecord(ByteReader* in, WalRecord* out);
 
  private:
+  // One enqueued durable unit: `bytes` holds whole frames.
+  struct PendingUnit {
+    std::string bytes;
+    size_t records = 0;
+  };
+
+  // Appenders enqueue at most kMaxQueuedUnits units; beyond that they
+  // block until the leader drains (bounded memory under write bursts).
+  static constexpr size_t kMaxQueuedUnits = 256;
+
+  Status EnqueueAndWait(std::string bytes, size_t records);
+  // Called with mu_ held and leader_active_ set; writes `batch` to disk,
+  // fsyncs, and returns the I/O status. Drops mu_ for the I/O.
+  Status WriteBatch(std::unique_lock<std::mutex>* lock,
+                    std::vector<PendingUnit> batch);
+
   std::FILE* file_ = nullptr;
-  std::mutex mu_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<PendingUnit> queue_;
+  uint64_t enqueued_units_ = 0;
+  uint64_t durable_units_ = 0;
+  bool leader_active_ = false;
+  Status io_error_;  // sticky: once the log fails, every append fails
 };
 
 }  // namespace hedc::db

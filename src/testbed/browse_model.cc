@@ -1,5 +1,6 @@
 #include "testbed/browse_model.h"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 #include <vector>
@@ -30,6 +31,7 @@ struct Model {
   int64_t completed = 0;           // after warmup
   int64_t db_queries_after_warmup = 0;
   sim::Accumulator response_times;
+  std::vector<double> response_samples;  // raw, for percentiles
 
   // One closed-loop client pinned to a node.
   void StartClient(int node_index, double cpu_demand) {
@@ -59,6 +61,7 @@ struct Model {
         if (simulator.now() >= warmup_end) {
           ++completed;
           response_times.Add(simulator.now() - start);
+          response_samples.push_back(simulator.now() - start);
         }
         IssueRequest(node_index, cpu_demand);
       });
@@ -73,6 +76,14 @@ struct Model {
                  });
   }
 };
+
+// Nearest-rank percentile over a copy of the samples.
+double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  size_t rank = static_cast<size_t>(p * (samples.size() - 1) + 0.5);
+  return samples[std::min(rank, samples.size() - 1)];
+}
 
 }  // namespace
 
@@ -108,6 +119,8 @@ BrowseResult RunBrowse(int clients, int nodes, double sim_seconds,
   result.db_queries_per_sec =
       static_cast<double>(model.db_queries_after_warmup) / sim_seconds;
   result.mean_response_sec = model.response_times.mean();
+  result.p50_response_sec = Percentile(model.response_samples, 0.50);
+  result.p99_response_sec = Percentile(model.response_samples, 0.99);
   result.db_utilization = result.db_queries_per_sec *
                           calibration.db_query_seconds;
   return result;

@@ -37,6 +37,8 @@ struct BrowseResult {
   double throughput_rps = 0;       // requests/second at steady state
   double db_queries_per_sec = 0;
   double mean_response_sec = 0;
+  double p50_response_sec = 0;
+  double p99_response_sec = 0;
   double db_utilization = 0;
   int64_t completed_requests = 0;
 };

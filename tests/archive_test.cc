@@ -1,6 +1,10 @@
 // FITS-lite, hzip, archive backends and the name mapper.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "archive/archive.h"
 #include "archive/compression.h"
 #include "archive/fits.h"
@@ -305,6 +309,90 @@ TEST_F(NameMapperTest, RemountChangesNamesWithoutTouchingItems) {
   auto r = mapper_->Resolve(100, NameType::kFilename);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r.value().name, "/hedc/raid2/hle/2002/100");
+}
+
+TEST_F(NameMapperTest, CacheHitElidesBothQueries) {
+  ASSERT_TRUE(mapper_->Resolve(100, NameType::kFilename).ok());  // warm up
+  int64_t q0 = db_.stats().queries.load();
+  auto r = mapper_->Resolve(100, NameType::kFilename);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().name, "/hedc/raid1/hle/2002/100");
+  EXPECT_EQ(db_.stats().queries.load() - q0, 0);  // both queries elided
+}
+
+TEST_F(NameMapperTest, CacheDisabledWithZeroCapacity) {
+  Config config;
+  config.Set("root.filename", "/hedc");
+  config.Set("name_mapper.cache_capacity", "0");
+  NameMapper uncached(&db_, config);
+  ASSERT_TRUE(uncached.Resolve(100, NameType::kFilename).ok());
+  int64_t q0 = db_.stats().queries.load();
+  ASSERT_TRUE(uncached.Resolve(100, NameType::kFilename).ok());
+  EXPECT_EQ(db_.stats().queries.load() - q0, 2);  // still the cold path
+}
+
+TEST_F(NameMapperTest, RemountInvalidatesWarmCache) {
+  ASSERT_TRUE(mapper_->Resolve(100, NameType::kFilename).ok());  // cached
+  ASSERT_TRUE(mapper_->Remount(1, "raid9").ok());
+  auto r = mapper_->Resolve(100, NameType::kFilename);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().name, "/hedc/raid9/hle/2002/100");
+}
+
+TEST_F(NameMapperTest, MoveItemInvalidatesWarmCache) {
+  ASSERT_TRUE(mapper_->Resolve(100, NameType::kFilename).ok());  // cached
+  ASSERT_TRUE(
+      mapper_->MoveItem(100, NameType::kFilename, 2, "migrated").ok());
+  auto r = mapper_->Resolve(100, NameType::kFilename);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().archive_id, 2);
+  EXPECT_EQ(r.value().name, "/hedc/tape0/migrated/100");
+}
+
+TEST_F(NameMapperTest, RelocateArchiveInvalidatesWarmCache) {
+  ASSERT_TRUE(mapper_->Resolve(100, NameType::kFilename).ok());  // cached
+  ASSERT_TRUE(mapper_->RelocateArchive(1, 2).ok());
+  auto r = mapper_->Resolve(100, NameType::kFilename);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().archive_id, 2);
+  EXPECT_EQ(r.value().name, "/hedc/tape0/hle/2002/100");
+}
+
+TEST_F(NameMapperTest, RemoveLocationsInvalidatesWarmCache) {
+  ASSERT_TRUE(mapper_->Resolve(100, NameType::kFilename).ok());  // cached
+  ASSERT_TRUE(mapper_->RemoveLocations(100).ok());
+  EXPECT_TRUE(
+      mapper_->Resolve(100, NameType::kFilename).status().IsNotFound());
+}
+
+// Concurrent resolvers racing relocations: once a mutator's call has
+// returned, no later Resolve may ever see the pre-mutation path (the
+// generation check forbids installing a result read before the flip).
+TEST_F(NameMapperTest, NameMapperCacheCoherenceStress) {
+  constexpr int kRounds = 60;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> resolvers;
+  for (int r = 0; r < 3; ++r) {
+    resolvers.emplace_back([this, &stop] {
+      while (!stop.load()) {
+        auto name = mapper_->Resolve(100, NameType::kFilename);
+        ASSERT_TRUE(name.ok());
+        // Always some prefix this test has set (or the original).
+        EXPECT_TRUE(name.value().name.rfind("/hedc/", 0) == 0);
+      }
+    });
+  }
+  for (int round = 1; round <= kRounds; ++round) {
+    std::string prefix = "gen" + std::to_string(round);
+    ASSERT_TRUE(mapper_->Remount(1, prefix).ok());
+    // Remount has returned: its invalidation is complete, so this
+    // resolve must observe the new prefix even with resolvers racing.
+    auto r = mapper_->Resolve(100, NameType::kFilename);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().name, "/hedc/" + prefix + "/hle/2002/100");
+  }
+  stop.store(true);
+  for (std::thread& t : resolvers) t.join();
 }
 
 TEST_F(NameMapperTest, MoveItemToTape) {
