@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verification: build, full test suite (including the bench-smoke
-# JSON-schema checks), then the concurrency stress suite under
-# ThreadSanitizer. Run from the repo root:
+# JSON-schema checks and the remote chaos/failover suites), then the
+# stress suite — concurrency hammers plus networked chaos/failover —
+# under ThreadSanitizer. Run from the repo root:
 #   scripts/verify.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."

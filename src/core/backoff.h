@@ -1,0 +1,45 @@
+// Retry policy with exponential backoff and jitter.
+//
+// Networked call redirection (§5.4) must tolerate transient peer failures;
+// every retry loop in the system shares this policy object so the schedule
+// is deterministic under test: the delay for a given retry index is a pure
+// function of the policy and the injected Rng stream.
+#ifndef HEDC_CORE_BACKOFF_H_
+#define HEDC_CORE_BACKOFF_H_
+
+#include <algorithm>
+
+#include "core/clock.h"
+#include "core/rng.h"
+
+namespace hedc {
+
+struct RetryPolicy {
+  // Total tries including the first; 1 = no retries.
+  int max_attempts = 4;
+  // Delay before the first retry; doubles (by `multiplier`) per retry up
+  // to `max_backoff`.
+  Micros initial_backoff = 10 * kMicrosPerMilli;
+  double multiplier = 2.0;
+  Micros max_backoff = kMicrosPerSecond;
+  // Fraction of the delay randomized: the delay is scaled by a factor
+  // drawn uniformly from [1 - jitter, 1 + jitter]. 0 = fully
+  // deterministic without an Rng.
+  double jitter = 0.0;
+};
+
+// Delay before retry number `retry` (1-based: 1 follows the first failed
+// attempt). `rng` may be null when `jitter` is 0.
+inline Micros BackoffDelay(const RetryPolicy& policy, int retry, Rng* rng) {
+  double base = static_cast<double>(policy.initial_backoff);
+  for (int i = 1; i < retry; ++i) base *= policy.multiplier;
+  base = std::min(base, static_cast<double>(policy.max_backoff));
+  if (policy.jitter > 0.0 && rng != nullptr) {
+    base *= 1.0 + policy.jitter * (2.0 * rng->NextDouble() - 1.0);
+  }
+  return std::max<Micros>(0, static_cast<Micros>(base));
+}
+
+}  // namespace hedc
+
+#endif  // HEDC_CORE_BACKOFF_H_

@@ -90,6 +90,9 @@ Status DecodeValue(ByteReader* in, Value* out) {
     case ValueType::kBlob: {
       uint64_t n;
       HEDC_RETURN_IF_ERROR(in->GetVarint(&n));
+      if (n > in->remaining()) {
+        return Status::Corruption("blob length past end of input");
+      }
       std::vector<uint8_t> bytes(n);
       HEDC_RETURN_IF_ERROR(in->GetBytes(bytes.data(), n));
       *out = Value::Blob(std::move(bytes));
@@ -107,6 +110,12 @@ void EncodeRow(const Row& row, ByteBuffer* out) {
 Status DecodeRow(ByteReader* in, Row* out) {
   uint64_t n;
   HEDC_RETURN_IF_ERROR(in->GetVarint(&n));
+  // Every value costs at least its tag byte, so a count beyond the
+  // remaining input is corrupt; checking before reserve() keeps hostile
+  // counts from forcing a huge allocation.
+  if (n > in->remaining()) {
+    return Status::Corruption("row value count past end of input");
+  }
   out->clear();
   out->reserve(n);
   for (uint64_t i = 0; i < n; ++i) {
@@ -131,6 +140,9 @@ void EncodeSchema(const Schema& schema, ByteBuffer* out) {
 Status DecodeSchema(ByteReader* in, Schema* out) {
   uint64_t n;
   HEDC_RETURN_IF_ERROR(in->GetVarint(&n));
+  if (n > in->remaining()) {
+    return Status::Corruption("column count past end of input");
+  }
   std::vector<ColumnDef> cols;
   cols.reserve(n);
   for (uint64_t i = 0; i < n; ++i) {

@@ -1,0 +1,63 @@
+#include "dm/chaos_channel.h"
+
+namespace hedc::dm {
+
+Result<std::vector<uint8_t>> ChaosChannel::Call(
+    const std::vector<uint8_t>& request) {
+  // Draw the full fault plan up front under the lock (fixed draw count per
+  // call — see header) and release it before touching the inner channel,
+  // so concurrent callers serialize only on the Rng.
+  bool drop, delay, duplicate, truncate, garble;
+  Micros delay_us;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counts_.calls;
+    drop = rng_.Bernoulli(options_.drop_p);
+    delay = rng_.Bernoulli(options_.delay_p);
+    duplicate = rng_.Bernoulli(options_.duplicate_p);
+    truncate = rng_.Bernoulli(options_.truncate_p);
+    garble = rng_.Bernoulli(options_.garble_p);
+    delay_us = rng_.UniformInt(options_.delay_min, options_.delay_max);
+    if (drop) ++counts_.drops;
+    if (delay && !drop) ++counts_.delays;
+    if (duplicate && !drop) ++counts_.duplicates;
+  }
+
+  if (drop) return Status::Unavailable("chaos: call dropped");
+  if (delay && clock_ != nullptr) clock_->SleepFor(delay_us);
+
+  if (duplicate) {
+    // At-least-once delivery: the peer handles the request twice; the
+    // first response is lost in transit.
+    (void)inner_->Call(request);
+  }
+  Result<std::vector<uint8_t>> response = inner_->Call(request);
+  if (!response.ok()) return response;
+  std::vector<uint8_t> bytes = std::move(response).value();
+
+  if (truncate && !bytes.empty()) {
+    // A checksummed transport (the TCP framing carries a CRC32) detects a
+    // short frame and surfaces it as corruption rather than delivering it.
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counts_.truncations;
+    return Status::Corruption("chaos: response truncated in transit");
+  }
+  if (garble && !bytes.empty()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counts_.garbles;
+    int64_t flips = 1 + static_cast<int64_t>(bytes.size()) / 64;
+    for (int64_t i = 0; i < flips; ++i) {
+      size_t pos = static_cast<size_t>(
+          rng_.UniformInt(0, static_cast<int64_t>(bytes.size()) - 1));
+      bytes[pos] ^= static_cast<uint8_t>(rng_.UniformInt(1, 255));
+    }
+  }
+  return bytes;
+}
+
+ChaosChannel::Counts ChaosChannel::counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_;
+}
+
+}  // namespace hedc::dm

@@ -1,0 +1,72 @@
+// ChaosChannel: seeded fault injection for the RMI transport.
+//
+// Decorates a ByteChannel and injects the failure modes a networked
+// deployment exhibits — dropped calls, delivery delays, duplicated
+// requests (at-least-once delivery), truncated and garbled responses —
+// with probabilities driven by a seeded Rng, so a failing schedule is
+// reproducible from (seed, call sequence). This is the test backbone for
+// ResilientChannel: drops/timeouts exercise retries and the breaker,
+// truncation/garbling exercise the kCorruption path, duplicates exercise
+// server-side idempotence assumptions.
+//
+// Determinism: every call draws the same number of primary Rng values (one
+// Bernoulli per fault class plus one delay magnitude) regardless of which
+// faults fire, so the fault schedule for call N does not depend on the
+// outcomes of calls 1..N-1. Byte-level draws (garbled positions)
+// additionally depend on the inner response size.
+#ifndef HEDC_DM_CHAOS_CHANNEL_H_
+#define HEDC_DM_CHAOS_CHANNEL_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "core/clock.h"
+#include "core/rng.h"
+#include "dm/remote.h"
+
+namespace hedc::dm {
+
+struct ChaosOptions {
+  double drop_p = 0.0;       // call never reaches the peer -> kUnavailable
+  double delay_p = 0.0;      // delivery delayed by [delay_min, delay_max]
+  double duplicate_p = 0.0;  // request delivered (and handled) twice
+  double truncate_p = 0.0;   // response cut short in transit -> kCorruption
+  double garble_p = 0.0;     // random response bytes flipped
+  Micros delay_min = kMicrosPerMilli;
+  Micros delay_max = 20 * kMicrosPerMilli;
+  uint64_t seed = 42;
+};
+
+class ChaosChannel : public ByteChannel {
+ public:
+  struct Counts {
+    int64_t calls = 0;
+    int64_t drops = 0;
+    int64_t delays = 0;
+    int64_t duplicates = 0;
+    int64_t truncations = 0;
+    int64_t garbles = 0;
+  };
+
+  // `clock` is charged for injected delays; may be null to skip delays.
+  ChaosChannel(ByteChannel* inner, Clock* clock, ChaosOptions options)
+      : inner_(inner), clock_(clock), options_(options), rng_(options.seed) {}
+
+  Result<std::vector<uint8_t>> Call(
+      const std::vector<uint8_t>& request) override;
+
+  Counts counts() const;
+
+ private:
+  ByteChannel* inner_;
+  Clock* clock_;
+  ChaosOptions options_;
+
+  mutable std::mutex mu_;
+  Rng rng_;
+  Counts counts_;
+};
+
+}  // namespace hedc::dm
+
+#endif  // HEDC_DM_CHAOS_CHANNEL_H_

@@ -16,6 +16,20 @@ enum class RmiOp : uint8_t {
 
 enum class RmiResult : uint8_t { kOk = 0, kError = 1 };
 
+const char* OpName(uint8_t op) {
+  switch (static_cast<RmiOp>(op)) {
+    case RmiOp::kQuery:
+      return "query";
+    case RmiOp::kExecute:
+      return "execute";
+    case RmiOp::kReadFile:
+      return "read_file";
+    case RmiOp::kLog:
+      return "log";
+  }
+  return "unknown";
+}
+
 void EncodeParams(const std::vector<db::Value>& params, ByteBuffer* out) {
   out->PutVarint(params.size());
   for (const db::Value& v : params) db::EncodeValue(v, out);
@@ -56,6 +70,29 @@ Status CheckResponse(ByteReader* reader) {
 
 }  // namespace
 
+void EncodeCallHeader(const CallHeader& header, ByteBuffer* out) {
+  out->PutU8(kRmiFrameMagic);
+  out->PutU8(kRmiFrameVersion);
+  out->PutSignedVarint(header.trace_id);
+  out->PutU8(header.op);
+}
+
+Status DecodeCallHeader(ByteReader* in, CallHeader* out) {
+  uint8_t magic = 0;
+  uint8_t version = 0;
+  HEDC_RETURN_IF_ERROR(in->GetU8(&magic));
+  if (magic != kRmiFrameMagic) {
+    return Status::Corruption("bad RMI frame magic");
+  }
+  HEDC_RETURN_IF_ERROR(in->GetU8(&version));
+  if (version != kRmiFrameVersion) {
+    return Status::Corruption("unsupported RMI frame version " +
+                              std::to_string(version));
+  }
+  HEDC_RETURN_IF_ERROR(in->GetSignedVarint(&out->trace_id));
+  return in->GetU8(&out->op);
+}
+
 void EncodeResultSet(const db::ResultSet& rs, ByteBuffer* out) {
   out->PutVarint(rs.columns.size());
   for (const std::string& c : rs.columns) out->PutString(c);
@@ -88,12 +125,18 @@ Status DecodeResultSet(ByteReader* in, db::ResultSet* out) {
 }
 
 std::vector<uint8_t> RmiServer::Handle(const std::vector<uint8_t>& request) {
-  ++calls_handled_;
+  calls_handled_.fetch_add(1, std::memory_order_relaxed);
   dm_->CountRequest();
+  metrics_->GetCounter("remote.server.calls")->Add();
   ByteReader reader(request);
-  uint8_t op = 0;
-  Status header = reader.GetU8(&op);
-  if (!header.ok()) return ErrorFrame(header);
+  CallHeader header;
+  Status header_status = DecodeCallHeader(&reader, &header);
+  if (!header_status.ok()) {
+    metrics_->GetCounter("remote.server.bad_frames")->Add();
+    return ErrorFrame(header_status);
+  }
+  uint8_t op = header.op;
+  TraceSpan span(header.trace_id, "dm-remote", OpName(op), metrics_);
 
   switch (static_cast<RmiOp>(op)) {
     case RmiOp::kQuery:
@@ -157,14 +200,25 @@ Result<db::ResultSet> RemoteDm::Query(const QuerySpec& spec) {
   return Execute(sql, params);
 }
 
+Result<std::vector<uint8_t>> RemoteDm::Roundtrip(uint8_t op,
+                                                 const char* span_name,
+                                                 ByteBuffer payload) {
+  ByteBuffer request;
+  EncodeCallHeader({trace_id_, op}, &request);
+  request.PutBytes(payload.data().data(), payload.size());
+  TraceSpan span(trace_id_, "remote-client", span_name, metrics_);
+  return channel_->Call(request.data());
+}
+
 Result<db::ResultSet> RemoteDm::Execute(
     const std::string& sql, const std::vector<db::Value>& params) {
-  ByteBuffer request;
-  request.PutU8(static_cast<uint8_t>(RmiOp::kQuery));
-  request.PutString(sql);
-  EncodeParams(params, &request);
-  HEDC_ASSIGN_OR_RETURN(std::vector<uint8_t> response,
-                        channel_->Call(request.data()));
+  ByteBuffer payload;
+  payload.PutString(sql);
+  EncodeParams(params, &payload);
+  HEDC_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> response,
+      Roundtrip(static_cast<uint8_t>(RmiOp::kQuery), "query",
+                std::move(payload)));
   ByteReader reader(response);
   HEDC_RETURN_IF_ERROR(CheckResponse(&reader));
   db::ResultSet rs;
@@ -173,15 +227,19 @@ Result<db::ResultSet> RemoteDm::Execute(
 }
 
 Result<std::vector<uint8_t>> RemoteDm::ReadItemFile(int64_t item_id) {
-  ByteBuffer request;
-  request.PutU8(static_cast<uint8_t>(RmiOp::kReadFile));
-  request.PutSignedVarint(item_id);
-  HEDC_ASSIGN_OR_RETURN(std::vector<uint8_t> response,
-                        channel_->Call(request.data()));
+  ByteBuffer payload;
+  payload.PutSignedVarint(item_id);
+  HEDC_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> response,
+      Roundtrip(static_cast<uint8_t>(RmiOp::kReadFile), "read_file",
+                std::move(payload)));
   ByteReader reader(response);
   HEDC_RETURN_IF_ERROR(CheckResponse(&reader));
   uint64_t n = 0;
   HEDC_RETURN_IF_ERROR(reader.GetVarint(&n));
+  if (n > reader.remaining()) {
+    return Status::Corruption("file payload length past end of frame");
+  }
   std::vector<uint8_t> data(n);
   HEDC_RETURN_IF_ERROR(reader.GetBytes(data.data(), n));
   return data;
@@ -189,12 +247,13 @@ Result<std::vector<uint8_t>> RemoteDm::ReadItemFile(int64_t item_id) {
 
 Status RemoteDm::LogOperational(const std::string& component,
                                 const std::string& message) {
-  ByteBuffer request;
-  request.PutU8(static_cast<uint8_t>(RmiOp::kLog));
-  request.PutString(component);
-  request.PutString(message);
-  HEDC_ASSIGN_OR_RETURN(std::vector<uint8_t> response,
-                        channel_->Call(request.data()));
+  ByteBuffer payload;
+  payload.PutString(component);
+  payload.PutString(message);
+  HEDC_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> response,
+      Roundtrip(static_cast<uint8_t>(RmiOp::kLog), "log",
+                std::move(payload)));
   ByteReader reader(response);
   return CheckResponse(&reader);
 }

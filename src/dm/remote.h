@@ -10,12 +10,14 @@
 #ifndef HEDC_DM_REMOTE_H_
 #define HEDC_DM_REMOTE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/clock.h"
+#include "core/metrics.h"
 #include "core/status.h"
 #include "dm/dm.h"
 #include "dm/query_spec.h"
@@ -30,20 +32,42 @@ class ByteChannel {
       const std::vector<uint8_t>& request) = 0;
 };
 
+// Call-frame header (version 2). Every request frame starts with a magic
+// byte and version, then the originating request's trace id — so one
+// analysis request can be followed across the node boundary — then the
+// opcode. Frames with a bad magic/version decode as kCorruption.
+struct CallHeader {
+  int64_t trace_id = 0;
+  uint8_t op = 0;
+};
+
+inline constexpr uint8_t kRmiFrameMagic = 0xDA;
+inline constexpr uint8_t kRmiFrameVersion = 2;
+
+void EncodeCallHeader(const CallHeader& header, ByteBuffer* out);
+Status DecodeCallHeader(ByteReader* in, CallHeader* out);
+
 // Server side: decodes call frames and executes them against a DM node.
+// Thread-safe: concurrent channels may Handle() in parallel (the DM and
+// database below do their own locking).
 class RmiServer {
  public:
-  explicit RmiServer(DataManager* dm) : dm_(dm) {}
+  explicit RmiServer(DataManager* dm, MetricsRegistry* metrics = nullptr)
+      : dm_(dm),
+        metrics_(metrics != nullptr ? metrics : MetricsRegistry::Default()) {}
 
   // Handles one frame; the response encodes either a result or an error
   // status. Malformed frames yield a kCorruption response, never a crash.
   std::vector<uint8_t> Handle(const std::vector<uint8_t>& request);
 
-  int64_t calls_handled() const { return calls_handled_; }
+  int64_t calls_handled() const {
+    return calls_handled_.load(std::memory_order_relaxed);
+  }
 
  private:
   DataManager* dm_;
-  int64_t calls_handled_ = 0;
+  MetricsRegistry* metrics_;
+  std::atomic<int64_t> calls_handled_{0};
 };
 
 // In-process channel with optional per-call latency and payload bandwidth
@@ -74,7 +98,14 @@ class InProcessChannel : public ByteChannel {
 // Client-side stub: the DM operations a peer node exposes.
 class RemoteDm {
  public:
-  explicit RemoteDm(ByteChannel* channel) : channel_(channel) {}
+  explicit RemoteDm(ByteChannel* channel, MetricsRegistry* metrics = nullptr)
+      : channel_(channel),
+        metrics_(metrics != nullptr ? metrics : MetricsRegistry::Default()) {}
+
+  // Trace id stamped into the call-frame header of subsequent calls (0 =
+  // untraced); the server side opens its spans under the same id.
+  void set_trace_id(int64_t trace_id) { trace_id_ = trace_id; }
+  int64_t trace_id() const { return trace_id_; }
 
   // Executes a verified QuerySpec on the remote node.
   Result<db::ResultSet> Query(const QuerySpec& spec);
@@ -87,7 +118,14 @@ class RemoteDm {
                         const std::string& message);
 
  private:
+  // Builds the request frame for `op` (header + payload already encoded
+  // into `request`), sends it, and validates the response envelope.
+  Result<std::vector<uint8_t>> Roundtrip(uint8_t op, const char* span_name,
+                                         ByteBuffer request);
+
   ByteChannel* channel_;
+  MetricsRegistry* metrics_;
+  int64_t trace_id_ = 0;
 };
 
 // Frame codec, exposed for tests.

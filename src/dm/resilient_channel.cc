@@ -1,0 +1,155 @@
+#include "dm/resilient_channel.h"
+
+namespace hedc::dm {
+
+ResilientChannel::ResilientChannel(ByteChannel* primary, ByteChannel* fallback,
+                                   Clock* clock, Options options,
+                                   MetricsRegistry* metrics)
+    : primary_(primary),
+      fallback_(fallback),
+      clock_(clock),
+      options_(options),
+      metrics_(metrics != nullptr ? metrics : MetricsRegistry::Default()),
+      rng_(options.rng_seed) {}
+
+bool ResilientChannel::IsTransportFailure(const Status& status) {
+  return status.IsUnavailable() || status.IsTimeout() ||
+         status.code() == StatusCode::kCorruption;
+}
+
+ResilientChannel::Target ResilientChannel::PickTarget() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Target target;
+  switch (state_) {
+    case BreakerState::kClosed:
+      target = {primary_, /*is_primary=*/true, /*is_probe=*/false};
+      break;
+    case BreakerState::kOpen:
+      if (clock_->Now() >= open_until_) {
+        state_ = BreakerState::kHalfOpen;
+        probe_in_flight_ = false;
+        // fall through to the half-open logic below
+      } else {
+        target = {fallback_, false, false};
+        break;
+      }
+      [[fallthrough]];
+    case BreakerState::kHalfOpen:
+      if (!probe_in_flight_) {
+        probe_in_flight_ = true;
+        target = {primary_, true, /*is_probe=*/true};
+      } else {
+        target = {fallback_, false, false};
+      }
+      break;
+  }
+  if (!target.is_primary) {
+    ++stats_.redirects;
+    metrics_->GetCounter("remote.redirects")->Add();
+  }
+  return target;
+}
+
+void ResilientChannel::RecordOutcome(const Target& target, bool success) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (target.is_probe) probe_in_flight_ = false;
+  if (!target.is_primary) return;  // fallback outcomes don't move the breaker
+  if (success) {
+    consecutive_failures_ = 0;
+    if (state_ != BreakerState::kClosed) {
+      state_ = BreakerState::kClosed;
+      ++stats_.breaker_closes;
+      metrics_->GetCounter("remote.breaker_closes")->Add();
+    }
+    return;
+  }
+  ++consecutive_failures_;
+  bool trip = target.is_probe ||
+              (state_ == BreakerState::kClosed &&
+               consecutive_failures_ >= options_.failure_threshold);
+  if (trip) {
+    state_ = BreakerState::kOpen;
+    open_until_ = clock_->Now() + options_.cooldown;
+    ++stats_.breaker_opens;
+    metrics_->GetCounter("remote.breaker_opens")->Add();
+  }
+}
+
+Result<std::vector<uint8_t>> ResilientChannel::Call(
+    const std::vector<uint8_t>& request) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.calls;
+  }
+  metrics_->GetCounter("remote.calls")->Add();
+  Histogram* call_us = metrics_->GetHistogram("remote.call_us");
+
+  Status last_error = Status::Unavailable("no attempt made");
+  int max_attempts = options_.retry.max_attempts < 1
+                         ? 1
+                         : options_.retry.max_attempts;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    Target target = PickTarget();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.attempts;
+    }
+    metrics_->GetCounter("remote.attempts")->Add();
+
+    Status status;
+    Result<std::vector<uint8_t>> response =
+        Status::Unavailable("breaker open and no fallback configured");
+    if (target.channel != nullptr) {
+      Micros start = clock_->Now();
+      response = target.channel->Call(request);
+      Micros elapsed = clock_->Now() - start;
+      status = response.status();
+      if (status.ok() && options_.call_deadline > 0 &&
+          elapsed > options_.call_deadline) {
+        status = Status::Timeout("call exceeded deadline of " +
+                                 std::to_string(options_.call_deadline) +
+                                 "us");
+      }
+      if (status.ok()) call_us->Observe(elapsed);
+      RecordOutcome(target, status.ok());
+    } else {
+      status = response.status();
+    }
+
+    if (status.ok()) return response;
+    if (!IsTransportFailure(status)) return status;  // application error
+    last_error = status;
+
+    if (attempt == max_attempts) break;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.retries;
+    }
+    metrics_->GetCounter("remote.retries")->Add();
+    Micros delay;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      delay = BackoffDelay(options_.retry, attempt, &rng_);
+    }
+    clock_->SleepFor(delay);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.failures;
+  }
+  metrics_->GetCounter("remote.failures")->Add();
+  return last_error;
+}
+
+ResilientChannel::BreakerState ResilientChannel::breaker_state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+ResilientChannel::Stats ResilientChannel::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace hedc::dm

@@ -1,0 +1,106 @@
+// ResilientChannel: fault-tolerant call redirection (§5.4).
+//
+// Decorates any ByteChannel with the policies a networked middle tier
+// needs: per-attempt deadlines, bounded retries with exponential backoff
+// and jitter, and a circuit breaker that redirects traffic to a fallback
+// node after consecutive primary failures. All timing flows through an
+// injected Clock and all randomness through a seeded Rng, so retry counts,
+// the backoff schedule and breaker transitions are reproducible in tests.
+//
+// Breaker state machine:
+//   kClosed    -- calls go to the primary; `failure_threshold` consecutive
+//                 transport failures open the breaker.
+//   kOpen      -- calls redirect to the fallback (or fail kUnavailable
+//                 when none is configured) until `cooldown` elapses.
+//   kHalfOpen  -- after the cooldown one probe call is allowed through to
+//                 the primary; success closes the breaker, failure reopens
+//                 it for another cooldown. Non-probe calls keep using the
+//                 fallback meanwhile.
+//
+// Only transport-class failures count: kUnavailable (peer down/reset),
+// kTimeout (deadline), kCorruption (garbled frame). Application errors
+// (kNotFound, kInvalidArgument, ...) pass through untouched — the call
+// reached the peer and was answered.
+#ifndef HEDC_DM_RESILIENT_CHANNEL_H_
+#define HEDC_DM_RESILIENT_CHANNEL_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "core/backoff.h"
+#include "core/clock.h"
+#include "core/metrics.h"
+#include "core/rng.h"
+#include "dm/remote.h"
+
+namespace hedc::dm {
+
+class ResilientChannel : public ByteChannel {
+ public:
+  enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+  struct Options {
+    RetryPolicy retry;
+    // Per-attempt latency budget; an attempt whose response arrives after
+    // the deadline counts as kTimeout. 0 disables the check.
+    Micros call_deadline = 0;
+    // Consecutive primary failures before the breaker opens.
+    int failure_threshold = 5;
+    // Open duration before a half-open probe is allowed.
+    Micros cooldown = 5 * kMicrosPerSecond;
+    uint64_t rng_seed = 1;
+  };
+
+  struct Stats {
+    int64_t calls = 0;
+    int64_t attempts = 0;
+    int64_t retries = 0;
+    int64_t redirects = 0;   // attempts served by the fallback channel
+    int64_t failures = 0;    // calls that exhausted every attempt
+    int64_t breaker_opens = 0;
+    int64_t breaker_closes = 0;
+  };
+
+  // `fallback` may be null (no redirect target). Borrowed pointers must
+  // outlive the channel. `metrics` defaults to the process registry.
+  ResilientChannel(ByteChannel* primary, ByteChannel* fallback, Clock* clock,
+                   Options options, MetricsRegistry* metrics = nullptr);
+
+  Result<std::vector<uint8_t>> Call(
+      const std::vector<uint8_t>& request) override;
+
+  BreakerState breaker_state() const;
+  Stats stats() const;
+
+ private:
+  struct Target {
+    ByteChannel* channel = nullptr;
+    bool is_primary = false;
+    bool is_probe = false;
+  };
+
+  // Picks primary or fallback per the breaker state (locks mu_).
+  Target PickTarget();
+  // Feeds an attempt outcome back into the breaker (locks mu_).
+  void RecordOutcome(const Target& target, bool success);
+
+  static bool IsTransportFailure(const Status& status);
+
+  ByteChannel* primary_;
+  ByteChannel* fallback_;
+  Clock* clock_;
+  Options options_;
+  MetricsRegistry* metrics_;
+
+  mutable std::mutex mu_;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  Micros open_until_ = 0;
+  bool probe_in_flight_ = false;
+  Rng rng_;
+  Stats stats_;
+};
+
+}  // namespace hedc::dm
+
+#endif  // HEDC_DM_RESILIENT_CHANNEL_H_

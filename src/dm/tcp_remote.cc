@@ -1,0 +1,107 @@
+#include "dm/tcp_remote.h"
+
+#include <sys/socket.h>
+
+namespace hedc::dm {
+
+Status TcpRmiServer::Start(int port) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return Status::FailedPrecondition("server already running");
+  HEDC_RETURN_IF_ERROR(listener_.Listen(port));
+  running_ = true;
+  stopping_ = false;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+bool TcpRmiServer::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+void TcpRmiServer::AcceptLoop() {
+  while (true) {
+    Result<net::TcpSocket> accepted = listener_.Accept();
+    if (!accepted.ok()) return;  // listener closed (Stop) or fatal error
+    metrics_->GetCounter("remote.server.connections")->Add();
+    net::TcpSocket socket = std::move(accepted).value();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    live_connection_fds_.push_back(socket.fd());
+    connection_threads_.emplace_back(
+        [this, sock = std::move(socket)]() mutable {
+          ServeConnection(std::move(sock));
+        });
+  }
+}
+
+void TcpRmiServer::ServeConnection(net::TcpSocket socket) {
+  while (true) {
+    Result<std::vector<uint8_t>> request = net::RecvFrame(socket);
+    if (!request.ok()) break;  // peer closed, reset, or corrupt stream
+    std::vector<uint8_t> response = rmi_->Handle(request.value());
+    if (!net::SendFrame(socket, response).ok()) break;
+  }
+  int fd = socket.fd();
+  socket.Close();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < live_connection_fds_.size(); ++i) {
+    if (live_connection_fds_[i] == fd) {
+      live_connection_fds_.erase(live_connection_fds_.begin() +
+                                 static_cast<long>(i));
+      break;
+    }
+  }
+}
+
+void TcpRmiServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    running_ = false;
+    stopping_ = true;
+    // Shut down live connections so blocked reads fail; the fds are closed
+    // by their owning ServeConnection threads.
+    for (int fd : live_connection_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  listener_.Close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // After the accept thread exits no new connection threads appear.
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads.swap(connection_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+Result<std::vector<uint8_t>> TcpChannel::Call(
+    const std::vector<uint8_t>& request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!socket_.valid()) {
+    Result<net::TcpSocket> connected = net::TcpConnect(host_, port_);
+    if (!connected.ok()) return connected.status();
+    socket_ = std::move(connected).value();
+    Status s = socket_.SetRecvTimeout(recv_timeout_);
+    if (!s.ok()) {
+      socket_.Close();
+      return s;
+    }
+  }
+  Status sent = net::SendFrame(socket_, request);
+  if (!sent.ok()) {
+    socket_.Close();
+    return sent;
+  }
+  Result<std::vector<uint8_t>> response = net::RecvFrame(socket_);
+  if (!response.ok()) {
+    // Timeout or corruption leaves the stream desynchronized; reconnect on
+    // the next call rather than trying to resynchronize mid-stream.
+    socket_.Close();
+  }
+  return response;
+}
+
+}  // namespace hedc::dm

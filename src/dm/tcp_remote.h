@@ -1,0 +1,89 @@
+// TCP transport for remote DM calls (§2.3 "RMI and HTTP", §5.4).
+//
+// TcpRmiServer accepts loopback connections and serves length-delimited,
+// CRC-checked call frames (web/tcp.h) against an RmiServer; TcpChannel is
+// the matching client-side ByteChannel. One connection carries a sequence
+// of request/response frames; a TcpChannel serializes its calls and
+// reconnects lazily after any transport error, so a ResilientChannel
+// layered on top can simply retry.
+#ifndef HEDC_DM_TCP_REMOTE_H_
+#define HEDC_DM_TCP_REMOTE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/metrics.h"
+#include "dm/remote.h"
+#include "web/tcp.h"
+
+namespace hedc::dm {
+
+// Serves RMI frames over TCP. Start() spawns an accept thread and one
+// thread per connection; Stop() shuts the listener and all live
+// connections down (failing any in-flight calls) and joins the threads.
+class TcpRmiServer {
+ public:
+  explicit TcpRmiServer(RmiServer* rmi, MetricsRegistry* metrics = nullptr)
+      : rmi_(rmi),
+        metrics_(metrics != nullptr ? metrics : MetricsRegistry::Default()) {}
+  ~TcpRmiServer() { Stop(); }
+  TcpRmiServer(const TcpRmiServer&) = delete;
+  TcpRmiServer& operator=(const TcpRmiServer&) = delete;
+
+  // Port 0 picks an ephemeral port; see port().
+  Status Start(int port = 0);
+  int port() const { return listener_.port(); }
+  bool running() const;
+  // Idempotent; kills in-flight calls mid-frame (clients observe a reset).
+  void Stop();
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(net::TcpSocket socket);
+
+  RmiServer* rmi_;
+  MetricsRegistry* metrics_;
+  net::TcpListener listener_;
+  std::thread accept_thread_;
+
+  mutable std::mutex mu_;
+  bool running_ = false;
+  bool stopping_ = false;
+  std::vector<std::thread> connection_threads_;
+  std::vector<int> live_connection_fds_;
+};
+
+// Client-side channel: connects on first use, one in-flight call at a
+// time, reconnects after errors. Transport failures map to kUnavailable
+// (connect/reset/EOF), kTimeout (receive deadline) or kCorruption (bad
+// frame checksum), which is exactly the retryable set of
+// ResilientChannel.
+class TcpChannel : public ByteChannel {
+ public:
+  TcpChannel(std::string host, int port,
+             Micros recv_timeout = 2 * kMicrosPerSecond)
+      : host_(std::move(host)), port_(port), recv_timeout_(recv_timeout) {}
+
+  Result<std::vector<uint8_t>> Call(
+      const std::vector<uint8_t>& request) override;
+
+  void set_recv_timeout(Micros timeout) {
+    std::lock_guard<std::mutex> lock(mu_);
+    recv_timeout_ = timeout;
+  }
+
+ private:
+  std::string host_;
+  int port_;
+
+  std::mutex mu_;
+  Micros recv_timeout_;
+  net::TcpSocket socket_;  // invalid when disconnected
+};
+
+}  // namespace hedc::dm
+
+#endif  // HEDC_DM_TCP_REMOTE_H_

@@ -67,13 +67,21 @@ struct Model {
       });
       return;
     }
-    dbms->Submit(calibration->db_query_seconds,
-                 [this, node_index, cpu_demand, start, remaining] {
-                   if (simulator.now() >= warmup_end) {
-                     ++db_queries_after_warmup;
-                   }
-                   RunQueries(node_index, cpu_demand, start, remaining - 1);
-                 });
+    auto submit = [this, node_index, cpu_demand, start, remaining] {
+      dbms->Submit(calibration->db_query_seconds,
+                   [this, node_index, cpu_demand, start, remaining] {
+                     if (simulator.now() >= warmup_end) {
+                       ++db_queries_after_warmup;
+                     }
+                     RunQueries(node_index, cpu_demand, start, remaining - 1);
+                   });
+    };
+    // Queries redirected to a remote DM node pay a network hop first.
+    if (calibration->redirect_hop_seconds > 0) {
+      simulator.After(calibration->redirect_hop_seconds, submit);
+    } else {
+      submit();
+    }
   }
 };
 

@@ -31,6 +31,11 @@ struct BrowseCalibration {
   double thrash_coefficient = 0.0085;
   double thrash_exponent = 0.9;
   double network_seconds = 0.004;  // ~47 KB over switched 100 Mb/s
+  // Extra per-query hop when database calls are redirected to a remote
+  // DataManager node over the RMI transport (0 = co-located DM). The
+  // fig5_remote_redirection bench feeds a measured loopback round-trip
+  // latency in here to model scale-out with networked redirection.
+  double redirect_hop_seconds = 0.0;
 };
 
 struct BrowseResult {

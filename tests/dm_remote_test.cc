@@ -119,6 +119,50 @@ TEST_F(RemoteDmTest, MalformedFramesAreRejectedNotFatal) {
   // Empty frame likewise.
   response = server_->Handle({});
   ASSERT_FALSE(response.empty());
+  // A frame with the right magic but a future version is rejected too.
+  response = server_->Handle({kRmiFrameMagic, kRmiFrameVersion + 1, 0, 1});
+  ByteReader version_reader(response);
+  ASSERT_TRUE(version_reader.GetU8(&tag).ok());
+  EXPECT_EQ(tag, 1);
+}
+
+TEST_F(RemoteDmTest, CallHeaderRoundTrips) {
+  CallHeader header{/*trace_id=*/123456789, /*op=*/3};
+  ByteBuffer buf;
+  EncodeCallHeader(header, &buf);
+  ByteReader reader(buf.data());
+  CallHeader decoded;
+  ASSERT_TRUE(DecodeCallHeader(&reader, &decoded).ok());
+  EXPECT_EQ(decoded.trace_id, 123456789);
+  EXPECT_EQ(decoded.op, 3);
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST_F(RemoteDmTest, TraceIdPropagatesThroughFrameHeader) {
+  MetricsRegistry metrics;
+  RmiServer server(dm_.get(), &metrics);
+  InProcessChannel channel(&server);
+  RemoteDm remote(&channel, &metrics);
+  remote.set_trace_id(31337);
+
+  QuerySpec spec("users");
+  spec.Select("name").Where("user_id", CondOp::kEq, db::Value::Int(1));
+  ASSERT_TRUE(remote.Query(spec).ok());
+
+  bool server_span = false;
+  bool client_span = false;
+  for (const TraceEvent& event : metrics.traces().SnapshotTrace()) {
+    if (event.trace_id != 31337) continue;
+    if (event.component == "dm-remote" && event.span == "query") {
+      server_span = true;
+    }
+    if (event.component == "remote-client" && event.span == "query") {
+      client_span = true;
+    }
+  }
+  EXPECT_TRUE(server_span);
+  EXPECT_TRUE(client_span);
+  EXPECT_EQ(metrics.GetCounter("remote.server.calls")->Value(), 1);
 }
 
 TEST_F(RemoteDmTest, UpdatesWorkRemotely) {
