@@ -27,6 +27,21 @@ bool ThreadPool::Submit(std::function<void()> task) {
   return true;
 }
 
+bool ThreadPool::TrySubmit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(wait_mu_);
+    if (shutdown_) return false;
+    ++pending_;
+  }
+  if (!queue_.TryPush(std::move(task))) {
+    std::lock_guard<std::mutex> lock(wait_mu_);
+    --pending_;
+    if (pending_ == 0) idle_cv_.notify_all();
+    return false;
+  }
+  return true;
+}
+
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(wait_mu_);
   idle_cv_.wait(lock, [this] { return pending_ == 0; });

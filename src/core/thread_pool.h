@@ -83,6 +83,11 @@ class ThreadPool {
   // Enqueues `task`; returns false after Shutdown().
   bool Submit(std::function<void()> task);
 
+  // Non-blocking Submit: fails instead of waiting when the queue is
+  // full. Lets latency-sensitive callers (parallel scans) degrade to
+  // running the work inline rather than block behind a saturated pool.
+  bool TrySubmit(std::function<void()> task);
+
   // Blocks until all submitted tasks have finished executing.
   void Wait();
 

@@ -1,0 +1,78 @@
+#include "db/data_chunk.h"
+
+namespace hedc::db {
+
+void DataChunk::Reset(size_t num_columns) {
+  row_ids_.clear();
+  rows_.clear();
+  if (columns_.size() != num_columns) {
+    columns_.resize(num_columns);
+    flattened_.resize(num_columns);
+  }
+  for (uint8_t& f : flattened_) f = 0;
+}
+
+const FlatColumn& DataChunk::Flatten(size_t col) {
+  FlatColumn& fc = columns_[col];
+  if (flattened_[col]) return fc;
+  flattened_[col] = 1;
+
+  const size_t n = rows_.size();
+  fc.tag = ValueType::kNull;
+  fc.uniform = true;
+  fc.nulls.assign(n, 0);
+  fc.ints.clear();
+  fc.reals.clear();
+  fc.texts.clear();
+
+  // First pass: find the physical type of the non-null values.
+  for (size_t i = 0; i < n && fc.tag == ValueType::kNull; ++i) {
+    fc.tag = (*rows_[i])[col].type();
+  }
+  switch (fc.tag) {
+    case ValueType::kInt:
+    case ValueType::kBool:
+      fc.ints.resize(n, 0);
+      break;
+    case ValueType::kReal:
+      fc.reals.resize(n, 0);
+      break;
+    case ValueType::kText:
+      fc.texts.resize(n, nullptr);
+      break;
+    default:
+      // All-NULL or blob: nothing to transpose; kernels treat blobs via
+      // the generic path.
+      break;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const Value& v = (*rows_[i])[col];
+    if (v.is_null()) {
+      fc.nulls[i] = 1;
+      continue;
+    }
+    if (v.type() != fc.tag) {
+      fc.uniform = false;
+      continue;
+    }
+    switch (fc.tag) {
+      case ValueType::kInt:
+        fc.ints[i] = v.int_value();
+        break;
+      case ValueType::kBool:
+        fc.ints[i] = v.bool_value() ? 1 : 0;
+        break;
+      case ValueType::kReal:
+        fc.reals[i] = v.real_value();
+        break;
+      case ValueType::kText:
+        fc.texts[i] = &v.text();
+        break;
+      default:
+        break;
+    }
+  }
+  return fc;
+}
+
+}  // namespace hedc::db

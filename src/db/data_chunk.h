@@ -1,0 +1,63 @@
+// Columnar execution batch for the vectorized scan path.
+//
+// A DataChunk holds one morsel's worth of live rows as borrowed
+// pointers into the table heap (stable while the caller holds the
+// table latch) plus lazily materialized per-column vectors. Filter
+// kernels only pay the row->column transposition for the columns a
+// predicate actually touches; untouched columns are never flattened.
+#ifndef HEDC_DB_DATA_CHUNK_H_
+#define HEDC_DB_DATA_CHUNK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "db/value.h"
+
+namespace hedc::db {
+
+// One flattened column of a chunk. `tag` is the uniform physical type
+// of the non-null values; schema coercion guarantees uniformity for
+// rows that went through Insert/Update, but a mixed column (possible
+// through direct Table access) clears `uniform` and sends kernels down
+// the generic Value::Compare path.
+struct FlatColumn {
+  ValueType tag = ValueType::kNull;
+  bool uniform = true;
+  std::vector<uint8_t> nulls;             // 1 = NULL at that position
+  std::vector<int64_t> ints;              // tag kInt | kBool (as 0/1)
+  std::vector<double> reals;              // tag kReal
+  std::vector<const std::string*> texts;  // tag kText (borrowed)
+};
+
+class DataChunk {
+ public:
+  // Clears the chunk and sets the column arity (flattened columns are
+  // re-derived on demand after every Reset).
+  void Reset(size_t num_columns);
+
+  void Append(int64_t row_id, const Row* row) {
+    row_ids_.push_back(row_id);
+    rows_.push_back(row);
+  }
+
+  size_t size() const { return rows_.size(); }
+  int64_t row_id(size_t i) const { return row_ids_[i]; }
+  const Row& row(size_t i) const { return *rows_[i]; }
+  const Row* row_ptr(size_t i) const { return rows_[i]; }
+
+  // Lazily transposes column `col` into typed vectors; cached until the
+  // next Reset. `col` must be within the arity passed to Reset and the
+  // appended rows must have at least `col + 1` values.
+  const FlatColumn& Flatten(size_t col);
+
+ private:
+  std::vector<int64_t> row_ids_;
+  std::vector<const Row*> rows_;
+  std::vector<FlatColumn> columns_;
+  std::vector<uint8_t> flattened_;
+};
+
+}  // namespace hedc::db
+
+#endif  // HEDC_DB_DATA_CHUNK_H_

@@ -1,9 +1,13 @@
 #include "db/database.h"
 
 #include <algorithm>
+#include <thread>
 
+#include "core/config.h"
 #include "core/metrics.h"
 #include "core/strings.h"
+#include "db/scan_bounds.h"
+#include "db/vectorized.h"
 
 namespace hedc::db {
 
@@ -22,105 +26,30 @@ Histogram* UpdateLatency() {
   return kHist;
 }
 
+// Scan-volume counters: rows run through predicate evaluation vs. rows
+// that survived it. Their ratio is the selectivity the zone maps and
+// indexes are supposed to exploit.
+Counter* RowsScannedCounter() {
+  static Counter* const kCounter =
+      MetricsRegistry::Default()->GetCounter("db.rows_scanned");
+  return kCounter;
+}
+
+Counter* RowsMatchedCounter() {
+  static Counter* const kCounter =
+      MetricsRegistry::Default()->GetCounter("db.rows_matched");
+  return kCounter;
+}
+
+// Index entries pointing at rows that no longer exist. A steady climb
+// means index maintenance is broken somewhere.
+Counter* StaleIndexCounter() {
+  static Counter* const kCounter =
+      MetricsRegistry::Default()->GetCounter("db.stale_index_entries");
+  return kCounter;
+}
+
 std::string NormalizeName(std::string_view name) { return ToLower(name); }
-
-// Per-column sargable bounds extracted from the WHERE conjuncts.
-struct ColumnBounds {
-  std::optional<Value> eq;
-  std::optional<Value> lo;
-  bool lo_inclusive = true;
-  std::optional<Value> hi;
-  bool hi_inclusive = true;
-};
-
-// Collects AND-connected conjuncts.
-void CollectConjuncts(const Expr* e, std::vector<const Expr*>* out) {
-  if (e == nullptr) return;
-  if (e->kind == Expr::Kind::kBinary && e->bin_op == BinOp::kAnd) {
-    CollectConjuncts(e->left.get(), out);
-    CollectConjuncts(e->right.get(), out);
-    return;
-  }
-  out->push_back(e);
-}
-
-// If `e` is `col <op> literal` or `literal <op> col`, records the bound.
-void ExtractBound(const Expr* e,
-                  std::unordered_map<int, ColumnBounds>* bounds) {
-  if (e->kind != Expr::Kind::kBinary) return;
-  BinOp op = e->bin_op;
-  if (op != BinOp::kEq && op != BinOp::kLt && op != BinOp::kLe &&
-      op != BinOp::kGt && op != BinOp::kGe) {
-    return;
-  }
-  const Expr* col = nullptr;
-  const Expr* lit = nullptr;
-  bool flipped = false;
-  if (e->left->kind == Expr::Kind::kColumn &&
-      e->right->kind == Expr::Kind::kLiteral) {
-    col = e->left.get();
-    lit = e->right.get();
-  } else if (e->right->kind == Expr::Kind::kColumn &&
-             e->left->kind == Expr::Kind::kLiteral) {
-    col = e->right.get();
-    lit = e->left.get();
-    flipped = true;
-  } else {
-    return;
-  }
-  if (lit->literal.is_null()) return;
-  if (flipped) {
-    // literal < col  ≡  col > literal, etc.
-    switch (op) {
-      case BinOp::kLt:
-        op = BinOp::kGt;
-        break;
-      case BinOp::kLe:
-        op = BinOp::kGe;
-        break;
-      case BinOp::kGt:
-        op = BinOp::kLt;
-        break;
-      case BinOp::kGe:
-        op = BinOp::kLe;
-        break;
-      default:
-        break;
-    }
-  }
-  ColumnBounds& b = (*bounds)[col->column_index];
-  switch (op) {
-    case BinOp::kEq:
-      b.eq = lit->literal;
-      break;
-    case BinOp::kLt:
-      if (!b.hi || lit->literal.Compare(*b.hi) < 0) {
-        b.hi = lit->literal;
-        b.hi_inclusive = false;
-      }
-      break;
-    case BinOp::kLe:
-      if (!b.hi || lit->literal.Compare(*b.hi) < 0) {
-        b.hi = lit->literal;
-        b.hi_inclusive = true;
-      }
-      break;
-    case BinOp::kGt:
-      if (!b.lo || lit->literal.Compare(*b.lo) > 0) {
-        b.lo = lit->literal;
-        b.lo_inclusive = false;
-      }
-      break;
-    case BinOp::kGe:
-      if (!b.lo || lit->literal.Compare(*b.lo) > 0) {
-        b.lo = lit->literal;
-        b.lo_inclusive = true;
-      }
-      break;
-    default:
-      break;
-  }
-}
 
 }  // namespace
 
@@ -146,8 +75,8 @@ Status Database::OpenWal(const std::string& wal_path) {
     switch (record.op) {
       case WalOp::kCreateTable:
         if (tables_.count(key) == 0) {
-          tables_[key] =
-              std::make_unique<TableEntry>(record.table, record.schema);
+          tables_[key] = std::make_unique<TableEntry>(
+              record.table, record.schema, exec_options_.morsel_rows);
         }
         break;
       case WalOp::kCreateIndex: {
@@ -344,6 +273,28 @@ std::vector<std::string> Database::TableNames() const {
   return names;
 }
 
+void Database::Configure(const Config& config) {
+  ExecOptions opts = exec_options_;
+  opts.vectorized = config.GetBool("db.vectorized", opts.vectorized);
+  opts.zone_maps = config.GetBool("db.zone_maps", opts.zone_maps);
+  opts.morsel_rows = config.GetInt("db.morsel_rows", opts.morsel_rows);
+  opts.scan_threads =
+      static_cast<int>(config.GetInt("db.scan_threads", opts.scan_threads));
+  exec_options_ = opts;
+}
+
+ThreadPool* Database::ScanPool() {
+  std::call_once(scan_pool_once_, [this] {
+    // One worker fewer than the host so the caller thread (which always
+    // participates in its own scan) has a core; per-statement fan-out is
+    // bounded by scan_threads, not by the pool size.
+    size_t hw = std::thread::hardware_concurrency();
+    size_t n = hw > 1 ? hw - 1 : 1;
+    scan_pool_ = std::make_unique<ThreadPool>(std::min<size_t>(n, 16));
+  });
+  return scan_pool_.get();
+}
+
 Result<ResultSet> Database::Execute(std::string_view sql,
                                     const std::vector<Value>& params) {
   HEDC_ASSIGN_OR_RETURN(std::unique_ptr<Statement> stmt, ParseSql(sql));
@@ -400,10 +351,7 @@ Status Database::CollectIndexCandidates(Table* table, const Expr* where,
                                         bool* used_index) {
   *used_index = false;
   if (where != nullptr) {
-    std::vector<const Expr*> conjuncts;
-    CollectConjuncts(where, &conjuncts);
-    std::unordered_map<int, ColumnBounds> bounds;
-    for (const Expr* c : conjuncts) ExtractBound(c, &bounds);
+    std::unordered_map<int, ColumnBounds> bounds = ExtractColumnBounds(where);
 
     // Prefer an equality-indexed column, then a range-indexed column.
     for (const auto& [col, b] : bounds) {
@@ -454,23 +402,49 @@ Result<ResultSet> Database::ExecSelect(const SelectStmt& stmt,
   HEDC_RETURN_IF_ERROR(
       CollectIndexCandidates(table, where.get(), &candidates, &used_index));
 
-  std::vector<std::pair<int64_t, Row>> matches;
+  // Survivors are borrowed pointers into the heap — stable because the
+  // shared latch blocks all mutation for the rest of this function — so
+  // neither scan path copies a row to find out it matched.
+  std::vector<ScanMatch> matches;
   if (used_index) {
     // Filter the index candidates with the full predicate (residual
     // included).
+    matches.reserve(candidates.size());
+    int64_t stale = 0;
     for (int64_t row_id : candidates) {
-      Result<Row> row = table->Get(row_id);
-      if (!row.ok()) continue;  // stale index entry
+      const Row* row = table->Find(row_id);
+      if (row == nullptr) {
+        // The index returned a row id the heap no longer has. Harmless
+        // for this query (the row is gone) but a symptom worth counting.
+        ++stale;
+        continue;
+      }
       stats_.rows_examined.fetch_add(1, std::memory_order_relaxed);
       if (where != nullptr) {
-        HEDC_ASSIGN_OR_RETURN(Value keep, EvalExpr(*where, row.value()));
+        HEDC_ASSIGN_OR_RETURN(Value keep, EvalExpr(*where, *row));
         if (!keep.AsBool()) continue;
       }
-      matches.emplace_back(row_id, std::move(row).value());
+      matches.push_back(ScanMatch{row_id, row});
     }
+    if (stale > 0) {
+      stats_.stale_index_entries.fetch_add(stale, std::memory_order_relaxed);
+      StaleIndexCounter()->Add(stale);
+    }
+  } else if (exec_options_.vectorized) {
+    ScanOptions sopts;
+    sopts.zone_maps = exec_options_.zone_maps;
+    sopts.threads = exec_options_.scan_threads;
+    sopts.pool = exec_options_.scan_threads > 1 ? ScanPool() : nullptr;
+    ScanStats sstats;
+    HEDC_RETURN_IF_ERROR(
+        ScanFilter(*table, where.get(), sopts, &matches, &sstats));
+    stats_.rows_examined.fetch_add(sstats.rows_scanned,
+                                   std::memory_order_relaxed);
+    stats_.morsels_pruned.fetch_add(sstats.morsels_pruned,
+                                    std::memory_order_relaxed);
+    RowsScannedCounter()->Add(sstats.rows_scanned);
   } else {
-    // Streamed heap scan: evaluate the predicate against the visited row
-    // and copy only survivors.
+    // Legacy row-at-a-time scan (db.vectorized = off).
     Status eval_error;
     int64_t examined = 0;
     table->Scan([&](int64_t row_id, const Row& row) {
@@ -483,12 +457,16 @@ Result<ResultSet> Database::ExecSelect(const SelectStmt& stmt,
         }
         if (!keep.value().AsBool()) return true;
       }
-      matches.emplace_back(row_id, row);
+      matches.push_back(ScanMatch{row_id, &row});
       return true;
     });
     stats_.rows_examined.fetch_add(examined, std::memory_order_relaxed);
+    RowsScannedCounter()->Add(examined);
     if (!eval_error.ok()) return eval_error;
   }
+  stats_.rows_matched.fetch_add(static_cast<int64_t>(matches.size()),
+                                std::memory_order_relaxed);
+  RowsMatchedCounter()->Add(static_cast<int64_t>(matches.size()));
 
   // ORDER BY before projection/limit.
   if (!stmt.order_by.empty()) {
@@ -500,8 +478,8 @@ Result<ResultSet> Database::ExecSelect(const SelectStmt& stmt,
     size_t c = *col;
     bool desc = stmt.order_desc;
     std::stable_sort(matches.begin(), matches.end(),
-                     [c, desc](const auto& a, const auto& b) {
-                       int cmp = a.second[c].Compare(b.second[c]);
+                     [c, desc](const ScanMatch& a, const ScanMatch& b) {
+                       int cmp = (*a.row)[c].Compare((*b.row)[c]);
                        return desc ? cmp > 0 : cmp < 0;
                      });
   }
@@ -564,7 +542,8 @@ Result<ResultSet> Database::ExecSelect(const SelectStmt& stmt,
       agg_col = plan.col;
     }
 
-    for (const auto& [row_id, row] : matches) {
+    for (const ScanMatch& m : matches) {
+      const Row& row = *m.row;
       std::string key =
           group_col.has_value() ? row[*group_col].AsText() : "";
       auto [it, inserted] = group_index.try_emplace(key, groups.size());
@@ -649,10 +628,18 @@ Result<ResultSet> Database::ExecSelect(const SelectStmt& stmt,
         proj.push_back(static_cast<int>(*ci));
       }
     }
-    for (const auto& [row_id, row] : matches) {
+    // Only LIMIT-many rows are materialized when no ORDER BY reshuffles
+    // the match order afterwards.
+    size_t cap = matches.size();
+    if (stmt.limit >= 0 && stmt.order_by.empty()) {
+      cap = std::min<size_t>(cap, static_cast<size_t>(stmt.limit));
+    }
+    result.rows.reserve(cap);
+    for (const ScanMatch& m : matches) {
+      if (result.rows.size() >= cap) break;
       Row out_row;
       out_row.reserve(proj.size());
-      for (int c : proj) out_row.push_back(row[c]);
+      for (int c : proj) out_row.push_back((*m.row)[c]);
       result.rows.push_back(std::move(out_row));
     }
   }
@@ -752,17 +739,24 @@ Result<ResultSet> Database::ExecUpdate(const UpdateStmt& stmt,
 
   ResultSet result;
   for (int64_t row_id : candidates) {
-    Result<Row> current = table->Get(row_id);
-    if (!current.ok()) continue;
+    const Row* current = table->Find(row_id);
+    if (current == nullptr) {
+      if (residual_needed) {
+        stats_.stale_index_entries.fetch_add(1, std::memory_order_relaxed);
+        StaleIndexCounter()->Add(1);
+      }
+      continue;
+    }
     if (residual_needed && where != nullptr) {
-      HEDC_ASSIGN_OR_RETURN(Value keep, EvalExpr(*where, current.value()));
+      HEDC_ASSIGN_OR_RETURN(Value keep, EvalExpr(*where, *current));
       if (!keep.AsBool()) continue;
     }
-    Row updated = current.value();
+    Row updated = *current;
     for (const auto& [col, expr] : assigns) {
-      HEDC_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr, current.value()));
+      HEDC_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr, *current));
       updated[col] = std::move(v);
     }
+    // `current` dies with this Update; no use after it below.
     Row old_row;
     HEDC_RETURN_IF_ERROR(table->Update(row_id, std::move(updated), &old_row));
     Result<Row> new_row = table->Get(row_id);
@@ -802,10 +796,16 @@ Result<ResultSet> Database::ExecDelete(const DeleteStmt& stmt,
 
   ResultSet result;
   for (int64_t row_id : candidates) {
-    Result<Row> current = table->Get(row_id);
-    if (!current.ok()) continue;
+    const Row* current = table->Find(row_id);
+    if (current == nullptr) {
+      if (residual_needed) {
+        stats_.stale_index_entries.fetch_add(1, std::memory_order_relaxed);
+        StaleIndexCounter()->Add(1);
+      }
+      continue;
+    }
     if (residual_needed && where != nullptr) {
-      HEDC_ASSIGN_OR_RETURN(Value keep, EvalExpr(*where, current.value()));
+      HEDC_ASSIGN_OR_RETURN(Value keep, EvalExpr(*where, *current));
       if (!keep.AsBool()) continue;
     }
     Row old_row;
@@ -821,6 +821,25 @@ Result<ResultSet> Database::ExecDelete(const DeleteStmt& stmt,
 
 Status Database::FilterByScan(Table* table, const Expr* where,
                               std::vector<int64_t>* row_ids) {
+  if (exec_options_.vectorized) {
+    // DML callers hold the exclusive table latch; the parallel workers
+    // only read the heap, so sharing the scan inside the latch is safe.
+    ScanOptions sopts;
+    sopts.zone_maps = exec_options_.zone_maps;
+    sopts.threads = exec_options_.scan_threads;
+    sopts.pool = exec_options_.scan_threads > 1 ? ScanPool() : nullptr;
+    std::vector<ScanMatch> matches;
+    ScanStats sstats;
+    HEDC_RETURN_IF_ERROR(ScanFilter(*table, where, sopts, &matches, &sstats));
+    row_ids->reserve(row_ids->size() + matches.size());
+    for (const ScanMatch& m : matches) row_ids->push_back(m.row_id);
+    stats_.rows_examined.fetch_add(sstats.rows_scanned,
+                                   std::memory_order_relaxed);
+    stats_.morsels_pruned.fetch_add(sstats.morsels_pruned,
+                                    std::memory_order_relaxed);
+    RowsScannedCounter()->Add(sstats.rows_scanned);
+    return Status::Ok();
+  }
   Status eval_error;
   int64_t examined = 0;
   table->Scan([&](int64_t row_id, const Row& row) {
@@ -837,6 +856,7 @@ Status Database::FilterByScan(Table* table, const Expr* where,
     return true;
   });
   stats_.rows_examined.fetch_add(examined, std::memory_order_relaxed);
+  RowsScannedCounter()->Add(examined);
   return eval_error;
 }
 
@@ -847,7 +867,8 @@ Result<ResultSet> Database::ExecCreateTable(const CreateTableStmt& stmt) {
     if (stmt.if_not_exists) return ResultSet{};
     return Status::AlreadyExists("table " + stmt.table);
   }
-  tables_[key] = std::make_unique<TableEntry>(stmt.table, stmt.schema);
+  tables_[key] = std::make_unique<TableEntry>(stmt.table, stmt.schema,
+                                              exec_options_.morsel_rows);
   LogOrBuffer(WalRecord{WalOp::kCreateTable, stmt.table, 0, Row{},
                         stmt.schema, "", "", false});
   return ResultSet{};

@@ -18,15 +18,21 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "core/status.h"
+#include "core/thread_pool.h"
 #include "db/sql.h"
 #include "db/table.h"
 #include "db/wal.h"
+
+namespace hedc {
+class Config;
+}
 
 namespace hedc::db {
 
@@ -49,6 +55,19 @@ struct DbStats {
   std::atomic<int64_t> full_scans{0};     // table scans (no usable index)
   std::atomic<int64_t> index_scans{0};    // index-assisted accesses
   std::atomic<int64_t> rows_examined{0};
+  std::atomic<int64_t> rows_matched{0};        // rows surviving the WHERE
+  std::atomic<int64_t> morsels_pruned{0};      // zone-map skips
+  std::atomic<int64_t> stale_index_entries{0};  // dangling index hits
+};
+
+// Query-execution knobs (DESIGN.md §4e). `morsel_rows` applies to
+// tables created after the change; the other fields take effect on the
+// next statement.
+struct ExecOptions {
+  bool vectorized = true;   // batched scan-filter path (db/vectorized.h)
+  bool zone_maps = true;    // morsel min/max pruning
+  int64_t morsel_rows = Table::kDefaultRowsPerMorsel;
+  int scan_threads = 4;     // max parallelism of one full scan
 };
 
 class Database {
@@ -93,6 +112,12 @@ class Database {
   const Table* GetTable(const std::string& name) const;
   std::vector<std::string> TableNames() const;
 
+  // Reads db.vectorized, db.zone_maps, db.morsel_rows and
+  // db.scan_threads; unset keys keep their current value.
+  void Configure(const Config& config);
+  void set_exec_options(const ExecOptions& opts) { exec_options_ = opts; }
+  const ExecOptions& exec_options() const { return exec_options_; }
+
   DbStats& stats() { return stats_; }
 
  private:
@@ -107,8 +132,8 @@ class Database {
   // destroyed under an exclusive catalog_mu_, so holding catalog_mu_
   // shared keeps the entry (and its latch) alive.
   struct TableEntry {
-    TableEntry(std::string name, Schema schema)
-        : table(std::move(name), std::move(schema)) {}
+    TableEntry(std::string name, Schema schema, int64_t morsel_rows)
+        : table(std::move(name), std::move(schema), morsel_rows) {}
     Table table;
     mutable std::shared_mutex latch;
   };
@@ -137,10 +162,17 @@ class Database {
                                 std::vector<int64_t>* row_ids,
                                 bool* used_index);
 
-  // Streams the heap scan with `where` pushed down, appending surviving
-  // row ids. Rows are evaluated in place; only ids are collected.
+  // Full-scan candidate collection with `where` pushed down, appending
+  // surviving row ids. Uses the vectorized batched path when enabled,
+  // else streams the heap scan row-at-a-time; either way rows are
+  // evaluated in place and only ids are collected.
   Status FilterByScan(Table* table, const Expr* where,
                       std::vector<int64_t>* row_ids);
+
+  // Lazily constructed worker pool shared by all parallel scans of this
+  // database (sized to the host, capped; per-statement parallelism is
+  // limited by ExecOptions::scan_threads instead).
+  ThreadPool* ScanPool();
 
   void LogOrBuffer(WalRecord record);
   // DML bookkeeping: buffers WAL record + undo inside a transaction,
@@ -152,6 +184,10 @@ class Database {
   std::unordered_map<std::string, std::unique_ptr<TableEntry>> tables_;
   WriteAheadLog wal_;
   bool wal_enabled_ = false;
+
+  ExecOptions exec_options_;
+  std::once_flag scan_pool_once_;
+  std::unique_ptr<ThreadPool> scan_pool_;
 
   std::mutex txn_mu_;  // serializes explicit transactions
   std::atomic<bool> in_txn_{false};

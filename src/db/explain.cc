@@ -5,66 +5,26 @@
 
 #include "core/strings.h"
 #include "db/expr.h"
+#include "db/scan_bounds.h"
 #include "db/sql.h"
 #include "db/table.h"
+#include "db/vectorized.h"
 
 namespace hedc::db {
 
-namespace {
-
-// Mirrors the executor's sargability analysis (database.cc); kept in sync
-// by the ExplainMatchesExecutor tests.
-struct Bounds {
-  bool has_eq = false;
-  bool has_range = false;
-};
-
-void CollectConjuncts(const Expr* e, std::vector<const Expr*>* out) {
-  if (e == nullptr) return;
-  if (e->kind == Expr::Kind::kBinary && e->bin_op == BinOp::kAnd) {
-    CollectConjuncts(e->left.get(), out);
-    CollectConjuncts(e->right.get(), out);
-    return;
-  }
-  out->push_back(e);
-}
-
-void ExtractBound(const Expr* e, std::unordered_map<int, Bounds>* bounds) {
-  if (e->kind != Expr::Kind::kBinary) return;
-  BinOp op = e->bin_op;
-  if (op != BinOp::kEq && op != BinOp::kLt && op != BinOp::kLe &&
-      op != BinOp::kGt && op != BinOp::kGe) {
-    return;
-  }
-  const Expr* col = nullptr;
-  const Expr* lit = nullptr;
-  if (e->left->kind == Expr::Kind::kColumn &&
-      e->right->kind == Expr::Kind::kLiteral) {
-    col = e->left.get();
-    lit = e->right.get();
-  } else if (e->right->kind == Expr::Kind::kColumn &&
-             e->left->kind == Expr::Kind::kLiteral) {
-    col = e->right.get();
-    lit = e->left.get();
-  } else {
-    return;
-  }
-  if (lit->literal.is_null()) return;
-  Bounds& b = (*bounds)[col->column_index];
-  if (op == BinOp::kEq) {
-    b.has_eq = true;
-  } else {
-    b.has_range = true;
-  }
-}
-
-}  // namespace
-
 std::string QueryPlan::ToString() const {
   switch (access) {
-    case Access::kFullScan:
-      return StrFormat("FULL SCAN %s%s", table.c_str(),
-                       has_residual ? " WHERE <predicate>" : "");
+    case Access::kFullScan: {
+      std::string s = StrFormat("FULL SCAN %s%s", table.c_str(),
+                                has_residual ? " WHERE <predicate>" : "");
+      if (vectorized) {
+        s += StrFormat(
+            " [vectorized, %lld morsels, %lld pruned, %d threads]",
+            static_cast<long long>(morsel_count),
+            static_cast<long long>(morsels_pruned), parallelism);
+      }
+      return s;
+    }
     case Access::kIndexPoint:
       return StrFormat("INDEX POINT %s.%s (%s)%s", table.c_str(),
                        column.c_str(), index_name.c_str(),
@@ -89,8 +49,28 @@ Result<QueryPlan> ExplainSelect(Database* db, std::string_view sql,
 
   QueryPlan plan;
   plan.table = table->name();
+
+  // Fills in the full-scan strategy fields from the executor's own
+  // helpers, so EXPLAIN and execution can never drift apart.
+  auto finish_full_scan =
+      [&](const std::unordered_map<int, ColumnBounds>& bounds) {
+        plan.access = QueryPlan::Access::kFullScan;
+        const ExecOptions& eopts = db->exec_options();
+        plan.vectorized = eopts.vectorized;
+        plan.morsel_count = static_cast<int64_t>(table->num_morsels());
+        if (!eopts.vectorized) return;
+        ScanOptions sopts;
+        sopts.zone_maps = eopts.zone_maps;
+        sopts.threads = eopts.scan_threads;
+        plan.parallelism = PlannedScanThreads(*table, sopts);
+        if (eopts.zone_maps && !bounds.empty()) {
+          std::vector<const Table::Morsel*> kept;
+          PruneMorsels(*table, bounds, &kept, &plan.morsels_pruned);
+        }
+      };
+
   if (select.where == nullptr) {
-    plan.access = QueryPlan::Access::kFullScan;
+    finish_full_scan({});
     return plan;
   }
   std::unique_ptr<Expr> where = select.where->Clone();
@@ -99,16 +79,14 @@ Result<QueryPlan> ExplainSelect(Database* db, std::string_view sql,
   padded.resize(static_cast<size_t>(stmt->num_params), Value::Int(0));
   HEDC_RETURN_IF_ERROR(BindExpr(where.get(), table->schema(), padded));
 
-  std::vector<const Expr*> conjuncts;
-  CollectConjuncts(where.get(), &conjuncts);
-  std::unordered_map<int, Bounds> bounds;
-  for (const Expr* c : conjuncts) ExtractBound(c, &bounds);
+  std::unordered_map<int, ColumnBounds> bounds =
+      ExtractColumnBounds(where.get());
   plan.has_residual = true;  // the executor always re-checks the predicate
 
   // Same preference order as the executor: indexed equality first, then
   // indexed range, else scan.
   for (const auto& [col, b] : bounds) {
-    if (!b.has_eq) continue;
+    if (!b.eq.has_value()) continue;
     const IndexDef* def =
         table->FindIndex(static_cast<size_t>(col), /*need_range=*/false);
     if (def == nullptr) continue;
@@ -118,7 +96,7 @@ Result<QueryPlan> ExplainSelect(Database* db, std::string_view sql,
     return plan;
   }
   for (const auto& [col, b] : bounds) {
-    if (!b.has_range) continue;
+    if (!b.has_range()) continue;
     const IndexDef* def =
         table->FindIndex(static_cast<size_t>(col), /*need_range=*/true);
     if (def == nullptr) continue;
@@ -127,7 +105,7 @@ Result<QueryPlan> ExplainSelect(Database* db, std::string_view sql,
     plan.column = table->schema().column(def->column).name;
     return plan;
   }
-  plan.access = QueryPlan::Access::kFullScan;
+  finish_full_scan(bounds);
   return plan;
 }
 

@@ -1,0 +1,41 @@
+// Sargability analysis shared by the executor, the plan explainer and
+// the vectorized scan's zone-map pruning: AND-conjunct decomposition and
+// per-column literal bounds extracted from a bound WHERE tree.
+#ifndef HEDC_DB_SCAN_BOUNDS_H_
+#define HEDC_DB_SCAN_BOUNDS_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "db/expr.h"
+#include "db/value.h"
+
+namespace hedc::db {
+
+// Per-column sargable bounds extracted from the WHERE conjuncts.
+struct ColumnBounds {
+  std::optional<Value> eq;
+  std::optional<Value> lo;
+  bool lo_inclusive = true;
+  std::optional<Value> hi;
+  bool hi_inclusive = true;
+
+  bool has_range() const { return lo.has_value() || hi.has_value(); }
+};
+
+// Collects AND-connected conjuncts (a single non-AND expression is one
+// conjunct). Null `e` yields nothing.
+void CollectConjuncts(const Expr* e, std::vector<const Expr*>* out);
+
+// If `e` is `col <op> literal` or `literal <op> col` with op in
+// {=, <, <=, >, >=} and a non-NULL literal, records/tightens the bound.
+void ExtractBound(const Expr* e,
+                  std::unordered_map<int, ColumnBounds>* bounds);
+
+// Convenience: conjunct decomposition + bound extraction in one call.
+std::unordered_map<int, ColumnBounds> ExtractColumnBounds(const Expr* where);
+
+}  // namespace hedc::db
+
+#endif  // HEDC_DB_SCAN_BOUNDS_H_

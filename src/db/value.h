@@ -36,6 +36,12 @@ class Value {
   double AsReal() const;     // numeric coercion; 0.0 likewise
   bool AsBool() const;       // false for null; non-zero numerics are true
   std::string AsText() const;  // printable rendering of any type
+  // Unchecked typed reads (UB unless type() matches); the vectorized
+  // scan path uses these to keep per-row flattening free of the
+  // coercion switch in the As* accessors.
+  int64_t int_value() const { return std::get<int64_t>(data_); }
+  double real_value() const { return std::get<double>(data_); }
+  bool bool_value() const { return std::get<bool>(data_); }
   const std::string& text() const { return std::get<std::string>(data_); }
   const std::vector<uint8_t>& blob() const {
     return std::get<std::vector<uint8_t>>(data_);

@@ -1,0 +1,600 @@
+#include "db/vectorized.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <numeric>
+
+namespace hedc::db {
+
+namespace {
+
+bool IsComparison(BinOp op) {
+  switch (op) {
+    case BinOp::kEq:
+    case BinOp::kNe:
+    case BinOp::kLt:
+    case BinOp::kLe:
+    case BinOp::kGt:
+    case BinOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Mirror the comparison when the literal is on the left (5 > col
+// becomes col < 5).
+BinOp FlipOp(BinOp op) {
+  switch (op) {
+    case BinOp::kLt:
+      return BinOp::kGt;
+    case BinOp::kLe:
+      return BinOp::kGe;
+    case BinOp::kGt:
+      return BinOp::kLt;
+    case BinOp::kGe:
+      return BinOp::kLe;
+    default:
+      return op;  // =, != are symmetric
+  }
+}
+
+bool OpHolds(BinOp op, int cmp) {
+  switch (op) {
+    case BinOp::kEq:
+      return cmp == 0;
+    case BinOp::kNe:
+      return cmp != 0;
+    case BinOp::kLt:
+      return cmp < 0;
+    case BinOp::kLe:
+      return cmp <= 0;
+    case BinOp::kGt:
+      return cmp > 0;
+    case BinOp::kGe:
+      return cmp >= 0;
+    default:
+      return false;
+  }
+}
+
+// Compiles one AND-conjunct; appends to plan.kernels unless the
+// conjunct is a vacuous TRUE literal.
+void CompileConjunct(const Expr* e, FilterPlan* plan) {
+  FilterKernel k;
+  // Constant conjunct: WHERE TRUE disappears, WHERE FALSE (and the
+  // bound-parameter equivalents) kills the scan without touching rows.
+  if (e->kind == Expr::Kind::kLiteral) {
+    if (e->literal.AsBool()) return;
+    k.kind = FilterKernel::Kind::kConstFalse;
+    plan->kernels.push_back(std::move(k));
+    ++plan->typed;
+    return;
+  }
+  if (e->kind == Expr::Kind::kUnary && e->left &&
+      e->left->kind == Expr::Kind::kColumn &&
+      (e->un_op == UnOp::kIsNull || e->un_op == UnOp::kIsNotNull)) {
+    k.kind = e->un_op == UnOp::kIsNull ? FilterKernel::Kind::kIsNull
+                                       : FilterKernel::Kind::kIsNotNull;
+    k.col = e->left->column_index;
+    plan->kernels.push_back(std::move(k));
+    ++plan->typed;
+    return;
+  }
+  if (e->kind == Expr::Kind::kBinary && e->left && e->right) {
+    const Expr* l = e->left.get();
+    const Expr* r = e->right.get();
+    const Expr* col = nullptr;
+    const Expr* lit = nullptr;
+    BinOp op = e->bin_op;
+    if (l->kind == Expr::Kind::kColumn && r->kind == Expr::Kind::kLiteral) {
+      col = l;
+      lit = r;
+    } else if (l->kind == Expr::Kind::kLiteral &&
+               r->kind == Expr::Kind::kColumn &&
+               e->bin_op != BinOp::kLike) {  // LIKE is not symmetric
+      col = r;
+      lit = l;
+      op = FlipOp(e->bin_op);
+    }
+    if (col != nullptr && (IsComparison(op) || op == BinOp::kLike)) {
+      if (lit->literal.is_null()) {
+        // <anything> <cmp> NULL and <anything> LIKE NULL are false for
+        // every row under the interpreter's NULL rules.
+        k.kind = FilterKernel::Kind::kConstFalse;
+      } else {
+        k.kind = op == BinOp::kLike ? FilterKernel::Kind::kLike
+                                    : FilterKernel::Kind::kCompare;
+        k.col = col->column_index;
+        k.op = op;
+        k.literal = &lit->literal;
+      }
+      plan->kernels.push_back(std::move(k));
+      ++plan->typed;
+      return;
+    }
+  }
+  if (e->kind == Expr::Kind::kInList && e->left &&
+      e->left->kind == Expr::Kind::kColumn) {
+    bool all_literal = true;
+    for (const auto& item : e->list) {
+      if (item->kind != Expr::Kind::kLiteral) {
+        all_literal = false;
+        break;
+      }
+    }
+    if (all_literal) {
+      k.col = e->left->column_index;
+      for (const auto& item : e->list) {
+        // NULL items never match anything; drop them at compile time
+        // (the interpreter skips them per row).
+        if (!item->literal.is_null()) k.in_values.push_back(&item->literal);
+      }
+      k.kind = k.in_values.empty() ? FilterKernel::Kind::kConstFalse
+                                   : FilterKernel::Kind::kInList;
+      plan->kernels.push_back(std::move(k));
+      ++plan->typed;
+      return;
+    }
+  }
+  k.kind = FilterKernel::Kind::kInterpret;
+  k.expr = e;
+  plan->kernels.push_back(std::move(k));
+  ++plan->interpreted;
+}
+
+// Drops unselected entries in place: keep[j] corresponds to (*sel)[j].
+void CompactSel(std::vector<uint32_t>* sel, const std::vector<uint8_t>& keep) {
+  size_t w = 0;
+  for (size_t j = 0; j < sel->size(); ++j) {
+    if (keep[j]) (*sel)[w++] = (*sel)[j];
+  }
+  sel->resize(w);
+}
+
+// Per-kernel keep bitmap, reused across morsels (a fresh vector per
+// morsel shows up in scan profiles).
+std::vector<uint8_t>* KeepScratch(size_t n) {
+  static thread_local std::vector<uint8_t> keep;
+  keep.assign(n, 0);
+  return &keep;
+}
+
+// Runs `cmp(value)` over the selected non-null slots of a typed vector,
+// with the comparison operator resolved once outside the loop.
+template <typename T, typename Cmp>
+void CompareLoop(const std::vector<uint32_t>& sel,
+                 const std::vector<uint8_t>& nulls, const T* values,
+                 Cmp cmp, std::vector<uint8_t>* keep) {
+  for (size_t j = 0; j < sel.size(); ++j) {
+    const uint32_t i = sel[j];
+    if (nulls[i]) continue;
+    (*keep)[j] = cmp(values[i]);
+  }
+}
+
+template <typename T>
+void DispatchCompare(BinOp op, const std::vector<uint32_t>& sel,
+                     const std::vector<uint8_t>& nulls, const T* values,
+                     T rhs, std::vector<uint8_t>* keep) {
+  switch (op) {
+    case BinOp::kEq:
+      CompareLoop(sel, nulls, values, [rhs](T v) { return v == rhs; }, keep);
+      break;
+    case BinOp::kNe:
+      CompareLoop(sel, nulls, values, [rhs](T v) { return v != rhs; }, keep);
+      break;
+    case BinOp::kLt:
+      CompareLoop(sel, nulls, values, [rhs](T v) { return v < rhs; }, keep);
+      break;
+    case BinOp::kLe:
+      CompareLoop(sel, nulls, values, [rhs](T v) { return v <= rhs; }, keep);
+      break;
+    case BinOp::kGt:
+      CompareLoop(sel, nulls, values, [rhs](T v) { return v > rhs; }, keep);
+      break;
+    case BinOp::kGe:
+      CompareLoop(sel, nulls, values, [rhs](T v) { return v >= rhs; }, keep);
+      break;
+    default:
+      break;
+  }
+}
+
+void ApplyCompare(const FilterKernel& k, DataChunk* chunk,
+                  std::vector<uint32_t>* sel) {
+  const FlatColumn& fc = chunk->Flatten(static_cast<size_t>(k.col));
+  const Value& lit = *k.literal;
+  const ValueType lt = lit.type();
+  std::vector<uint8_t>* keep = KeepScratch(sel->size());
+
+  // Typed fast paths replicate Value::Compare's coercion exactly:
+  // int/int compares exactly; any other numeric pairing on the double
+  // axis; text/text lexicographically. Everything else (text column vs
+  // numeric literal, blobs, mixed columns) goes through Compare itself.
+  if (fc.uniform && fc.tag == ValueType::kInt && lt == ValueType::kInt) {
+    DispatchCompare<int64_t>(k.op, *sel, fc.nulls, fc.ints.data(),
+                             lit.int_value(), keep);
+  } else if (fc.uniform && fc.tag == ValueType::kReal &&
+             (lt == ValueType::kInt || lt == ValueType::kBool ||
+              lt == ValueType::kReal)) {
+    DispatchCompare<double>(k.op, *sel, fc.nulls, fc.reals.data(),
+                            lit.AsReal(), keep);
+  } else if (fc.uniform &&
+             (fc.tag == ValueType::kInt || fc.tag == ValueType::kBool) &&
+             (lt == ValueType::kBool || lt == ValueType::kReal)) {
+    const double rhs = lit.AsReal();
+    for (size_t j = 0; j < sel->size(); ++j) {
+      const uint32_t i = (*sel)[j];
+      if (fc.nulls[i]) continue;
+      (*keep)[j] =
+          OpHolds(k.op, [&] {
+            const double v = static_cast<double>(fc.ints[i]);
+            return v < rhs ? -1 : (v > rhs ? 1 : 0);
+          }());
+    }
+  } else if (fc.uniform && fc.tag == ValueType::kText &&
+             lt == ValueType::kText) {
+    const std::string& rhs = lit.text();
+    for (size_t j = 0; j < sel->size(); ++j) {
+      const uint32_t i = (*sel)[j];
+      if (fc.nulls[i]) continue;
+      (*keep)[j] = OpHolds(k.op, fc.texts[i]->compare(rhs));
+    }
+  } else {
+    for (size_t j = 0; j < sel->size(); ++j) {
+      const uint32_t i = (*sel)[j];
+      const Value& v = chunk->row(i)[static_cast<size_t>(k.col)];
+      if (v.is_null()) continue;
+      (*keep)[j] = OpHolds(k.op, v.Compare(lit));
+    }
+  }
+  CompactSel(sel, *keep);
+}
+
+void ApplyLike(const FilterKernel& k, DataChunk* chunk,
+               std::vector<uint32_t>* sel) {
+  const FlatColumn& fc = chunk->Flatten(static_cast<size_t>(k.col));
+  const std::string pattern = k.literal->AsText();
+  std::vector<uint8_t>* keep = KeepScratch(sel->size());
+  if (fc.uniform && fc.tag == ValueType::kText) {
+    for (size_t j = 0; j < sel->size(); ++j) {
+      const uint32_t i = (*sel)[j];
+      if (fc.nulls[i]) continue;
+      (*keep)[j] = LikeMatch(*fc.texts[i], pattern);
+    }
+  } else {
+    // The interpreter LIKEs the printable rendering of non-text values.
+    for (size_t j = 0; j < sel->size(); ++j) {
+      const uint32_t i = (*sel)[j];
+      const Value& v = chunk->row(i)[static_cast<size_t>(k.col)];
+      if (v.is_null()) continue;
+      (*keep)[j] = LikeMatch(v.AsText(), pattern);
+    }
+  }
+  CompactSel(sel, *keep);
+}
+
+void ApplyInList(const FilterKernel& k, DataChunk* chunk,
+                 std::vector<uint32_t>* sel) {
+  const FlatColumn& fc = chunk->Flatten(static_cast<size_t>(k.col));
+  std::vector<uint8_t>* keep = KeepScratch(sel->size());
+
+  bool all_int = fc.uniform && fc.tag == ValueType::kInt;
+  if (all_int) {
+    for (const Value* v : k.in_values) {
+      if (v->type() != ValueType::kInt) {
+        all_int = false;
+        break;
+      }
+    }
+  }
+  if (all_int) {
+    std::vector<int64_t> items;
+    items.reserve(k.in_values.size());
+    for (const Value* v : k.in_values) items.push_back(v->AsInt());
+    for (size_t j = 0; j < sel->size(); ++j) {
+      const uint32_t i = (*sel)[j];
+      if (fc.nulls[i]) continue;
+      const int64_t v = fc.ints[i];
+      for (int64_t item : items) {
+        if (v == item) {
+          (*keep)[j] = 1;
+          break;
+        }
+      }
+    }
+  } else {
+    for (size_t j = 0; j < sel->size(); ++j) {
+      const uint32_t i = (*sel)[j];
+      const Value& v = chunk->row(i)[static_cast<size_t>(k.col)];
+      if (v.is_null()) continue;
+      for (const Value* item : k.in_values) {
+        if (v.Compare(*item) == 0) {
+          (*keep)[j] = 1;
+          break;
+        }
+      }
+    }
+  }
+  CompactSel(sel, *keep);
+}
+
+void ApplyNullTest(const FilterKernel& k, DataChunk* chunk,
+                   std::vector<uint32_t>* sel) {
+  const FlatColumn& fc = chunk->Flatten(static_cast<size_t>(k.col));
+  const uint8_t want = k.kind == FilterKernel::Kind::kIsNull ? 1 : 0;
+  std::vector<uint8_t>* keep = KeepScratch(sel->size());
+  for (size_t j = 0; j < sel->size(); ++j) {
+    (*keep)[j] = fc.nulls[(*sel)[j]] == want;
+  }
+  CompactSel(sel, *keep);
+}
+
+Status ApplyInterpret(const FilterKernel& k, DataChunk* chunk,
+                      std::vector<uint32_t>* sel) {
+  std::vector<uint8_t>* keep = KeepScratch(sel->size());
+  for (size_t j = 0; j < sel->size(); ++j) {
+    const uint32_t i = (*sel)[j];
+    auto v = EvalExpr(*k.expr, chunk->row(i));
+    if (!v.ok()) return v.status();
+    (*keep)[j] = v.value().AsBool();
+  }
+  CompactSel(sel, *keep);
+  return Status::Ok();
+}
+
+// True if `probe` orders consistently against a zone endpoint of
+// `zone`'s type under Value::Compare. Numeric zones (int/real/bool)
+// compare on the double axis against any non-blob probe — int64-to-
+// double narrowing is monotone, so interval logic stays sound. Text
+// zones order lexicographically, but Compare coerces text to a number
+// when probed with a numeric, which does NOT respect lexicographic
+// order — only text probes may prune a text zone.
+bool ZoneComparable(const Value& zone, const Value& probe) {
+  if (probe.is_null() || probe.type() == ValueType::kBlob) return false;
+  switch (zone.type()) {
+    case ValueType::kInt:
+    case ValueType::kReal:
+    case ValueType::kBool:
+      return true;
+    case ValueType::kText:
+      return probe.type() == ValueType::kText;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+FilterPlan CompileFilter(const Expr* where) {
+  FilterPlan plan;
+  std::vector<const Expr*> conjuncts;
+  CollectConjuncts(where, &conjuncts);
+  plan.kernels.reserve(conjuncts.size());
+  for (const Expr* e : conjuncts) CompileConjunct(e, &plan);
+  return plan;
+}
+
+Status ApplyFilter(const FilterPlan& plan, DataChunk* chunk,
+                   std::vector<uint32_t>* sel) {
+  for (const FilterKernel& k : plan.kernels) {
+    if (sel->empty()) break;
+    switch (k.kind) {
+      case FilterKernel::Kind::kCompare:
+        ApplyCompare(k, chunk, sel);
+        break;
+      case FilterKernel::Kind::kLike:
+        ApplyLike(k, chunk, sel);
+        break;
+      case FilterKernel::Kind::kInList:
+        ApplyInList(k, chunk, sel);
+        break;
+      case FilterKernel::Kind::kIsNull:
+      case FilterKernel::Kind::kIsNotNull:
+        ApplyNullTest(k, chunk, sel);
+        break;
+      case FilterKernel::Kind::kConstFalse:
+        sel->clear();
+        break;
+      case FilterKernel::Kind::kInterpret: {
+        Status s = ApplyInterpret(k, chunk, sel);
+        if (!s.ok()) return s;
+        break;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+bool MorselMayMatch(const Table::Morsel& m, size_t col,
+                    const ColumnBounds& b) {
+  if (col >= m.zmin.size() || !m.zone_ok[col]) return true;
+  if (!b.eq.has_value() && !b.has_range()) return true;
+  const Value& zmin = m.zmin[col];
+  const Value& zmax = m.zmax[col];
+  // No non-null value was ever placed in this morsel's column: every
+  // live value is NULL and no sargable bound matches NULL.
+  if (zmin.is_null()) return false;
+
+  auto excluded_below = [&](const Value& lo, bool inclusive) {
+    if (!ZoneComparable(zmax, lo)) return false;
+    const int c = zmax.Compare(lo);
+    return c < 0 || (c == 0 && !inclusive);
+  };
+  auto excluded_above = [&](const Value& hi, bool inclusive) {
+    if (!ZoneComparable(zmin, hi)) return false;
+    const int c = zmin.Compare(hi);
+    return c > 0 || (c == 0 && !inclusive);
+  };
+
+  if (b.eq.has_value() &&
+      (excluded_below(*b.eq, true) || excluded_above(*b.eq, true))) {
+    return false;
+  }
+  if (b.lo.has_value() && excluded_below(*b.lo, b.lo_inclusive)) return false;
+  if (b.hi.has_value() && excluded_above(*b.hi, b.hi_inclusive)) return false;
+  return true;
+}
+
+void PruneMorsels(const Table& table,
+                  const std::unordered_map<int, ColumnBounds>& bounds,
+                  std::vector<const Table::Morsel*>* out, int64_t* pruned) {
+  std::vector<const Table::Morsel*> all;
+  table.ListMorsels(&all);
+  for (const Table::Morsel* m : all) {
+    bool may_match = true;
+    for (const auto& [col, b] : bounds) {
+      if (col < 0) continue;
+      if (!MorselMayMatch(*m, static_cast<size_t>(col), b)) {
+        may_match = false;
+        break;
+      }
+    }
+    if (may_match) {
+      out->push_back(m);
+    } else if (pruned != nullptr) {
+      ++(*pruned);
+    }
+  }
+}
+
+int PlannedScanThreads(const Table& table, const ScanOptions& opts) {
+  if (opts.threads <= 1) return 1;
+  if (static_cast<int64_t>(table.num_rows()) < opts.min_parallel_rows) {
+    return 1;
+  }
+  const int64_t morsels = static_cast<int64_t>(table.num_morsels());
+  const int64_t t = std::min<int64_t>(opts.threads, morsels);
+  return t < 1 ? 1 : static_cast<int>(t);
+}
+
+namespace {
+
+// Runs `plan` over one morsel; appends survivors to `out`.
+Status FilterMorsel(const Table& table, const Table::Morsel& m,
+                    const FilterPlan& plan, DataChunk* chunk,
+                    std::vector<uint32_t>* sel, std::vector<ScanMatch>* out,
+                    int64_t* scanned, int64_t* matched) {
+  table.FillChunk(m, chunk);
+  sel->resize(chunk->size());
+  std::iota(sel->begin(), sel->end(), 0);
+  HEDC_RETURN_IF_ERROR(ApplyFilter(plan, chunk, sel));
+  *scanned += static_cast<int64_t>(chunk->size());
+  *matched += static_cast<int64_t>(sel->size());
+  // No reserve here: exact-fit reserve per morsel would defeat
+  // push_back's geometric growth and turn large result sets quadratic.
+  for (uint32_t i : *sel) {
+    out->push_back(ScanMatch{chunk->row_id(i), chunk->row_ptr(i)});
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ScanFilter(const Table& table, const Expr* where,
+                  const ScanOptions& opts, std::vector<ScanMatch>* out,
+                  ScanStats* stats) {
+  const FilterPlan plan = CompileFilter(where);
+
+  stats->morsels_total = static_cast<int64_t>(table.num_morsels());
+  std::vector<const Table::Morsel*> morsels;
+  if (opts.zone_maps && where != nullptr) {
+    const auto bounds = ExtractColumnBounds(where);
+    if (!bounds.empty()) {
+      PruneMorsels(table, bounds, &morsels, &stats->morsels_pruned);
+    } else {
+      table.ListMorsels(&morsels);
+    }
+  } else {
+    table.ListMorsels(&morsels);
+  }
+
+  const int threads =
+      opts.pool != nullptr ? PlannedScanThreads(table, opts) : 1;
+  if (threads <= 1 || morsels.size() <= 1) {
+    stats->threads_used = 1;
+    DataChunk chunk;
+    std::vector<uint32_t> sel;
+    for (const Table::Morsel* m : morsels) {
+      HEDC_RETURN_IF_ERROR(FilterMorsel(table, *m, plan, &chunk, &sel, out,
+                                        &stats->rows_scanned,
+                                        &stats->rows_matched));
+    }
+    return Status::Ok();
+  }
+
+  // Morsel-driven dispatch: workers claim the next unprocessed morsel
+  // off a shared counter, so fast workers absorb skew instead of
+  // waiting on a static partition. Survivors land in per-morsel slots
+  // and are merged afterwards, keeping ascending row-id output order.
+  // Note: a worker may evaluate rows the serial path would never reach
+  // past an interpreter error, so WHICH error surfaces (not whether)
+  // can differ from the serial path.
+  std::atomic<size_t> next{0};
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> scanned{0}, matched{0};
+  std::vector<std::vector<ScanMatch>> slots(morsels.size());
+  std::mutex err_mu;
+  Status first_error = Status::Ok();
+
+  auto worker = [&] {
+    DataChunk chunk;
+    std::vector<uint32_t> sel;
+    int64_t local_scanned = 0, local_matched = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= morsels.size()) break;
+      Status s = FilterMorsel(table, *morsels[i], plan, &chunk, &sel,
+                              &slots[i], &local_scanned, &local_matched);
+      if (!s.ok()) {
+        {
+          std::lock_guard<std::mutex> lock(err_mu);
+          if (first_error.ok()) first_error = std::move(s);
+        }
+        stop.store(true, std::memory_order_relaxed);
+        break;
+      }
+    }
+    scanned.fetch_add(local_scanned, std::memory_order_relaxed);
+    matched.fetch_add(local_matched, std::memory_order_relaxed);
+  };
+
+  // Helpers are best-effort: if the pool is saturated the claim loop
+  // still drains every morsel on whoever did start (at minimum the
+  // caller, which always participates).
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  int launched = 0;
+  int done = 0;
+  for (int t = 1; t < threads; ++t) {
+    const bool ok = opts.pool->TrySubmit([&] {
+      worker();
+      std::lock_guard<std::mutex> lock(done_mu);
+      ++done;
+      done_cv.notify_all();
+    });
+    if (ok) ++launched;
+  }
+  worker();
+  {
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&] { return done == launched; });
+  }
+
+  stats->threads_used = launched + 1;
+  stats->rows_scanned = scanned.load();
+  stats->rows_matched = matched.load();
+  if (!first_error.ok()) return first_error;
+  size_t total = 0;
+  for (const auto& slot : slots) total += slot.size();
+  out->reserve(out->size() + total);
+  for (auto& slot : slots) {
+    out->insert(out->end(), slot.begin(), slot.end());
+  }
+  return Status::Ok();
+}
+
+}  // namespace hedc::db

@@ -1,0 +1,126 @@
+// Vectorized scan-filter execution (DESIGN.md §4e).
+//
+// The row-at-a-time path re-interprets the WHERE tree per row on boxed
+// Values (Status machinery + Value copies at every node). This module
+// replaces it for the common shapes: the bound predicate is compiled
+// once per statement into per-conjunct *filter kernels* that run over a
+// DataChunk's flattened column vectors, compacting a selection vector.
+// Conjuncts the compiler does not recognize fall back to the
+// interpreter (EvalExpr) — per row, but only for the residual conjunct,
+// and still batched. Kernels are applied in conjunct order, so AND
+// short-circuit semantics (a row dropped by conjunct k never evaluates
+// conjunct k+1) match the interpreter exactly.
+//
+// ScanFilter drives whole table scans morsel-at-a-time: zone maps
+// prune morsels whose [min,max] cannot intersect the predicate's
+// sargable bounds, and on large tables morsels are dispatched
+// morsel-driven (workers claim the next morsel off a shared atomic) on
+// a core::ThreadPool, the caller participating as one worker.
+#ifndef HEDC_DB_VECTORIZED_H_
+#define HEDC_DB_VECTORIZED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/status.h"
+#include "core/thread_pool.h"
+#include "db/data_chunk.h"
+#include "db/expr.h"
+#include "db/scan_bounds.h"
+#include "db/table.h"
+
+namespace hedc::db {
+
+// One compiled conjunct. Borrowed pointers (`literal`, `in_values`,
+// `expr`) point into the bound WHERE tree and must outlive the plan.
+struct FilterKernel {
+  enum class Kind {
+    kCompare,     // col <op> literal, op in {=, !=, <, <=, >, >=}
+    kLike,        // col LIKE literal
+    kInList,      // col IN (literals...)
+    kIsNull,      // col IS NULL
+    kIsNotNull,   // col IS NOT NULL
+    kConstFalse,  // provably empty (e.g. col = NULL)
+    kInterpret,   // anything else: EvalExpr per selected row
+  };
+  Kind kind = Kind::kInterpret;
+  int col = -1;
+  BinOp op = BinOp::kEq;
+  const Value* literal = nullptr;
+  std::vector<const Value*> in_values;  // non-null IN items
+  const Expr* expr = nullptr;
+};
+
+struct FilterPlan {
+  std::vector<FilterKernel> kernels;
+  size_t typed = 0;        // kernels running on flattened vectors
+  size_t interpreted = 0;  // kernels falling back to EvalExpr
+
+  bool fully_typed() const { return interpreted == 0; }
+};
+
+// Compiles the bound WHERE tree (nullptr = no predicate) into kernels,
+// one per AND-conjunct, in conjunct order.
+FilterPlan CompileFilter(const Expr* where);
+
+// Applies `plan` to `chunk`, compacting `sel` (indices into the chunk)
+// in place. `sel` must be initialized by the caller (identity for a
+// fresh chunk). Only interpreted kernels can fail.
+Status ApplyFilter(const FilterPlan& plan, DataChunk* chunk,
+                   std::vector<uint32_t>* sel);
+
+// True if the zone map cannot rule out a row of `m` matching `b` on
+// column `col`. Conservative: returns true whenever the zone is
+// unusable (disabled column, or text zone probed with a non-text bound,
+// where Value::Compare's coercion does not agree with the zone order).
+bool MorselMayMatch(const Table::Morsel& m, size_t col,
+                    const ColumnBounds& b);
+
+// Morsels of `table` surviving zone-map pruning under `bounds`, in
+// ascending row-id order. `pruned` (optional) counts skipped morsels.
+void PruneMorsels(const Table& table,
+                  const std::unordered_map<int, ColumnBounds>& bounds,
+                  std::vector<const Table::Morsel*>* out, int64_t* pruned);
+
+struct ScanOptions {
+  bool zone_maps = true;
+  int threads = 1;              // parallelism degree, caller included
+  ThreadPool* pool = nullptr;   // required for threads > 1
+  // Tables smaller than this stay serial (morsel dispatch overhead
+  // dwarfs the scan itself).
+  int64_t min_parallel_rows = 4096;
+};
+
+struct ScanStats {
+  int64_t morsels_total = 0;
+  int64_t morsels_pruned = 0;
+  int64_t rows_scanned = 0;  // rows run through the kernels
+  int64_t rows_matched = 0;
+  int threads_used = 1;
+};
+
+// A surviving row: borrowed pointer into the table heap, stable while
+// the caller holds the table latch and performs no mutations.
+struct ScanMatch {
+  int64_t row_id;
+  const Row* row;
+};
+
+// The parallelism degree ScanFilter would use for `table` under `opts`,
+// assuming a pool is available (exposed so ExplainSelect reports the
+// same number without instantiating the pool).
+int PlannedScanThreads(const Table& table, const ScanOptions& opts);
+
+// Vectorized scan-filter over the whole table: compiles `where`, prunes
+// morsels via zone maps, fills chunks and applies the kernels, either
+// serially or morsel-driven on `opts.pool`. Matches are appended in
+// ascending row-id order. Caller must hold the table latch (shared is
+// enough) for the duration of the call *and* for as long as it
+// dereferences the returned row pointers.
+Status ScanFilter(const Table& table, const Expr* where,
+                  const ScanOptions& opts, std::vector<ScanMatch>* out,
+                  ScanStats* stats);
+
+}  // namespace hedc::db
+
+#endif  // HEDC_DB_VECTORIZED_H_

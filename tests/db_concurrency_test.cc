@@ -312,5 +312,82 @@ TEST_F(DbConcurrencyTest, WalCrashKillMidBatchStress) {
 #endif
 }
 
+// Morsel-parallel scans racing DML on the same table plus DDL churn on
+// the catalog. The scan workers run on the executor's internal pool
+// while the caller holds the shared table latch; writers take the
+// exclusive latch; the DDL thread creates/drops scratch tables through
+// the catalog latch. Invariant: the paired columns a and b always move
+// together, so no scan — serial or parallel — may observe them differing,
+// and parallel scans must return each row at most once.
+TEST_F(DbConcurrencyTest, ParallelScanVsDmlAndDdlStress) {
+  Database db;
+  {
+    ExecOptions opts = db.exec_options();
+    opts.vectorized = true;
+    opts.morsel_rows = 64;  // many morsels -> real parallel dispatch
+    opts.scan_threads = 4;
+    db.set_exec_options(opts);
+  }
+  ASSERT_TRUE(db.Execute("CREATE TABLE ev (id INT PRIMARY KEY, a INT, "
+                         "b INT, tag TEXT)")
+                  .ok());
+  // Seed above the parallel threshold so scans fan out from the start.
+  for (int i = 1; i <= 6000; ++i) {
+    ASSERT_TRUE(db.Execute("INSERT INTO ev VALUES (?, ?, ?, 'seed')",
+                           {Value::Int(i), Value::Int(i), Value::Int(i)})
+                    .ok());
+  }
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&db, &stop] {
+    for (int i = 6001; i <= 6500 && !stop.load(); ++i) {
+      ASSERT_TRUE(db.Execute("INSERT INTO ev VALUES (?, ?, ?, 'hot')",
+                             {Value::Int(i), Value::Int(i), Value::Int(i)})
+                      .ok());
+      ASSERT_TRUE(
+          db.Execute("UPDATE ev SET a = ?, b = ? WHERE id = ?",
+                     {Value::Int(i + 1), Value::Int(i + 1), Value::Int(i)})
+              .ok());
+      if (i % 5 == 0) {
+        ASSERT_TRUE(db.Execute("DELETE FROM ev WHERE id = ?",
+                               {Value::Int(i - 3000)})
+                        .ok());
+      }
+    }
+    stop.store(true);
+  });
+  std::thread ddl([&db, &stop] {
+    for (int i = 0; !stop.load(); ++i) {
+      std::string name = "scratch" + std::to_string(i % 3);
+      ASSERT_TRUE(
+          db.Execute("CREATE TABLE " + name + " (id INT PRIMARY KEY)").ok());
+      ASSERT_TRUE(db.Execute("DROP TABLE " + name).ok());
+    }
+  });
+  std::vector<std::thread> scanners;
+  for (int s = 0; s < 3; ++s) {
+    scanners.emplace_back([&db, &stop] {
+      while (!stop.load()) {
+        // Unindexed predicate -> morsel-parallel full scan.
+        auto rs = db.Execute("SELECT id, a, b FROM ev WHERE a >= 0");
+        ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+        std::set<int64_t> seen;
+        for (size_t i = 0; i < rs.value().num_rows(); ++i) {
+          int64_t id = rs.value().Get(i, "id").AsInt();
+          EXPECT_TRUE(seen.insert(id).second) << "row " << id << " twice";
+          EXPECT_EQ(rs.value().Get(i, "a").AsInt(),
+                    rs.value().Get(i, "b").AsInt());
+        }
+      }
+    });
+  }
+  writer.join();
+  ddl.join();
+  for (std::thread& t : scanners) t.join();
+
+  // 500 hot inserts minus 100 deletes on top of the 6000 seed rows.
+  EXPECT_EQ(CountRows(&db, "ev"), 6000 + 500 - 100);
+}
+
 }  // namespace
 }  // namespace hedc::db

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "core/clock.h"
+#include "core/metrics.h"
 #include "db/blob_store.h"
 #include "db/connection.h"
 #include "db/database.h"
@@ -329,6 +330,63 @@ TEST(BlobStoreTest, EmptyBlob) {
   auto got = store.Get("empty");
   ASSERT_TRUE(got.ok());
   EXPECT_TRUE(got.value().empty());
+}
+
+TEST_F(DatabaseTest, StaleIndexEntriesAreCountedNotReturned) {
+  // Plant a dangling entry: the b-tree claims a row id the heap does
+  // not hold (as a crash between index and heap maintenance could).
+  Table* table = db_.GetTable("hle");
+  ASSERT_NE(table, nullptr);
+  BTreeIndex* btree = table->mutable_btree("hle_by_time");
+  ASSERT_NE(btree, nullptr);
+  btree->Insert(Value::Real(500.0), /*row_id=*/999999);
+
+  int64_t stale_before = db_.stats().stale_index_entries.load();
+  auto r = db_.Execute("SELECT hle_id FROM hle WHERE start_time = 500.0");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Only the real row (hle_id 50) comes back; the dangling id is
+  // skipped and counted instead of aborting the query.
+  ASSERT_EQ(r.value().num_rows(), 1u);
+  EXPECT_EQ(r.value().Get(0, "hle_id").AsInt(), 50);
+  EXPECT_EQ(db_.stats().stale_index_entries.load(), stale_before + 1);
+
+  // DML through the same index path also skips-and-counts.
+  auto upd = db_.Execute(
+      "UPDATE hle SET owner = 'carol' WHERE start_time = 500.0");
+  ASSERT_TRUE(upd.ok());
+  EXPECT_EQ(upd.value().affected_rows, 1);
+  EXPECT_EQ(db_.stats().stale_index_entries.load(), stale_before + 2);
+}
+
+TEST_F(DatabaseTest, ScannedVersusMatchedCounters) {
+  hedc::Counter* scanned_metric =
+      hedc::MetricsRegistry::Default()->GetCounter("db.rows_scanned");
+  hedc::Counter* matched_metric =
+      hedc::MetricsRegistry::Default()->GetCounter("db.rows_matched");
+  int64_t metric_scanned_before = scanned_metric->Value();
+  int64_t metric_matched_before = matched_metric->Value();
+  int64_t scanned_before = db_.stats().rows_examined.load();
+  int64_t matched_before = db_.stats().rows_matched.load();
+  auto r = db_.Execute("SELECT hle_id FROM hle WHERE owner = 'alice'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().num_rows(), 50u);
+  // The full scan examined every row but only half matched.
+  EXPECT_EQ(db_.stats().rows_examined.load(), scanned_before + 100);
+  EXPECT_EQ(db_.stats().rows_matched.load(), matched_before + 50);
+
+  // Same query with the row-at-a-time path: identical accounting.
+  ExecOptions opts = db_.exec_options();
+  opts.vectorized = false;
+  db_.set_exec_options(opts);
+  auto legacy = db_.Execute("SELECT hle_id FROM hle WHERE owner = 'alice'");
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_EQ(legacy.value().num_rows(), 50u);
+  EXPECT_EQ(db_.stats().rows_examined.load(), scanned_before + 200);
+  EXPECT_EQ(db_.stats().rows_matched.load(), matched_before + 100);
+
+  // The process-global metric pair (exported on /metrics) ticks in step.
+  EXPECT_EQ(scanned_metric->Value(), metric_scanned_before + 200);
+  EXPECT_EQ(matched_metric->Value(), metric_matched_before + 100);
 }
 
 }  // namespace

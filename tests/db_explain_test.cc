@@ -97,5 +97,48 @@ TEST_F(ExplainTest, ToStringIsReadable) {
   EXPECT_NE(text.find("hle_id"), std::string::npos);
 }
 
+TEST_F(ExplainTest, FullScanReportsVectorizedStrategy) {
+  // Shrink the morsels so the 50-row table spans several of them, and
+  // pin the parallelism knob to a known value.
+  ExecOptions opts = db_.exec_options();
+  opts.morsel_rows = 16;  // Table clamps below 16
+  opts.scan_threads = 4;
+  db_.set_exec_options(opts);
+  ASSERT_TRUE(db_.Execute("CREATE TABLE narrow (id INT PRIMARY KEY, "
+                          "v REAL)")
+                  .ok());
+  for (int i = 0; i < 48; ++i) {
+    ASSERT_TRUE(db_.Execute("INSERT INTO narrow VALUES (?, ?)",
+                            {Value::Int(i + 1), Value::Real(i * 1.0)})
+                    .ok());
+  }
+
+  auto plan = ExplainSelect(&db_, "SELECT * FROM narrow WHERE v < 8.0");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const QueryPlan& p = plan.value();
+  EXPECT_EQ(p.access, QueryPlan::Access::kFullScan);
+  EXPECT_TRUE(p.vectorized);
+  EXPECT_EQ(p.morsel_count, 4);  // ids 1..48, 16 per morsel
+  // v < 8.0 touches only rows with v 0..7 (the first morsel).
+  EXPECT_GE(p.morsels_pruned, p.morsel_count / 2);
+  // 48 rows is below the serial threshold, so the planned degree is 1;
+  // the knob caps it, not the table size.
+  EXPECT_EQ(p.parallelism, 1);
+  std::string text = p.ToString();
+  EXPECT_NE(text.find("vectorized"), std::string::npos);
+  EXPECT_NE(text.find("morsels"), std::string::npos);
+  EXPECT_NE(text.find("pruned"), std::string::npos);
+}
+
+TEST_F(ExplainTest, RowAtATimePlanOmitsVectorizedSuffix) {
+  ExecOptions opts = db_.exec_options();
+  opts.vectorized = false;
+  db_.set_exec_options(opts);
+  auto plan = ExplainSelect(&db_, "SELECT * FROM hle WHERE owner = 'u'");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(plan.value().vectorized);
+  EXPECT_EQ(plan.value().ToString().find("vectorized"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace hedc::db

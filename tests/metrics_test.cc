@@ -244,13 +244,17 @@ TEST_F(MetricsE2eTest, MetricsServletExposesAllTiers) {
   for (const char* needle :
        {"namemap_resolutions", "namemap_db_queries", "namemap_resolve_us",
         "wal_fsyncs", "wal_fsync_us", "db_query_us", "db_update_us",
-        "db_pool_wait_us", "dm_sessions_creates", "dm_sessions_get_us",
+        "db_pool_wait_us", "db_rows_scanned", "db_rows_matched",
+        "dm_sessions_creates", "dm_sessions_get_us",
         "pl_estimate_us", "pl_execute_us", "pl_deliver_us", "pl_commit_us",
         "pl_invoke_attempts", "web_latency_us_analyze",
         "web_requests_analyze", "web_status_200"}) {
     EXPECT_NE(metrics.body.find(needle), std::string::npos)
         << "missing metric: " << needle;
   }
+  // (The scan accounting pair's arithmetic is asserted in
+  // DatabaseTest.ScannedVersusMatchedCounters; the stack's own queries
+  // are all index-backed, so here we only require exposure.)
   // Counters that must have ticked during the analyze request.
   MetricsRegistry* registry = MetricsRegistry::Default();
   EXPECT_GT(registry->GetCounter("namemap.resolutions")->Value(), 0);
