@@ -1,6 +1,23 @@
 #include "archive/archive.h"
 
+#include <algorithm>
+#include <cstring>
+
 namespace hedc::archive {
+
+Result<uint64_t> Archive::SizeOf(const std::string& path) {
+  HEDC_ASSIGN_OR_RETURN(std::vector<uint8_t> data, Read(path));
+  return static_cast<uint64_t>(data.size());
+}
+
+Result<size_t> Archive::ReadRange(const std::string& path, uint64_t offset,
+                                  uint8_t* out, size_t len) {
+  HEDC_ASSIGN_OR_RETURN(std::vector<uint8_t> data, Read(path));
+  if (offset >= data.size()) return static_cast<size_t>(0);
+  size_t n = std::min(len, data.size() - static_cast<size_t>(offset));
+  std::memcpy(out, data.data() + offset, n);
+  return n;
+}
 
 const char* ArchiveTypeName(ArchiveType type) {
   switch (type) {
@@ -70,6 +87,36 @@ std::vector<std::string> DiskArchive::List() const {
   return out;
 }
 
+Result<uint64_t> DiskArchive::SizeOf(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("file " + path);
+  return static_cast<uint64_t>(it->second.size());
+}
+
+Result<size_t> DiskArchive::ReadRange(const std::string& path,
+                                      uint64_t offset, uint8_t* out,
+                                      size_t len) {
+  size_t n = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(path);
+    if (it == files_.end()) return Status::NotFound("file " + path);
+    const std::vector<uint8_t>& data = it->second;
+    if (offset >= data.size()) return static_cast<size_t>(0);
+    n = std::min(len, data.size() - static_cast<size_t>(offset));
+    std::memcpy(out, data.data() + offset, n);
+  }
+  if (clock_ != nullptr && n > 0) {
+    // Latency is charged once per file, on the first chunk.
+    Micros latency = offset == 0 ? costs_.read_latency : 0;
+    clock_->SleepFor(latency +
+                     static_cast<Micros>(costs_.read_micros_per_kb *
+                                         (n / 1024.0)));
+  }
+  return n;
+}
+
 uint64_t DiskArchive::BytesStored() const {
   std::lock_guard<std::mutex> lock(mu_);
   return bytes_;
@@ -114,6 +161,32 @@ Status TapeArchive::Delete(const std::string& path) {
 
 std::vector<std::string> TapeArchive::List() const { return inner_->List(); }
 
+Result<uint64_t> TapeArchive::SizeOf(const std::string& path) {
+  return inner_->SizeOf(path);
+}
+
+Result<size_t> TapeArchive::ReadRange(const std::string& path,
+                                      uint64_t offset, uint8_t* out,
+                                      size_t len) {
+  if (!inner_->Exists(path)) return Status::NotFound("file " + path);
+  HEDC_ASSIGN_OR_RETURN(size_t n, inner_->ReadRange(path, offset, out, len));
+  if (clock_ != nullptr && n > 0) {
+    Micros cost = 0;
+    if (offset == 0) {
+      // Sequential medium: mount + seek are paid once per file, then the
+      // stream reads at tape bandwidth.
+      if (!mounted_) {
+        cost += costs_.mount_cost;
+        mounted_ = true;
+      }
+      cost += costs_.seek_cost;
+    }
+    cost += static_cast<Micros>(costs_.read_micros_per_kb * (n / 1024.0));
+    clock_->SleepFor(cost);
+  }
+  return n;
+}
+
 uint64_t TapeArchive::BytesStored() const { return inner_->BytesStored(); }
 
 RemoteArchive::RemoteArchive(std::unique_ptr<Archive> inner, Clock* clock,
@@ -153,6 +226,26 @@ Status RemoteArchive::Delete(const std::string& path) {
 std::vector<std::string> RemoteArchive::List() const {
   if (!online_) return {};
   return inner_->List();
+}
+
+Result<uint64_t> RemoteArchive::SizeOf(const std::string& path) {
+  if (!online_) return Status::Unavailable("remote archive offline");
+  return inner_->SizeOf(path);
+}
+
+Result<size_t> RemoteArchive::ReadRange(const std::string& path,
+                                        uint64_t offset, uint8_t* out,
+                                        size_t len) {
+  if (!online_) return Status::Unavailable("remote archive offline");
+  HEDC_ASSIGN_OR_RETURN(size_t n, inner_->ReadRange(path, offset, out, len));
+  if (clock_ != nullptr && n > 0) {
+    // One round trip per file (request setup), then bandwidth per chunk.
+    Micros latency = offset == 0 ? costs_.round_trip : 0;
+    clock_->SleepFor(latency +
+                     static_cast<Micros>(costs_.transfer_micros_per_kb *
+                                         (n / 1024.0)));
+  }
+  return n;
 }
 
 uint64_t RemoteArchive::BytesStored() const { return inner_->BytesStored(); }

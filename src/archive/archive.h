@@ -37,6 +37,18 @@ class Archive {
   virtual Status Delete(const std::string& path) = 0;
   virtual std::vector<std::string> List() const = 0;
 
+  // Size of one stored file, for chunked readers planning their loop.
+  // The base implementation reads the whole file; backends override with
+  // a metadata lookup.
+  virtual Result<uint64_t> SizeOf(const std::string& path);
+
+  // Reads up to `len` bytes starting at `offset` into `out`; returns the
+  // number of bytes copied (0 exactly at EOF). The base implementation
+  // slurps and slices — backends override so large files never
+  // materialize wholesale on the read path.
+  virtual Result<size_t> ReadRange(const std::string& path, uint64_t offset,
+                                   uint8_t* out, size_t len);
+
   // Total bytes stored.
   virtual uint64_t BytesStored() const = 0;
 };
@@ -65,6 +77,9 @@ class DiskArchive : public Archive {
   bool Exists(const std::string& path) const override;
   Status Delete(const std::string& path) override;
   std::vector<std::string> List() const override;
+  Result<uint64_t> SizeOf(const std::string& path) override;
+  Result<size_t> ReadRange(const std::string& path, uint64_t offset,
+                           uint8_t* out, size_t len) override;
   uint64_t BytesStored() const override;
 
  private:
@@ -96,6 +111,11 @@ class TapeArchive : public Archive {
   bool Exists(const std::string& path) const override;
   Status Delete(const std::string& path) override;
   std::vector<std::string> List() const override;
+  Result<uint64_t> SizeOf(const std::string& path) override;
+  // Charges mount+seek once (at offset 0) and bandwidth per chunk — a
+  // streamed sequential read costs the same as one whole-file read.
+  Result<size_t> ReadRange(const std::string& path, uint64_t offset,
+                           uint8_t* out, size_t len) override;
   uint64_t BytesStored() const override;
 
   bool mounted() const { return mounted_; }
@@ -132,6 +152,10 @@ class RemoteArchive : public Archive {
   bool Exists(const std::string& path) const override;
   Status Delete(const std::string& path) override;
   std::vector<std::string> List() const override;
+  Result<uint64_t> SizeOf(const std::string& path) override;
+  // Charges the round trip once (at offset 0) and transfer per chunk.
+  Result<size_t> ReadRange(const std::string& path, uint64_t offset,
+                           uint8_t* out, size_t len) override;
   uint64_t BytesStored() const override;
 
   void set_online(bool online) { online_ = online; }

@@ -1,5 +1,7 @@
 #include "client/streamcorder.h"
 
+#include <chrono>
+
 #include "archive/fits.h"
 #include "core/strings.h"
 #include "dm/hedc_schema.h"
@@ -45,6 +47,17 @@ StreamCorder::StreamCorder(dm::DataManager* server,
     cache_ = std::make_unique<DbCache>(options_.cache_capacity_bytes);
   }
   registry_ = analysis::CreateStandardRegistry();
+
+  // The client is "a clone of the HEDC server": it runs the same
+  // derived-product cache over its local DM, so repeated local analyses
+  // are served from storage and survive a client restart.
+  pl::ProductCache::Options pc_options;
+  pc_options.enabled = options_.product_cache_enabled;
+  pc_options.capacity_bytes = options_.product_cache_capacity_bytes;
+  pc_options.metric_prefix = "client.product_cache";
+  product_cache_ =
+      std::make_unique<pl::ProductCache>(local_dm_.get(), pc_options);
+  product_cache_->LoadFromDm();
 }
 
 Result<std::vector<uint8_t>> StreamCorder::FetchRawUnit(int64_t unit_id) {
@@ -101,15 +114,63 @@ Result<std::vector<double>> StreamCorder::FetchViewApproximation(
   return wavelet::DecodeSignal(view->data, fraction);
 }
 
+// The unit's current calibration version, resolved without unpacking the
+// file: local mirror first, then the server's raw_units tuple. -1 when
+// the unit is unknown to both (the unpacked header decides later).
+int StreamCorder::ResolveCalibrationVersion(int64_t unit_id) {
+  for (db::Database* db : {local_db_.get(), server_->database()}) {
+    Result<db::ResultSet> row = db->Execute(
+        "SELECT calibration_version FROM raw_units WHERE unit_id = ?",
+        {db::Value::Int(unit_id)});
+    if (row.ok() && row.value().num_rows() > 0) {
+      return static_cast<int>(
+          row.value().Get(0, "calibration_version").AsInt());
+    }
+  }
+  return -1;
+}
+
 Result<analysis::AnalysisProduct> StreamCorder::AnalyzeLocally(
     int64_t unit_id, const std::string& routine,
     const analysis::AnalysisParams& params) {
-  HEDC_ASSIGN_OR_RETURN(std::vector<uint8_t> packed, FetchRawUnit(unit_id));
-  HEDC_ASSIGN_OR_RETURN(rhessi::RawDataUnit unit,
-                        rhessi::RawDataUnit::Unpack(packed));
-  const analysis::AnalysisRoutine* impl = registry_->Get(routine);
-  if (impl == nullptr) return Status::NotFound("routine " + routine);
-  return impl->Run(unit.photons, params);
+  int calibration_version = ResolveCalibrationVersion(unit_id);
+  pl::ProductCache::Ticket ticket;
+  if (product_cache_ != nullptr && calibration_version >= 0) {
+    pl::ProductCacheKey key = pl::MakeProductCacheKey(
+        routine, params, {{unit_id, calibration_version}});
+    ticket = product_cache_->Admit(key);
+    if (ticket.role == pl::ProductCache::Role::kHit) {
+      return pl::DecodeProduct(ticket.hit.bytes);
+    }
+    if (ticket.role == pl::ProductCache::Role::kFollower) {
+      HEDC_ASSIGN_OR_RETURN(pl::ProductCache::CachedProduct shared,
+                            product_cache_->Await(ticket));
+      return pl::DecodeProduct(shared.bytes);
+    }
+  }
+  bool leader = ticket.role == pl::ProductCache::Role::kLeader;
+  auto wall_start = std::chrono::steady_clock::now();
+  Result<analysis::AnalysisProduct> product =
+      [&]() -> Result<analysis::AnalysisProduct> {
+    HEDC_ASSIGN_OR_RETURN(std::vector<uint8_t> packed,
+                          FetchRawUnit(unit_id));
+    HEDC_ASSIGN_OR_RETURN(rhessi::RawDataUnit unit,
+                          rhessi::RawDataUnit::Unpack(packed));
+    const analysis::AnalysisRoutine* impl = registry_->Get(routine);
+    if (impl == nullptr) return Status::NotFound("routine " + routine);
+    return impl->Run(unit.photons, params);
+  }();
+  if (leader) {
+    double seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - wall_start)
+                         .count();
+    if (product.ok()) {
+      product_cache_->CompleteSuccess(ticket, product.value(), seconds, 0);
+    } else {
+      product_cache_->CompleteFailure(ticket, product.status());
+    }
+  }
+  return product;
 }
 
 Result<int64_t> StreamCorder::UploadResult(

@@ -19,6 +19,7 @@
 #include "client/cache.h"
 #include "dm/dm.h"
 #include "dm/process_layer.h"
+#include "pl/product_cache.h"
 #include "wavelet/codec.h"
 
 namespace hedc::client {
@@ -39,6 +40,11 @@ class StreamCorder {
     // Cache strategy: v1 = path cache, v2 = local-DB cache.
     int cache_version = 2;
     uint64_t cache_capacity_bytes = 256 * 1024 * 1024;
+    // Local derived-product cache over the local DM clone: repeated
+    // AnalyzeLocally calls for the same (routine, params, unit@version)
+    // reuse the stored product instead of recomputing.
+    bool product_cache_enabled = true;
+    uint64_t product_cache_capacity_bytes = 64 * 1024 * 1024;
   };
 
   // `server` is the HEDC server's DM this client talks to. The client
@@ -97,10 +103,15 @@ class StreamCorder {
 
   ClientCache& cache() { return *cache_; }
   dm::DataManager& local_dm() { return *local_dm_; }
+  pl::ProductCache& product_cache() { return *product_cache_; }
 
   int64_t server_fetches() const { return server_fetches_; }
 
  private:
+  // Resolves a unit's calibration version from the local mirror or the
+  // server tuple (-1 if neither knows the unit).
+  int ResolveCalibrationVersion(int64_t unit_id);
+
   dm::DataManager* server_;
   dm::Session server_session_;
   Options options_;
@@ -113,6 +124,7 @@ class StreamCorder {
   dm::Session local_session_;
 
   std::unique_ptr<ClientCache> cache_;
+  std::unique_ptr<pl::ProductCache> product_cache_;
   std::unique_ptr<analysis::RoutineRegistry> registry_;
   std::vector<std::unique_ptr<Cordlet>> cordlets_;
   std::vector<StreamCorder*> peers_;

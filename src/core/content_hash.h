@@ -1,0 +1,46 @@
+// Fast stable content hashing for cache keys.
+//
+// FNV-1a (64-bit) over canonicalized key material: stable across runs and
+// platforms, cheap enough for hot paths, and statistically far better
+// distributed than the CRC-32 used for corruption detection (crc32.h).
+// The two stay distinct on purpose — CRC detects torn records, FNV names
+// content. Not cryptographic: callers must not rely on collision
+// resistance against adversarial inputs.
+#ifndef HEDC_CORE_CONTENT_HASH_H_
+#define HEDC_CORE_CONTENT_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace hedc {
+
+inline constexpr uint64_t kFnv1a64OffsetBasis = 0xcbf29ce484222325ull;
+inline constexpr uint64_t kFnv1a64Prime = 0x100000001b3ull;
+
+inline uint64_t Fnv1a64(const void* data, size_t n,
+                        uint64_t seed = kFnv1a64OffsetBasis) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<uint64_t>(p[i]);
+    h *= kFnv1a64Prime;
+  }
+  return h;
+}
+
+inline uint64_t Fnv1a64(std::string_view s,
+                        uint64_t seed = kFnv1a64OffsetBasis) {
+  return Fnv1a64(s.data(), s.size(), seed);
+}
+
+// Exact match for string literals: without it, Fnv1a64("x", seed) would
+// prefer the (void*, size_t) overload and read `seed` bytes.
+inline uint64_t Fnv1a64(const char* s,
+                        uint64_t seed = kFnv1a64OffsetBasis) {
+  return Fnv1a64(std::string_view(s), seed);
+}
+
+}  // namespace hedc
+
+#endif  // HEDC_CORE_CONTENT_HASH_H_

@@ -71,6 +71,20 @@ Status CreateGenericSchema(db::Database* db) {
       "trace_row_id INT PRIMARY KEY, trace_id INT, component TEXT, "
       "span TEXT, start_us INT, end_us INT, note TEXT)",
       "CREATE INDEX traces_by_id ON request_traces (trace_id) USING HASH",
+
+      // Derived-product cache directory (pl::ProductCache): one row per
+      // persisted entry, content-addressed by the FNV-1a of the canonical
+      // (routine, parameters, input units + calibration versions) form.
+      // The blob itself lives in an archive under the item id, resolvable
+      // via the name mapper like any other file. unit_ids /
+      // calibration_versions are comma-separated lineage material the
+      // recalibration and purge workflows scan for invalidation.
+      "CREATE TABLE IF NOT EXISTS product_cache ("
+      "cache_key INT PRIMARY KEY, item_id INT, routine TEXT, "
+      "parameters TEXT, unit_ids TEXT, calibration_versions TEXT, "
+      "size_bytes INT, cost_seconds REAL, ana_id INT, created_time REAL)",
+      "CREATE INDEX product_cache_by_key ON product_cache (cache_key) "
+      "USING HASH",
   };
   return ExecAll(db, kStatements,
                  sizeof(kStatements) / sizeof(kStatements[0]));

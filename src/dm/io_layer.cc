@@ -7,7 +7,13 @@ namespace hedc::dm {
 IoLayer::IoLayer(db::Database* db, db::ConnectionPool* pool,
                  archive::ArchiveManager* archives,
                  archive::NameMapper* mapper)
-    : db_(db), pool_(pool), archives_(archives), mapper_(mapper) {}
+    : db_(db), pool_(pool), archives_(archives), mapper_(mapper) {
+  MetricsRegistry* metrics = MetricsRegistry::Default();
+  files_read_metric_ = metrics->GetCounter("io.files_read");
+  files_written_metric_ = metrics->GetCounter("io.files_written");
+  bytes_read_metric_ = metrics->GetCounter("io.bytes_read");
+  bytes_written_metric_ = metrics->GetCounter("io.bytes_written");
+}
 
 void IoLayer::RouteTable(const std::string& table, db::Database* target,
                          db::ConnectionPool* target_pool) {
@@ -50,7 +56,10 @@ Result<db::ResultSet> IoLayer::Update(const std::string& table,
   return DatabaseFor(table)->Execute(sql, params);
 }
 
-Result<std::vector<uint8_t>> IoLayer::ReadItemFile(int64_t item_id) {
+Result<uint64_t> IoLayer::StreamItemFile(int64_t item_id,
+                                         const ChunkSink& sink,
+                                         size_t chunk_bytes) {
+  if (chunk_bytes == 0) chunk_bytes = kDefaultChunkBytes;
   HEDC_ASSIGN_OR_RETURN(
       archive::ResolvedName name,
       mapper_->Resolve(item_id, archive::NameType::kFilename));
@@ -60,10 +69,35 @@ Result<std::vector<uint8_t>> IoLayer::ReadItemFile(int64_t item_id) {
         StrFormat("archive %lld offline or unknown",
                   static_cast<long long>(name.archive_id)));
   }
-  HEDC_ASSIGN_OR_RETURN(std::vector<uint8_t> data, arch->Read(name.rel_path));
+  std::vector<uint8_t> chunk(chunk_bytes);
+  uint64_t offset = 0;
+  while (true) {
+    HEDC_ASSIGN_OR_RETURN(
+        size_t n, arch->ReadRange(name.rel_path, offset, chunk.data(),
+                                  chunk.size()));
+    if (n == 0) break;
+    bytes_read_.fetch_add(static_cast<int64_t>(n),
+                          std::memory_order_relaxed);
+    bytes_read_metric_->Add(static_cast<int64_t>(n));
+    HEDC_RETURN_IF_ERROR(sink(offset, chunk.data(), n));
+    offset += n;
+    if (n < chunk.size()) break;  // short chunk: end of file
+  }
   file_reads_.fetch_add(1, std::memory_order_relaxed);
-  bytes_read_.fetch_add(static_cast<int64_t>(data.size()),
-                        std::memory_order_relaxed);
+  files_read_metric_->Add();
+  return offset;
+}
+
+Result<std::vector<uint8_t>> IoLayer::ReadItemFile(int64_t item_id) {
+  std::vector<uint8_t> data;
+  HEDC_ASSIGN_OR_RETURN(
+      uint64_t total,
+      StreamItemFile(item_id,
+                     [&data](uint64_t, const uint8_t* p, size_t n) {
+                       data.insert(data.end(), p, p + n);
+                       return Status::Ok();
+                     }));
+  (void)total;
   return data;
 }
 
@@ -84,6 +118,8 @@ Status IoLayer::WriteItemFile(int64_t item_id, int64_t archive_id,
   file_writes_.fetch_add(1, std::memory_order_relaxed);
   bytes_written_.fetch_add(static_cast<int64_t>(data.size()),
                            std::memory_order_relaxed);
+  files_written_metric_->Add();
+  bytes_written_metric_->Add(static_cast<int64_t>(data.size()));
   return Status::Ok();
 }
 

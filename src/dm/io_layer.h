@@ -9,6 +9,7 @@
 #define HEDC_DM_IO_LAYER_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -16,6 +17,7 @@
 
 #include "archive/archive.h"
 #include "archive/name_mapper.h"
+#include "core/metrics.h"
 #include "core/status.h"
 #include "db/connection.h"
 #include "db/database.h"
@@ -46,7 +48,25 @@ class IoLayer {
                                const std::vector<db::Value>& params);
 
   // --- file access -------------------------------------------------------
+  // Receives one fixed-size chunk of a streamed item file. `offset` is the
+  // chunk's position in the file; the last chunk may be short.
+  using ChunkSink =
+      std::function<Status(uint64_t offset, const uint8_t* data, size_t n)>;
+
+  // Default chunk size for streamed reads (64 KiB).
+  static constexpr size_t kDefaultChunkBytes = 64 * 1024;
+
+  // Streams the file registered for `item_id` through `sink` in
+  // `chunk_bytes`-sized pieces: one name resolution, then bounded-memory
+  // ReadRange loops against the archive — large items never materialize
+  // as a single allocation in this layer. Returns the total bytes
+  // streamed. A sink error aborts the stream and is returned verbatim.
+  Result<uint64_t> StreamItemFile(int64_t item_id, const ChunkSink& sink,
+                                  size_t chunk_bytes = kDefaultChunkBytes);
+
   // Reads the file registered for `item_id` (name mapping + archive read).
+  // Implemented over StreamItemFile; callers needing bounded memory use
+  // the streamed form directly.
   Result<std::vector<uint8_t>> ReadItemFile(int64_t item_id);
   // Stores `data` on `archive_id` under `rel_path` and registers the
   // filename location for `item_id`.
@@ -80,6 +100,13 @@ class IoLayer {
   std::atomic<int64_t> file_writes_{0};
   std::atomic<int64_t> bytes_read_{0};
   std::atomic<int64_t> bytes_written_{0};
+
+  // io.* metrics: file traffic through the layer, visible on /metrics
+  // alongside the per-instance stats above.
+  Counter* files_read_metric_;
+  Counter* files_written_metric_;
+  Counter* bytes_read_metric_;
+  Counter* bytes_written_metric_;
 };
 
 }  // namespace hedc::dm

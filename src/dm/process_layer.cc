@@ -285,6 +285,8 @@ Result<DataLoadReport> ProcessLayer::RecalibrateUnit(
   dm_->semantics().RecordLineage(
       unit_id, unit_id, "recalibrate", new_version,
       StrFormat("from_version=%d", old_version));
+  // Version bump is durable: dependent derived products are now stale.
+  if (unit_invalidator_) unit_invalidator_(unit_id);
 
   // Supersede HLEs derived from this unit: re-detect on the new photons.
   DataLoadReport report;
@@ -446,6 +448,7 @@ Result<int64_t> ProcessLayer::PurgeStaleAnalyses(const Session& session,
         dm_->io().Update("lineage", "DELETE FROM lineage WHERE item_id = ?",
                          {db::Value::Int(ana_id)}));
     (void)lineage;
+    if (ana_purge_listener_) ana_purge_listener_(ana_id);
     ++purged;
   }
   dm_->LogOperational(

@@ -10,6 +10,7 @@
 #define HEDC_DM_PROCESS_LAYER_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -87,6 +88,22 @@ class ProcessLayer {
   Result<int64_t> PurgeStaleAnalyses(const Session& session,
                                      double older_than_sec);
 
+  // --- derived-product invalidation hooks --------------------------------
+  // Recalibration changes a unit's content: derived-product caches (see
+  // pl::ProductCache) register here to drop dependent entries. Invoked
+  // after the version bump is durable in raw_units, so a racing cache
+  // miss keyed on the old version can never survive the drop.
+  using UnitInvalidator = std::function<void(int64_t unit_id)>;
+  void SetDerivedProductInvalidator(UnitInvalidator fn) {
+    unit_invalidator_ = std::move(fn);
+  }
+  // Purge hook: invoked once per analysis removed by PurgeStaleAnalyses,
+  // after its tuple/file are gone, so caches sharing the ana id drop it.
+  using AnaPurgeListener = std::function<void(int64_t ana_id)>;
+  void SetAnaPurgeListener(AnaPurgeListener fn) {
+    ana_purge_listener_ = std::move(fn);
+  }
+
   // The wavelet view id space: item id under which a unit's progressive
   // view file is registered.
   static int64_t ViewItemId(int64_t unit_id) { return 1000000000 + unit_id; }
@@ -101,6 +118,8 @@ class ProcessLayer {
 
   DataManager* dm_;
   int64_t raw_archive_id_;
+  UnitInvalidator unit_invalidator_;
+  AnaPurgeListener ana_purge_listener_;
 };
 
 }  // namespace hedc::dm

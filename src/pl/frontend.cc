@@ -1,6 +1,7 @@
 #include "pl/frontend.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "analysis/routine.h"
 #include "core/strings.h"
@@ -150,11 +151,21 @@ Result<int64_t> Frontend::Submit(ProcessingRequest request) {
   slot->request = std::move(request);
   slot->outcome.state = RequestState::kQueued;
   slot->outcome.submitted_at = clock_->Now();
+  if (product_cache_ != nullptr && product_cache_->enabled()) {
+    slot->cache_key = MakeProductCacheKey(
+        slot->request.routine, slot->request.params,
+        slot->request.input_units);
+  }
   if (!slot->request.skip_estimation) {
     lock.unlock();
+    // A cached (or in-flight) product makes the predicted duration ~zero:
+    // the execution phase will be a cache read, not an IDL run.
+    bool cached = product_cache_ != nullptr &&
+                  product_cache_->Peek(slot->cache_key);
     Result<double> predicted = [&]() -> Result<double> {
       ScopedTimer timer(estimate_us_);
       TraceSpan span(slot->request.trace_id, "pl", "estimate");
+      if (cached) return 0.0;
       return Estimate(slot->request);
     }();
     lock.lock();
@@ -229,9 +240,45 @@ void Frontend::DispatcherLoop() {
       slot->outcome.started_at = clock_->Now();
     }
 
+    // --- cache admission (outside the lock) ---------------------------
+    // Exactly one concurrent request per key proceeds to an IDL server;
+    // identical requests either hit a finished entry or follow the
+    // in-flight leader.
+    ProductCache::Ticket ticket;
+    if (product_cache_ != nullptr) {
+      TraceSpan span(slot->request.trace_id, "pl", "cache.admit");
+      ticket = product_cache_->Admit(slot->cache_key);
+    }
+    if (ticket.role == ProductCache::Role::kHit) {
+      ServeCached(slot, std::move(ticket.hit));
+      continue;
+    }
+    if (ticket.role == ProductCache::Role::kFollower) {
+      Result<ProductCache::CachedProduct> shared =
+          [&]() -> Result<ProductCache::CachedProduct> {
+        ScopedTimer timer(execute_us_);
+        TraceSpan span(slot->request.trace_id, "pl", "cache.await");
+        return product_cache_->Await(ticket);
+      }();
+      if (!shared.ok()) {
+        // The leader's execution failed; every coalesced waiter fails
+        // with the leader's status.
+        std::lock_guard<std::mutex> lock(mu_);
+        Finish(slot, RequestState::kFailed, shared.status());
+        continue;
+      }
+      ServeCached(slot, std::move(shared).value());
+      continue;
+    }
+    bool leader = ticket.role == ProductCache::Role::kLeader;
+
     // --- execution phase (outside the lock) ---------------------------
     std::vector<IdlServerManager*> managers = directory_->OnlineManagers();
     if (managers.empty()) {
+      if (leader) {
+        product_cache_->CompleteFailure(
+            ticket, Status::Unavailable("no processing services online"));
+      }
       std::lock_guard<std::mutex> lock(mu_);
       Finish(slot, RequestState::kFailed,
              Status::Unavailable("no processing services online"));
@@ -251,6 +298,7 @@ void Frontend::DispatcherLoop() {
     }
 
     Micros exec_start = clock_->Now();
+    auto wall_start = std::chrono::steady_clock::now();
     Result<analysis::AnalysisProduct> product =
         [&]() -> Result<analysis::AnalysisProduct> {
       ScopedTimer timer(execute_us_);
@@ -259,8 +307,19 @@ void Frontend::DispatcherLoop() {
                              slot->request.params);
     }();
     Micros exec_end = clock_->Now();
+    // GDSF cost of this product: whichever of virtual and wall time
+    // actually advanced during the execution (testbeds charge the virtual
+    // clock, live interpreters burn wall time).
+    double cost_seconds = std::max(
+        static_cast<double>(exec_end - exec_start) / kMicrosPerSecond,
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count());
 
     if (!product.ok()) {
+      // Failure publishes to every coalesced waiter and caches nothing:
+      // a crashed execution must not poison the cache.
+      if (leader) product_cache_->CompleteFailure(ticket, product.status());
       std::lock_guard<std::mutex> lock(mu_);
       Finish(slot, RequestState::kFailed, product.status());
       continue;
@@ -280,6 +339,7 @@ void Frontend::DispatcherLoop() {
     }
 
     // --- delivery phase ------------------------------------------------
+    bool cancelled = false;
     {
       ScopedTimer timer(deliver_us_);
       TraceSpan span(slot->request.trace_id, "pl", "deliver");
@@ -288,14 +348,28 @@ void Frontend::DispatcherLoop() {
         // Cancellation cleanup: discard the product before commit.
         Finish(slot, RequestState::kCancelled,
                Status::FailedPrecondition("cancelled before commit"));
-        continue;
+        cancelled = true;
+      } else {
+        slot->outcome.product = std::move(product).value();
+        slot->outcome.state = RequestState::kDelivered;
       }
-      slot->outcome.product = std::move(product).value();
-      slot->outcome.state = RequestState::kDelivered;
+    }
+    if (cancelled) {
+      // The execution itself succeeded; admit the product (never
+      // committed -> ana 0) so waiters and future hits still benefit.
+      if (leader) {
+        product_cache_->CompleteSuccess(ticket, product.value(),
+                                        cost_seconds, 0);
+      }
+      continue;
     }
 
     // --- commit phase ----------------------------------------------------
     if (slot->request.skip_commit || !committer_) {
+      if (leader) {
+        product_cache_->CompleteSuccess(ticket, slot->outcome.product,
+                                        cost_seconds, 0);
+      }
       std::lock_guard<std::mutex> lock(mu_);
       Finish(slot, RequestState::kDelivered, Status::Ok());
       continue;
@@ -305,6 +379,18 @@ void Frontend::DispatcherLoop() {
       TraceSpan span(slot->request.trace_id, "pl", "commit");
       return committer_(slot->request, slot->outcome.product);
     }();
+    if (leader) {
+      // Cache entries share the committed ana id, so a coalesced
+      // follower can reuse the row instead of committing a duplicate. A
+      // failed commit fails the flight: waiters retry with a fresh
+      // leader rather than inherit an uncommitted product.
+      if (ana_id.ok()) {
+        product_cache_->CompleteSuccess(ticket, slot->outcome.product,
+                                        cost_seconds, ana_id.value());
+      } else {
+        product_cache_->CompleteFailure(ticket, ana_id.status());
+      }
+    }
     std::lock_guard<std::mutex> lock(mu_);
     if (!ana_id.ok()) {
       Finish(slot, RequestState::kFailed, ana_id.status());
@@ -312,6 +398,58 @@ void Frontend::DispatcherLoop() {
       slot->outcome.committed_ana_id = ana_id.value();
       Finish(slot, RequestState::kCommitted, Status::Ok());
     }
+  }
+}
+
+void Frontend::ServeCached(Slot* slot, ProductCache::CachedProduct cached) {
+  Result<analysis::AnalysisProduct> decoded =
+      [&]() -> Result<analysis::AnalysisProduct> {
+    ScopedTimer timer(deliver_us_);
+    TraceSpan span(slot->request.trace_id, "pl", "cache.deliver");
+    return DecodeProduct(cached.bytes);
+  }();
+  if (!decoded.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Finish(slot, RequestState::kFailed, decoded.status());
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (slot->cancel_requested) {
+      Finish(slot, RequestState::kCancelled,
+             Status::FailedPrecondition("cancelled before commit"));
+      return;
+    }
+    slot->outcome.product = std::move(decoded).value();
+    slot->outcome.state = RequestState::kDelivered;
+  }
+  if (cached.ana_id > 0) {
+    // The product is already committed (by the leader or an earlier
+    // request): share the ana id, no duplicate write-back.
+    std::lock_guard<std::mutex> lock(mu_);
+    slot->outcome.committed_ana_id = cached.ana_id;
+    Finish(slot,
+           slot->request.skip_commit ? RequestState::kDelivered
+                                     : RequestState::kCommitted,
+           Status::Ok());
+    return;
+  }
+  if (slot->request.skip_commit || !committer_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Finish(slot, RequestState::kDelivered, Status::Ok());
+    return;
+  }
+  Result<int64_t> ana_id = [&]() -> Result<int64_t> {
+    ScopedTimer timer(commit_us_);
+    TraceSpan span(slot->request.trace_id, "pl", "commit");
+    return committer_(slot->request, slot->outcome.product);
+  }();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!ana_id.ok()) {
+    Finish(slot, RequestState::kFailed, ana_id.status());
+  } else {
+    slot->outcome.committed_ana_id = ana_id.value();
+    Finish(slot, RequestState::kCommitted, Status::Ok());
   }
 }
 

@@ -25,6 +25,7 @@
 #include "core/clock.h"
 #include "core/metrics.h"
 #include "core/status.h"
+#include "pl/product_cache.h"
 #include "pl/server_manager.h"
 
 namespace hedc::pl {
@@ -95,6 +96,10 @@ struct ProcessingRequest {
   std::string routine;
   analysis::AnalysisParams params;
   rhessi::PhotonList photons;
+  // Lineage of `photons`: the raw units (and calibration versions) they
+  // were derived from. Feeds the product-cache key; leave empty to opt the
+  // request out of caching (no lineage -> not content-addressable).
+  std::vector<InputUnit> input_units;
   bool skip_estimation = false;
   bool skip_commit = false;
 };
@@ -145,12 +150,17 @@ class Frontend {
   // Snapshot of a request's current state.
   Result<RequestState> GetState(int64_t request_id) const;
 
+  // Attaches the derived-product cache (borrowed; may be null to run
+  // uncached). Setup-time call: must happen before the first Submit.
+  void set_product_cache(ProductCache* cache) { product_cache_ = cache; }
+
   int64_t completed() const { return completed_; }
 
  private:
   struct Slot {
     ProcessingRequest request;
     RequestOutcome outcome;
+    ProductCacheKey cache_key;  // computed once at Submit
     bool cancel_requested = false;
   };
 
@@ -158,12 +168,17 @@ class Frontend {
   // Pops the highest-priority queued request (FIFO within a priority).
   int64_t PopNext();
   void Finish(Slot* slot, RequestState state, Status status);
+  // Delivery + commit for a request satisfied from the product cache (a
+  // direct hit or a coalesced follower): decode, honour cancellation,
+  // reuse the shared ana id or run this request's own commit.
+  void ServeCached(Slot* slot, ProductCache::CachedProduct cached);
 
   GlobalDirectory* directory_;
   DurationPredictor* predictor_;
   Clock* clock_;
   Committer committer_;
   Options options_;
+  ProductCache* product_cache_ = nullptr;
 
   mutable std::mutex mu_;
   std::condition_variable queue_cv_;

@@ -315,6 +315,10 @@ class AnalyzeServlet : public Servlet {
     processing.hle_id = hle_id;
     processing.routine = routine;
     processing.params = params;
+    // Photon lineage for the derived-product cache: the event's raw unit
+    // at its current calibration version.
+    processing.input_units = {
+        {hle.value().unit_id, unit.value().calibration_version}};
     processing.photons = std::move(unit.value().photons);
     Result<int64_t> id = server->frontend()->Submit(std::move(processing));
     if (!id.ok()) return HttpResponse::NotFound(id.status().ToString());
@@ -493,6 +497,13 @@ class StatusServlet : public Servlet {
         row.Set("count", usage.value().rows[i][1].AsText());
       }
     }
+    // Derived-product cache directory (operational schema).
+    Result<db::ResultSet> cache_rows = dm->database()->Execute(
+        "SELECT COUNT(*) FROM product_cache");
+    ctx.Set("cache_entries",
+            cache_rows.ok() && cache_rows.value().num_rows() > 0
+                ? cache_rows.value().rows[0][0].AsText()
+                : "0");
     // Metrics section from the operational schema: refresh the mirror,
     // then render the snapshot rows.
     dm->MirrorMetrics();
@@ -514,6 +525,8 @@ class StatusServlet : public Servlet {
             "{{root}}: {{online}}</li>{{/archives}}</ul>"
             "<h3>Usage</h3><ul>{{#usage}}<li>{{op}}: {{count}}</li>"
             "{{/usage}}</ul>"
+            "<h3>Product cache</h3><p>{{cache_entries}} persisted "
+            "entries</p>"
             "<h3>Metrics</h3><table>{{#metrics}}<tr><td>{{metric}}</td>"
             "<td>{{kind}}</td><td>{{value}}</td></tr>{{/metrics}}</table>",
             ctx)

@@ -156,6 +156,43 @@ TEST_F(StreamCorderTest, LocalAnalysisAndUpload) {
                   .ok());
 }
 
+TEST_F(StreamCorderTest, LocalAnalysisUsesProductCache) {
+  StreamCorder client = MakeClient(2);
+  analysis::AnalysisParams params;
+  params.SetInt("bins", 16);
+  auto first = client.AnalyzeLocally(1, "histogram", params);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(client.product_cache().entry_count(), 1u);
+
+  // Identical re-analysis decodes the cached product instead of
+  // recomputing; parameter insertion order must not matter.
+  analysis::AnalysisParams reordered;
+  reordered.Set("bins", "16");
+  auto second = client.AnalyzeLocally(1, "histogram", reordered);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value().metadata, first.value().metadata);
+  MetricsRegistry* metrics = MetricsRegistry::Default();
+  EXPECT_GE(metrics->GetCounter("client.product_cache.hits")->Value(), 1);
+
+  // Different parameters miss.
+  analysis::AnalysisParams other;
+  other.SetInt("bins", 32);
+  ASSERT_TRUE(client.AnalyzeLocally(1, "histogram", other).ok());
+  EXPECT_EQ(client.product_cache().entry_count(), 2u);
+}
+
+TEST_F(StreamCorderTest, ProductCacheDisabledByOption) {
+  StreamCorder::Options options;
+  options.cache_version = 2;
+  options.product_cache_enabled = false;
+  StreamCorder client(stack_.data_manager.get(), session_, options);
+  analysis::AnalysisParams params;
+  params.SetInt("bins", 16);
+  ASSERT_TRUE(client.AnalyzeLocally(1, "histogram", params).ok());
+  ASSERT_TRUE(client.AnalyzeLocally(1, "histogram", params).ok());
+  EXPECT_EQ(client.product_cache().entry_count(), 0u);
+}
+
 TEST_F(StreamCorderTest, MirrorHleForOfflineWork) {
   ASSERT_FALSE(stack_.hle_ids.empty());
   StreamCorder client = MakeClient(2);

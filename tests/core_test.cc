@@ -10,6 +10,7 @@
 #include "core/bytes.h"
 #include "core/clock.h"
 #include "core/config.h"
+#include "core/content_hash.h"
 #include "core/crc32.h"
 #include "core/ids.h"
 #include "core/logging.h"
@@ -410,6 +411,34 @@ TEST(LoggingTest, StressSinkSwapUnderConcurrentLogging) {
   Logger::Instance()->SetSink(prev);
 
   EXPECT_EQ(delivered.load(), kThreads * kMessagesPerThread);
+}
+
+TEST(ContentHashTest, EmptyInputIsOffsetBasis) {
+  EXPECT_EQ(Fnv1a64(""), kFnv1a64OffsetBasis);
+  EXPECT_EQ(Fnv1a64(static_cast<const void*>(nullptr), 0),
+            kFnv1a64OffsetBasis);
+}
+
+TEST(ContentHashTest, KnownVectors) {
+  // Published FNV-1a 64-bit test vectors.
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171f73967e8ull);
+  EXPECT_EQ(Fnv1a64("hello"), 0xa430d84680aabd0bull);
+}
+
+TEST(ContentHashTest, SeedChainingEqualsConcatenation) {
+  // Hashing "xyz" is the same as hashing "x" then chaining "yz" through
+  // the seed parameter — the property incremental key-builders rely on.
+  uint64_t chained = Fnv1a64("yz", Fnv1a64("x"));
+  EXPECT_EQ(chained, Fnv1a64("xyz"));
+  EXPECT_EQ(Fnv1a64(std::string_view("yz"), Fnv1a64("x")), chained);
+  EXPECT_NE(Fnv1a64("ab"), Fnv1a64("ba"));
+}
+
+TEST(ContentHashTest, StringViewAndPointerOverloadsAgree) {
+  const char kData[] = "calibration=2;routine=imaging";
+  EXPECT_EQ(Fnv1a64(std::string_view(kData)),
+            Fnv1a64(static_cast<const void*>(kData), sizeof(kData) - 1));
 }
 
 }  // namespace

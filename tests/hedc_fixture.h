@@ -73,10 +73,24 @@ class HedcStack {
         "idl1", registry.get(), &clock, pl::IdlServer::Options{}));
     directory.Register("host0", manager.get(), "local");
     predictor = std::make_unique<pl::DurationPredictor>();
+
+    // Derived-product cache: persisted through the DM, invalidated by
+    // the recalibration/purge workflows.
+    product_cache = std::make_unique<pl::ProductCache>(
+        data_manager.get(), pl::ProductCache::Options{});
+    product_cache->LoadFromDm();
+    process->SetDerivedProductInvalidator([this](int64_t unit_id) {
+      product_cache->InvalidateUnit(unit_id);
+    });
+    process->SetAnaPurgeListener([this](int64_t ana_id) {
+      product_cache->InvalidateAna(ana_id);
+    });
+
     frontend = std::make_unique<pl::Frontend>(
         &directory, predictor.get(), &clock,
         pl::MakeDmCommitter(data_manager.get(), import_session, 1),
         pl::Frontend::Options{});
+    frontend->set_product_cache(product_cache.get());
 
     web_server = std::make_unique<web::WebServer>(data_manager.get(),
                                                   frontend.get());
@@ -105,6 +119,7 @@ class HedcStack {
   std::unique_ptr<pl::IdlServerManager> manager;
   pl::GlobalDirectory directory;
   std::unique_ptr<pl::DurationPredictor> predictor;
+  std::unique_ptr<pl::ProductCache> product_cache;  // before frontend
   std::unique_ptr<pl::Frontend> frontend;
   std::unique_ptr<web::WebServer> web_server;
 };
