@@ -6,11 +6,74 @@ Schema (see bench/bench_json.h):
 with every result row carrying at least throughput_per_sec, p50_us and
 p99_us. Run under the `bench-smoke` ctest label so benches that stop
 emitting valid JSON fail CI instead of silently bit-rotting.
+
+When a validated file carries measured cluster_nodes_* rows (the fig5
+cluster scale-out bench), the modeled model_redirect_nodes_* curve is
+located (same file or a sibling BENCH_remote_redirection.json) and the
+speedups-normalized-to-one-node are cross-checked: per-N deviation is
+printed, and deviations beyond DEVIATION_WARN get a WARN line so the two
+curves cannot drift apart silently.
 """
 import json
+import os
 import sys
 
 REQUIRED_METRICS = ("throughput_per_sec", "p50_us", "p99_us")
+
+# Measured-vs-model speedup deviation that earns a WARN (fraction).
+DEVIATION_WARN = 0.40
+
+
+def speedup_curve(results, prefix):
+    """{nodes: speedup} for rows labeled <prefix><N>, normalized to N=1."""
+    curve = {}
+    for row in results:
+        label = row.get("label", "")
+        if not label.startswith(prefix):
+            continue
+        nodes = row.get("nodes")
+        throughput = row.get("throughput_per_sec")
+        if isinstance(nodes, (int, float)) and isinstance(
+                throughput, (int, float)):
+            curve[int(nodes)] = float(throughput)
+    base = curve.get(1)
+    if not base:
+        return {}
+    return {n: t / base for n, t in sorted(curve.items())}
+
+
+def crosscheck_cluster(path, results):
+    """Prints measured-vs-model scale-out deviation; returns None."""
+    measured = speedup_curve(results, "cluster_nodes_")
+    if not measured:
+        return
+    model = speedup_curve(results, "model_redirect_nodes_")
+    if not model:
+        sibling = os.path.join(os.path.dirname(path) or ".",
+                               "BENCH_remote_redirection.json")
+        try:
+            with open(sibling) as fh:
+                model = speedup_curve(
+                    json.load(fh).get("results", []), "model_redirect_nodes_")
+        except (OSError, json.JSONDecodeError, AttributeError):
+            model = {}
+    if not model:
+        print(f"note {path}: no model_redirect_nodes_* curve found; "
+              "skipping measured-vs-model crosscheck")
+        return
+    common = sorted(set(measured) & set(model) - {1})
+    if not common:
+        print(f"note {path}: measured and model curves share no node "
+              "counts; skipping crosscheck")
+        return
+    print(f"crosscheck {path}: measured vs modeled scale-out speedup")
+    for n in common:
+        deviation = (measured[n] - model[n]) / model[n]
+        flag = ""
+        if abs(deviation) > DEVIATION_WARN:
+            flag = f"  WARN deviation beyond {DEVIATION_WARN:.0%}"
+        print(f"  nodes={n}: measured {measured[n]:.2f}x "
+              f"model {model[n]:.2f}x  deviation {deviation:+.1%}{flag}")
 
 
 def validate(path):
@@ -44,6 +107,7 @@ def validate(path):
                 continue
             if not isinstance(value, (int, float)) or isinstance(value, bool):
                 return f"results[{i}] ({label}): non-numeric metric {key!r}"
+    crosscheck_cluster(path, results)
     return None
 
 

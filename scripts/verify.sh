@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Tier-1 verification: build, full test suite (including the bench-smoke
-# JSON-schema checks and the remote chaos/failover suites), then the
-# stress suite — concurrency hammers plus networked chaos/failover —
-# under ThreadSanitizer. Run from the repo root:
+# Tier-1 verification: build, the fast cluster lane, the full test suite
+# (including the bench-smoke JSON-schema checks and the remote
+# chaos/failover suites), the measured-vs-model scale-out crosscheck,
+# then the stress suite — concurrency hammers, networked chaos/failover
+# and the cluster kill/restart stress — under ThreadSanitizer. Run from
+# the repo root:
 #   scripts/verify.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -11,14 +13,21 @@ echo "=== build (default) ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j
 
+echo "=== cluster lane (routing, failover, coherence) ==="
+(cd build && ctest -L cluster --output-on-failure)
+
 echo "=== full suite (fast tests + stress + bench-smoke) ==="
 (cd build && ctest --output-on-failure -j)
+
+echo "=== scale-out crosscheck (measured vs modeled fig5 curve) ==="
+python3 bench/validate_bench_json.py BENCH_cluster_scaleout.json \
+    BENCH_remote_redirection.json
 
 echo "=== build (HEDC_SANITIZE=thread) ==="
 cmake -B build-tsan -S . -DHEDC_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j
 
-echo "=== stress suite under TSan ==="
+echo "=== stress suite under TSan (includes cluster kill/restart) ==="
 (cd build-tsan && ctest -L stress --output-on-failure)
 
 echo "verify: OK"

@@ -1,0 +1,104 @@
+#include "cluster/membership.h"
+
+namespace hedc::cluster {
+
+MembershipRegistry::MembershipRegistry(MetricsRegistry* metrics)
+    : metrics_(metrics != nullptr ? metrics : MetricsRegistry::Default()) {}
+
+void MembershipRegistry::ExportLocked() {
+  metrics_->GetGauge("cluster.members")
+      ->Set(static_cast<int64_t>(members_.size()));
+  int64_t healthy = 0;
+  for (const auto& [id, info] : members_) {
+    if (info.healthy) ++healthy;
+  }
+  metrics_->GetGauge("cluster.healthy")->Set(healthy);
+  metrics_->GetGauge("cluster.epoch")->Set(epoch_);
+}
+
+int MembershipRegistry::Join(NodeInfo info) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (info.node_id < 0) info.node_id = next_id_;
+  next_id_ = std::max(next_id_, info.node_id + 1);
+  info.healthy = true;
+  members_[info.node_id] = info;
+  ++epoch_;
+  ExportLocked();
+  return info.node_id;
+}
+
+bool MembershipRegistry::Leave(int node_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (members_.erase(node_id) == 0) return false;
+  ++epoch_;
+  ExportLocked();
+  return true;
+}
+
+bool MembershipRegistry::UpdateAddress(int node_id, int port) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = members_.find(node_id);
+  if (it == members_.end()) return false;
+  it->second.port = port;
+  ++epoch_;
+  ExportLocked();
+  return true;
+}
+
+bool MembershipRegistry::SetHealth(int node_id, bool healthy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = members_.find(node_id);
+  if (it == members_.end() || it->second.healthy == healthy) return false;
+  it->second.healthy = healthy;
+  ++epoch_;
+  metrics_->GetCounter("cluster.health_flips")->Add();
+  ExportLocked();
+  return true;
+}
+
+int64_t MembershipRegistry::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+Result<NodeInfo> MembershipRegistry::Get(int node_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = members_.find(node_id);
+  if (it == members_.end()) {
+    return Status::NotFound("no cluster member " + std::to_string(node_id));
+  }
+  return it->second;
+}
+
+std::vector<NodeInfo> MembershipRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<NodeInfo> out;
+  out.reserve(members_.size());
+  for (const auto& [id, info] : members_) out.push_back(info);
+  return out;
+}
+
+std::vector<NodeInfo> MembershipRegistry::Healthy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<NodeInfo> out;
+  for (const auto& [id, info] : members_) {
+    if (info.healthy) out.push_back(info);
+  }
+  return out;
+}
+
+size_t MembershipRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return members_.size();
+}
+
+size_t MembershipRegistry::healthy_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [id, info] : members_) {
+    if (info.healthy) ++n;
+  }
+  return n;
+}
+
+}  // namespace hedc::cluster

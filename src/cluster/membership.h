@@ -1,0 +1,68 @@
+// Cluster membership registry (§7 scale-out, §5.4 redirection).
+//
+// Tracks the DM nodes of one cluster — identity, RMI address, in-process
+// handle — plus a health bit fed by the circuit breakers of the routed
+// channel pools (a breaker tripping open against a node marks it down;
+// a reclose or an operator restart marks it back up). Every membership
+// *or* health change bumps a monotonically increasing epoch; routers
+// rebuild their rings and sticky maps when the epoch moves, so session
+// keys rebalance exactly when membership changes and never otherwise.
+#ifndef HEDC_CLUSTER_MEMBERSHIP_H_
+#define HEDC_CLUSTER_MEMBERSHIP_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/status.h"
+
+namespace hedc::dm {
+class DataManager;
+}  // namespace hedc::dm
+
+namespace hedc::cluster {
+
+struct NodeInfo {
+  int node_id = -1;
+  std::string name;
+  int port = 0;  // TcpRmiServer address on 127.0.0.1; 0 = not serving
+  dm::DataManager* dm = nullptr;  // in-process handle for web dispatch
+  bool healthy = false;
+};
+
+class MembershipRegistry {
+ public:
+  explicit MembershipRegistry(MetricsRegistry* metrics = nullptr);
+
+  // Adds a member (healthy) and returns its assigned node id.
+  int Join(NodeInfo info);
+  // Removes a member entirely (its keys redistribute permanently).
+  bool Leave(int node_id);
+  // Node restarted on a different ephemeral port.
+  bool UpdateAddress(int node_id, int port);
+  // Health feed; returns true (and bumps the epoch) only on a flip.
+  bool SetHealth(int node_id, bool healthy);
+
+  // Bumped by Join/Leave/UpdateAddress and by health flips.
+  int64_t epoch() const;
+  Result<NodeInfo> Get(int node_id) const;
+  std::vector<NodeInfo> Snapshot() const;  // all members, by node id
+  std::vector<NodeInfo> Healthy() const;
+  size_t size() const;
+  size_t healthy_count() const;
+
+ private:
+  void ExportLocked();
+
+  MetricsRegistry* metrics_;
+  mutable std::mutex mu_;
+  std::map<int, NodeInfo> members_;
+  int next_id_ = 0;
+  int64_t epoch_ = 0;
+};
+
+}  // namespace hedc::cluster
+
+#endif  // HEDC_CLUSTER_MEMBERSHIP_H_

@@ -47,10 +47,20 @@ inline constexpr uint8_t kRmiFrameVersion = 2;
 void EncodeCallHeader(const CallHeader& header, ByteBuffer* out);
 Status DecodeCallHeader(ByteReader* in, CallHeader* out);
 
+// Server side of the transport: anything that can turn one request frame
+// into one response frame. TcpRmiServer serves any RmiHandler, so a
+// cluster node can interpose capacity gates or instrumentation between
+// the socket and the RmiServer proper.
+class RmiHandler {
+ public:
+  virtual ~RmiHandler() = default;
+  virtual std::vector<uint8_t> Handle(const std::vector<uint8_t>& request) = 0;
+};
+
 // Server side: decodes call frames and executes them against a DM node.
 // Thread-safe: concurrent channels may Handle() in parallel (the DM and
 // database below do their own locking).
-class RmiServer {
+class RmiServer : public RmiHandler {
  public:
   explicit RmiServer(DataManager* dm, MetricsRegistry* metrics = nullptr)
       : dm_(dm),
@@ -58,7 +68,7 @@ class RmiServer {
 
   // Handles one frame; the response encodes either a result or an error
   // status. Malformed frames yield a kCorruption response, never a crash.
-  std::vector<uint8_t> Handle(const std::vector<uint8_t>& request);
+  std::vector<uint8_t> Handle(const std::vector<uint8_t>& request) override;
 
   int64_t calls_handled() const {
     return calls_handled_.load(std::memory_order_relaxed);

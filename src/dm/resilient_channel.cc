@@ -2,15 +2,24 @@
 
 namespace hedc::dm {
 
-ResilientChannel::ResilientChannel(ByteChannel* primary, ByteChannel* fallback,
+ResilientChannel::ResilientChannel(ByteChannel* primary,
+                                   std::vector<ByteChannel*> fallbacks,
                                    Clock* clock, Options options,
                                    MetricsRegistry* metrics)
     : primary_(primary),
-      fallback_(fallback),
+      fallbacks_(std::move(fallbacks)),
       clock_(clock),
-      options_(options),
+      options_(std::move(options)),
       metrics_(metrics != nullptr ? metrics : MetricsRegistry::Default()),
-      rng_(options.rng_seed) {}
+      rng_(options_.rng_seed) {}
+
+ResilientChannel::ResilientChannel(ByteChannel* primary, ByteChannel* fallback,
+                                   Clock* clock, Options options,
+                                   MetricsRegistry* metrics)
+    : ResilientChannel(primary,
+                       fallback != nullptr ? std::vector<ByteChannel*>{fallback}
+                                           : std::vector<ByteChannel*>{},
+                       clock, std::move(options), metrics) {}
 
 bool ResilientChannel::IsTransportFailure(const Status& status) {
   return status.IsUnavailable() || status.IsTimeout() ||
@@ -20,9 +29,14 @@ bool ResilientChannel::IsTransportFailure(const Status& status) {
 ResilientChannel::Target ResilientChannel::PickTarget() {
   std::lock_guard<std::mutex> lock(mu_);
   Target target;
+  auto fallback_target = [this]() -> Target {
+    if (fallbacks_.empty()) return {nullptr, false, false, -1};
+    return {fallbacks_[active_fallback_], false, false,
+            static_cast<int>(active_fallback_)};
+  };
   switch (state_) {
     case BreakerState::kClosed:
-      target = {primary_, /*is_primary=*/true, /*is_probe=*/false};
+      target = {primary_, /*is_primary=*/true, /*is_probe=*/false, -1};
       break;
     case BreakerState::kOpen:
       if (clock_->Now() >= open_until_) {
@@ -30,16 +44,16 @@ ResilientChannel::Target ResilientChannel::PickTarget() {
         probe_in_flight_ = false;
         // fall through to the half-open logic below
       } else {
-        target = {fallback_, false, false};
+        target = fallback_target();
         break;
       }
       [[fallthrough]];
     case BreakerState::kHalfOpen:
       if (!probe_in_flight_) {
         probe_in_flight_ = true;
-        target = {primary_, true, /*is_probe=*/true};
+        target = {primary_, true, /*is_probe=*/true, -1};
       } else {
-        target = {fallback_, false, false};
+        target = fallback_target();
       }
       break;
   }
@@ -51,28 +65,52 @@ ResilientChannel::Target ResilientChannel::PickTarget() {
 }
 
 void ResilientChannel::RecordOutcome(const Target& target, bool success) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (target.is_probe) probe_in_flight_ = false;
-  if (!target.is_primary) return;  // fallback outcomes don't move the breaker
-  if (success) {
-    consecutive_failures_ = 0;
-    if (state_ != BreakerState::kClosed) {
-      state_ = BreakerState::kClosed;
-      ++stats_.breaker_closes;
-      metrics_->GetCounter("remote.breaker_closes")->Add();
+  bool notify = false;
+  BreakerState notify_state = BreakerState::kClosed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (target.is_probe) probe_in_flight_ = false;
+    if (!target.is_primary) {
+      // Fallback outcomes don't move the breaker, but a failing fallback
+      // rotates open-breaker traffic to the next node in preference order.
+      if (!success && target.fallback_index >= 0 &&
+          static_cast<size_t>(target.fallback_index) == active_fallback_ &&
+          fallbacks_.size() > 1) {
+        active_fallback_ = (active_fallback_ + 1) % fallbacks_.size();
+        ++stats_.fallback_rotations;
+        metrics_->GetCounter("remote.fallback_rotations")->Add();
+      }
+      return;
     }
-    return;
+    if (success) {
+      consecutive_failures_ = 0;
+      if (state_ != BreakerState::kClosed) {
+        state_ = BreakerState::kClosed;
+        active_fallback_ = 0;  // recovered: prefer the front of the list again
+        ++stats_.breaker_closes;
+        metrics_->GetCounter("remote.breaker_closes")->Add();
+        notify = true;
+        notify_state = BreakerState::kClosed;
+      }
+    } else {
+      ++consecutive_failures_;
+      bool trip = target.is_probe ||
+                  (state_ == BreakerState::kClosed &&
+                   consecutive_failures_ >= options_.failure_threshold);
+      if (trip) {
+        bool was_closed = state_ == BreakerState::kClosed;
+        state_ = BreakerState::kOpen;
+        open_until_ = clock_->Now() + options_.cooldown;
+        ++stats_.breaker_opens;
+        metrics_->GetCounter("remote.breaker_opens")->Add();
+        if (was_closed) {
+          notify = true;
+          notify_state = BreakerState::kOpen;
+        }
+      }
+    }
   }
-  ++consecutive_failures_;
-  bool trip = target.is_probe ||
-              (state_ == BreakerState::kClosed &&
-               consecutive_failures_ >= options_.failure_threshold);
-  if (trip) {
-    state_ = BreakerState::kOpen;
-    open_until_ = clock_->Now() + options_.cooldown;
-    ++stats_.breaker_opens;
-    metrics_->GetCounter("remote.breaker_opens")->Add();
-  }
+  if (notify && options_.on_state_change) options_.on_state_change(notify_state);
 }
 
 Result<std::vector<uint8_t>> ResilientChannel::Call(
@@ -150,6 +188,11 @@ ResilientChannel::BreakerState ResilientChannel::breaker_state() const {
 ResilientChannel::Stats ResilientChannel::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+size_t ResilientChannel::active_fallback() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_fallback_;
 }
 
 }  // namespace hedc::dm

@@ -10,12 +10,20 @@
 // Breaker state machine:
 //   kClosed    -- calls go to the primary; `failure_threshold` consecutive
 //                 transport failures open the breaker.
-//   kOpen      -- calls redirect to the fallback (or fail kUnavailable
-//                 when none is configured) until `cooldown` elapses.
+//   kOpen      -- calls redirect to the active fallback (or fail
+//                 kUnavailable when none is configured) until `cooldown`
+//                 elapses.
 //   kHalfOpen  -- after the cooldown one probe call is allowed through to
 //                 the primary; success closes the breaker, failure reopens
 //                 it for another cooldown. Non-probe calls keep using the
 //                 fallback meanwhile.
+//
+// Fallbacks form an ordered list (the cluster router hands over the ring
+// successors of the primary). While the breaker is open, traffic goes to
+// the first fallback; a transport failure there rotates to the next one
+// in order, and closing the breaker (primary recovered) resets the
+// rotation to the front, so traffic always returns to the preferred
+// node first.
 //
 // Only transport-class failures count: kUnavailable (peer down/reset),
 // kTimeout (deadline), kCorruption (garbled frame). Application errors
@@ -25,7 +33,9 @@
 #define HEDC_DM_RESILIENT_CHANNEL_H_
 
 #include <cstdint>
+#include <functional>
 #include <mutex>
+#include <vector>
 
 #include "core/backoff.h"
 #include "core/clock.h"
@@ -49,20 +59,30 @@ class ResilientChannel : public ByteChannel {
     // Open duration before a half-open probe is allowed.
     Micros cooldown = 5 * kMicrosPerSecond;
     uint64_t rng_seed = 1;
+    // Invoked (outside the channel lock) when the breaker trips open or
+    // recloses — the membership registry's health feed. Half-open probing
+    // is internal and not reported.
+    std::function<void(BreakerState)> on_state_change;
   };
 
   struct Stats {
     int64_t calls = 0;
     int64_t attempts = 0;
     int64_t retries = 0;
-    int64_t redirects = 0;   // attempts served by the fallback channel
+    int64_t redirects = 0;   // attempts served by a fallback channel
     int64_t failures = 0;    // calls that exhausted every attempt
     int64_t breaker_opens = 0;
     int64_t breaker_closes = 0;
+    int64_t fallback_rotations = 0;  // advances to the next fallback
   };
 
-  // `fallback` may be null (no redirect target). Borrowed pointers must
-  // outlive the channel. `metrics` defaults to the process registry.
+  // Ordered fallback list (may be empty: no redirect target). Borrowed
+  // pointers must outlive the channel. `metrics` defaults to the process
+  // registry.
+  ResilientChannel(ByteChannel* primary, std::vector<ByteChannel*> fallbacks,
+                   Clock* clock, Options options,
+                   MetricsRegistry* metrics = nullptr);
+  // Single-fallback convenience (`fallback` may be null).
   ResilientChannel(ByteChannel* primary, ByteChannel* fallback, Clock* clock,
                    Options options, MetricsRegistry* metrics = nullptr);
 
@@ -71,23 +91,28 @@ class ResilientChannel : public ByteChannel {
 
   BreakerState breaker_state() const;
   Stats stats() const;
+  // Index into the fallback list that open-breaker traffic currently
+  // uses; 0 after recovery. Exposed for routing tests.
+  size_t active_fallback() const;
 
  private:
   struct Target {
     ByteChannel* channel = nullptr;
     bool is_primary = false;
     bool is_probe = false;
+    int fallback_index = -1;
   };
 
   // Picks primary or fallback per the breaker state (locks mu_).
   Target PickTarget();
-  // Feeds an attempt outcome back into the breaker (locks mu_).
+  // Feeds an attempt outcome back into the breaker (locks mu_, notifies
+  // on_state_change outside it).
   void RecordOutcome(const Target& target, bool success);
 
   static bool IsTransportFailure(const Status& status);
 
   ByteChannel* primary_;
-  ByteChannel* fallback_;
+  std::vector<ByteChannel*> fallbacks_;
   Clock* clock_;
   Options options_;
   MetricsRegistry* metrics_;
@@ -97,6 +122,7 @@ class ResilientChannel : public ByteChannel {
   int consecutive_failures_ = 0;
   Micros open_until_ = 0;
   bool probe_in_flight_ = false;
+  size_t active_fallback_ = 0;
   Rng rng_;
   Stats stats_;
 };

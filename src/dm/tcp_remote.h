@@ -24,9 +24,11 @@ namespace hedc::dm {
 // Serves RMI frames over TCP. Start() spawns an accept thread and one
 // thread per connection; Stop() shuts the listener and all live
 // connections down (failing any in-flight calls) and joins the threads.
+// Start() after Stop() reboots the server (on a fresh ephemeral port when
+// port 0 is used), which is how a cluster node restarts.
 class TcpRmiServer {
  public:
-  explicit TcpRmiServer(RmiServer* rmi, MetricsRegistry* metrics = nullptr)
+  explicit TcpRmiServer(RmiHandler* rmi, MetricsRegistry* metrics = nullptr)
       : rmi_(rmi),
         metrics_(metrics != nullptr ? metrics : MetricsRegistry::Default()) {}
   ~TcpRmiServer() { Stop(); }
@@ -35,7 +37,12 @@ class TcpRmiServer {
 
   // Port 0 picks an ephemeral port; see port().
   Status Start(int port = 0);
-  int port() const { return listener_.port(); }
+  // Locked: a restart (Stop + Start) rebinds the listener, and clients
+  // may read the port concurrently with the rebind.
+  int port() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return listener_.port();
+  }
   bool running() const;
   // Idempotent; kills in-flight calls mid-frame (clients observe a reset).
   void Stop();
@@ -44,7 +51,7 @@ class TcpRmiServer {
   void AcceptLoop();
   void ServeConnection(net::TcpSocket socket);
 
-  RmiServer* rmi_;
+  RmiHandler* rmi_;
   MetricsRegistry* metrics_;
   net::TcpListener listener_;
   std::thread accept_thread_;

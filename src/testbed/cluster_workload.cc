@@ -1,0 +1,74 @@
+#include "testbed/cluster_workload.h"
+
+namespace hedc::testbed {
+
+namespace {
+
+const char* const kEventTypes[] = {"flare", "quiet", "ejection", "scan"};
+
+}  // namespace
+
+ClusterWorkload::ClusterWorkload(ClusterWorkloadOptions options)
+    : options_(options) {}
+
+Status ClusterWorkload::Seed(db::Database* db) const {
+  HEDC_RETURN_IF_ERROR(
+      db->Execute("CREATE TABLE IF NOT EXISTS cluster_events ("
+                  "  event_id INTEGER PRIMARY KEY,"
+                  "  event_type TEXT,"
+                  "  peak_energy REAL,"
+                  "  duration_sec INTEGER"
+                  ")")
+          .status());
+  Rng rng(options_.seed);
+  for (int i = 0; i < options_.events; ++i) {
+    std::vector<db::Value> row;
+    row.push_back(db::Value::Int(i + 1));
+    row.push_back(db::Value::Text(
+        kEventTypes[rng.UniformInt(0, 3)]));
+    row.push_back(db::Value::Real(
+        static_cast<double>(rng.UniformInt(10, 5000)) / 10.0));
+    row.push_back(db::Value::Int(rng.UniformInt(1, 3600)));
+    HEDC_RETURN_IF_ERROR(
+        db->Execute("INSERT INTO cluster_events VALUES (?, ?, ?, ?)", row)
+            .status());
+  }
+  return Status::Ok();
+}
+
+std::string ClusterWorkload::SessionKeyAt(int64_t index) const {
+  // Per-index generator: reproducible regardless of which client thread
+  // asks, and independent of call order.
+  Rng rng(options_.seed ^ (0x5e55100bULL + static_cast<uint64_t>(index)));
+  return "s" + std::to_string(rng.UniformInt(0, options_.sessions - 1));
+}
+
+ClusterWorkload::Query ClusterWorkload::QueryAt(int64_t index) const {
+  Rng rng(options_.seed ^ (0x5e55100bULL + static_cast<uint64_t>(index)));
+  Query q;
+  q.session_key = "s" + std::to_string(rng.UniformInt(0, options_.sessions - 1));
+  switch (rng.UniformInt(0, 2)) {
+    case 0:  // point lookup (the paper's HLE-display query shape)
+      q.sql = "SELECT event_id, event_type, peak_energy FROM cluster_events "
+              "WHERE event_id = ?";
+      q.params.push_back(db::Value::Int(rng.UniformInt(1, options_.events)));
+      break;
+    case 1: {  // bounded range scan (catalog browsing)
+      int64_t lo = rng.UniformInt(1, options_.events - 10);
+      q.sql = "SELECT event_id, duration_sec FROM cluster_events "
+              "WHERE event_id BETWEEN ? AND ? ORDER BY event_id";
+      q.params.push_back(db::Value::Int(lo));
+      q.params.push_back(db::Value::Int(lo + rng.UniformInt(1, 20)));
+      break;
+    }
+    default:  // small aggregate over one event class
+      q.sql = "SELECT COUNT(*), MAX(peak_energy) FROM cluster_events "
+              "WHERE event_type = ?";
+      q.params.push_back(
+          db::Value::Text(kEventTypes[rng.UniformInt(0, 3)]));
+      break;
+  }
+  return q;
+}
+
+}  // namespace hedc::testbed

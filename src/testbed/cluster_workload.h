@@ -1,0 +1,62 @@
+// Deterministic cluster workload (§7 testbed).
+//
+// The cluster tests and the scale-out bench need two things the browse /
+// processing models don't give them: (a) a dataset that can be seeded
+// *byte-identically* into every node of a cluster, so any node can answer
+// any query and a routed answer can be diffed against a single-node
+// answer; and (b) a reproducible stream of parameterized read queries
+// shaped like the paper's catalog browsing (point lookups, range scans,
+// small aggregates) to drive through the routed dispatch path.
+//
+// Everything is a pure function of the seed: same seed → same rows on
+// every node and the same query sequence on every run.
+#ifndef HEDC_TESTBED_CLUSTER_WORKLOAD_H_
+#define HEDC_TESTBED_CLUSTER_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/status.h"
+#include "db/database.h"
+
+namespace hedc::testbed {
+
+struct ClusterWorkloadOptions {
+  uint64_t seed = 7;
+  // Rows seeded into cluster_events.
+  int events = 200;
+  // Distinct session keys the query stream draws from.
+  int sessions = 16;
+};
+
+class ClusterWorkload {
+ public:
+  explicit ClusterWorkload(ClusterWorkloadOptions options = {});
+
+  // Creates the cluster_events table and inserts `events` deterministic
+  // rows. Call once per node with the same options to get identical data
+  // everywhere (row content depends only on the seed, not the node).
+  Status Seed(db::Database* db) const;
+
+  struct Query {
+    std::string session_key;  // routing key ("s0".."sN-1")
+    std::string sql;          // parameterized SELECT on cluster_events
+    std::vector<db::Value> params;
+  };
+
+  // The `index`-th query of the deterministic stream. Stateless: safe to
+  // call concurrently, and interleaving across client threads preserves
+  // per-index reproducibility.
+  Query QueryAt(int64_t index) const;
+
+  // Session key of the `index`-th query (for routing assertions).
+  std::string SessionKeyAt(int64_t index) const;
+
+ private:
+  ClusterWorkloadOptions options_;
+};
+
+}  // namespace hedc::testbed
+
+#endif  // HEDC_TESTBED_CLUSTER_WORKLOAD_H_

@@ -589,7 +589,10 @@ HttpResponse WebServer::Dispatch(const HttpRequest& request) {
   }
   metrics->GetCounter("web.requests" + request.path)->Add();
   // Call redirection: the request may execute on a peer DM node (§5.4).
-  dm::DataManager* node = dm_->Route();
+  // A cluster router (when installed) owns the choice; otherwise the
+  // primary node's peer round-robin decides.
+  dm::DataManager* node = node_router_ ? node_router_(request) : nullptr;
+  if (node == nullptr) node = dm_->Route();
   node->CountRequest();
   Micros start = node->clock()->Now();
   HttpResponse response = [&] {

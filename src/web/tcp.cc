@@ -129,6 +129,13 @@ TcpListener::~TcpListener() {
 }
 
 Status TcpListener::Listen(int port) {
+  // Re-listen after Close(): the old fd is only shut down there (closing
+  // it could race a concurrent accept against fd reuse), so a restarting
+  // server must release it here or leak one fd per start/stop cycle.
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) return Errno("socket");
   int one = 1;

@@ -1,0 +1,193 @@
+// Reusable cluster test fixture: boots an N-node DM cluster with every
+// node seeded byte-identically from the deterministic cluster workload,
+// and hands tests routed client pools, kill/restart controls and chaos
+// decoration. Used by cluster_test.cc and the cross-node product-cache
+// coherence tests.
+#ifndef HEDC_TESTS_CLUSTER_FIXTURE_H_
+#define HEDC_TESTS_CLUSTER_FIXTURE_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "dm/chaos_channel.h"
+#include "rhessi/raw_unit.h"
+#include "rhessi/telemetry.h"
+#include "testbed/cluster_workload.h"
+
+namespace hedc::cluster {
+
+// ChaosChannel borrows its inner channel; the pool's decorate seam hands
+// over ownership, so this adapter keeps the TcpChannel alive alongside
+// the chaos wrapper.
+class OwningChaosChannel : public dm::ByteChannel {
+ public:
+  OwningChaosChannel(std::unique_ptr<dm::ByteChannel> inner, Clock* clock,
+                     dm::ChaosOptions options)
+      : inner_(std::move(inner)), chaos_(inner_.get(), clock, options) {}
+
+  Result<std::vector<uint8_t>> Call(
+      const std::vector<uint8_t>& request) override {
+    return chaos_.Call(request);
+  }
+
+  dm::ChaosChannel::Counts counts() const { return chaos_.counts(); }
+
+ private:
+  std::unique_ptr<dm::ByteChannel> inner_;
+  dm::ChaosChannel chaos_;
+};
+
+struct ClusterFixtureOptions {
+  int nodes = 3;
+  RoutingPolicy routing = RoutingPolicy::kConsistentHash;
+  testbed::ClusterWorkloadOptions workload;
+  // Forwarded into every node (executor slots, service floor, caches).
+  NodeOptions node;
+};
+
+// Not a gtest fixture class on purpose: tests compose it as a member so
+// one test can hold two differently-routed clusters side by side.
+class ClusterFixture {
+ public:
+  explicit ClusterFixture(ClusterFixtureOptions options = {})
+      : options_(options), workload_(options.workload) {
+    ClusterOptions cluster_options;
+    cluster_options.nodes = options_.nodes;
+    cluster_options.routing = options_.routing;
+    cluster_options.node = options_.node;
+    runner_ = std::make_unique<ClusterRunner>(std::move(cluster_options),
+                                              RealClock::Instance(),
+                                              &metrics_);
+  }
+
+  // Boots the nodes and seeds each one with the identical workload
+  // dataset, so any node can answer any workload query.
+  void Start() {
+    ASSERT_TRUE(runner_->Start().ok());
+    for (size_t i = 0; i < runner_->num_nodes(); ++i) {
+      ClusterNode* node = runner_->node(static_cast<int>(i));
+      ASSERT_NE(node, nullptr);
+      Status seeded = workload_.Seed(node->db());
+      ASSERT_TRUE(seeded.ok()) << seeded.ToString();
+    }
+  }
+
+  ClusterRunner& runner() { return *runner_; }
+  const testbed::ClusterWorkload& workload() const { return workload_; }
+  MetricsRegistry* metrics() { return &metrics_; }
+
+  // Super-user session on one node (created on demand), for the
+  // import/recalibration workflows.
+  dm::Session SuperSession(int node_id) {
+    ClusterNode* node = runner_->node(node_id);
+    EXPECT_NE(node, nullptr);
+    // Idempotent: AlreadyExists on repeat calls is fine.
+    (void)node->dm()->users().CreateUser("import", "pw-i", SuperProfile());
+    dm::UserProfile profile =
+        node->dm()->users().Authenticate("import", "pw-i").value();
+    return node->dm()
+        ->sessions()
+        .GetOrCreate(profile, "127.0.0.1", "ck-import", dm::SessionKind::kHle)
+        .value();
+  }
+
+  // Loads the *same* telemetry (one generation, shared packed units) into
+  // every node, so unit/HLE ids line up across the cluster and a
+  // recalibration on any node refers to the same data everywhere.
+  // Returns the loaded unit ids (identical on each node).
+  std::vector<int64_t> LoadTelemetryEverywhere(uint64_t seed = 5,
+                                               double duration_sec = 400) {
+    rhessi::TelemetryOptions telemetry_options;
+    telemetry_options.duration_sec = duration_sec;
+    telemetry_options.flares_per_hour = 9;
+    telemetry_options.saa_per_hour = 0;
+    telemetry_options.seed = seed;
+    rhessi::Telemetry telemetry = rhessi::GenerateTelemetry(telemetry_options);
+    std::vector<std::vector<uint8_t>> packed;
+    for (const rhessi::RawDataUnit& unit :
+         rhessi::SegmentIntoUnits(telemetry.photons, 200000, 1)) {
+      packed.push_back(unit.Pack());
+    }
+    std::vector<int64_t> unit_ids;
+    for (size_t n = 0; n < runner_->num_nodes(); ++n) {
+      dm::Session session = SuperSession(static_cast<int>(n));
+      std::vector<int64_t> node_units;
+      for (const std::vector<uint8_t>& bytes : packed) {
+        auto report =
+            runner_->node(static_cast<int>(n))->process()->LoadRawUnit(
+                session, bytes);
+        EXPECT_TRUE(report.ok()) << report.status().ToString();
+        if (report.ok()) node_units.push_back(report.value().unit_id);
+      }
+      if (n == 0) {
+        unit_ids = node_units;
+      } else {
+        // Determinism check: id allocation agreed across nodes.
+        EXPECT_EQ(node_units, unit_ids) << "node " << n << " diverged";
+      }
+    }
+    return unit_ids;
+  }
+
+  // Failover-tuned client pool: short recv timeout, fast breaker, long
+  // cooldown (traffic stays redirected until membership recovers).
+  RoutedDmPool::Options FailoverPoolOptions() const {
+    RoutedDmPool::Options options;
+    options.recv_timeout = 500 * kMicrosPerMilli;
+    options.channel.retry.max_attempts = 6;
+    options.channel.retry.initial_backoff = 2 * kMicrosPerMilli;
+    options.channel.retry.max_backoff = 10 * kMicrosPerMilli;
+    options.channel.failure_threshold = 2;
+    options.channel.cooldown = 30 * kMicrosPerSecond;
+    return options;
+  }
+
+  std::unique_ptr<RoutedDmPool> MakePool(RoutedDmPool::Options options) {
+    return std::make_unique<RoutedDmPool>(&runner_->membership(),
+                                          &runner_->router(),
+                                          runner_->clock(), std::move(options),
+                                          &metrics_);
+  }
+
+  std::unique_ptr<RoutedDmPool> MakePool() {
+    return MakePool(FailoverPoolOptions());
+  }
+
+  // Pool whose channels to node `chaos_node_id` pass through a seeded
+  // ChaosChannel (other nodes stay clean).
+  std::unique_ptr<RoutedDmPool> MakeChaosPool(int chaos_node_id,
+                                              dm::ChaosOptions chaos) {
+    RoutedDmPool::Options options = FailoverPoolOptions();
+    Clock* clock = runner_->clock();
+    options.decorate = [chaos_node_id, chaos, clock](
+                           const NodeInfo& node,
+                           std::unique_ptr<dm::ByteChannel> inner)
+        -> std::unique_ptr<dm::ByteChannel> {
+      if (node.node_id != chaos_node_id) return inner;
+      return std::make_unique<OwningChaosChannel>(std::move(inner), clock,
+                                                  chaos);
+    };
+    return MakePool(std::move(options));
+  }
+
+ private:
+  static dm::UserProfile SuperProfile() {
+    dm::UserProfile profile;
+    profile.is_super = true;
+    return profile;
+  }
+
+  ClusterFixtureOptions options_;
+  testbed::ClusterWorkload workload_;
+  MetricsRegistry metrics_;
+  std::unique_ptr<ClusterRunner> runner_;
+};
+
+}  // namespace hedc::cluster
+
+#endif  // HEDC_TESTS_CLUSTER_FIXTURE_H_

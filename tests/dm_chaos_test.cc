@@ -235,6 +235,86 @@ TEST(ResilientChannelTest, HalfOpenProbeFailureReopensBreaker) {
   EXPECT_EQ(primary.calls(), primary_calls);
 }
 
+TEST(ResilientChannelTest, OrderedFallbacksRotateOnFailureThenResetOnRecovery) {
+  VirtualClock clock;
+  FakeChannel primary(Status::Unavailable("down"), 1000000);
+  FakeChannel fallback_b(Status::Unavailable("also down"), 1000000);
+  FakeChannel fallback_c(Status::Ok(), 0);
+  ResilientChannel::Options options = FastOptions();
+  options.retry.max_attempts = 3;
+  std::vector<ResilientChannel::BreakerState> transitions;
+  options.on_state_change = [&transitions](ResilientChannel::BreakerState s) {
+    transitions.push_back(s);
+  };
+  ResilientChannel channel(&primary,
+                           std::vector<ByteChannel*>{&fallback_b, &fallback_c},
+                           &clock, options);
+
+  // Trip the breaker: three primary attempts (= threshold) in one call.
+  EXPECT_FALSE(channel.Call({1}).ok());
+  ASSERT_EQ(channel.breaker_state(), ResilientChannel::BreakerState::kOpen);
+  ASSERT_EQ(transitions,
+            std::vector<ResilientChannel::BreakerState>{
+                ResilientChannel::BreakerState::kOpen});
+  EXPECT_EQ(channel.active_fallback(), 0u);  // preferred fallback first
+
+  // Open-breaker traffic probes B (first in preference order), and B's
+  // transport failure rotates to C within the same call — zero visible
+  // failures from here on.
+  EXPECT_TRUE(channel.Call({1}).ok());
+  EXPECT_EQ(fallback_b.calls(), 1);
+  EXPECT_EQ(fallback_c.calls(), 1);
+  EXPECT_EQ(channel.active_fallback(), 1u);
+  EXPECT_GE(channel.stats().fallback_rotations, 1);
+
+  // Subsequent calls stay on C without touching B again.
+  int64_t b_calls = fallback_b.calls();
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(channel.Call({1}).ok());
+  EXPECT_EQ(fallback_b.calls(), b_calls);
+  EXPECT_EQ(fallback_c.calls(), 5);
+
+  // Primary recovers: the half-open probe closes the breaker, traffic
+  // returns to the preferred node, and the rotation resets to the front
+  // so a future outage tries B before C again.
+  primary.set_failures_remaining(0);
+  clock.Advance(FastOptions().cooldown + 1);
+  int64_t primary_calls = primary.calls();
+  EXPECT_TRUE(channel.Call({1}).ok());
+  EXPECT_GT(primary.calls(), primary_calls);
+  EXPECT_EQ(channel.breaker_state(), ResilientChannel::BreakerState::kClosed);
+  EXPECT_EQ(channel.active_fallback(), 0u);
+  ASSERT_EQ(transitions.size(), 2u);
+  EXPECT_EQ(transitions[1], ResilientChannel::BreakerState::kClosed);
+  // Closed breaker: calls go to the primary, fallbacks untouched.
+  int64_t c_calls = fallback_c.calls();
+  EXPECT_TRUE(channel.Call({1}).ok());
+  EXPECT_EQ(fallback_c.calls(), c_calls);
+}
+
+TEST(ResilientChannelTest, AllFallbacksDeadCyclesThroughEntireList) {
+  VirtualClock clock;
+  FakeChannel primary(Status::Unavailable("down"), 1000000);
+  FakeChannel fallback_b(Status::Unavailable("down"), 1000000);
+  FakeChannel fallback_c(Status::Unavailable("down"), 1000000);
+  ResilientChannel::Options options = FastOptions();
+  options.retry.max_attempts = 1;
+  ResilientChannel channel(&primary,
+                           std::vector<ByteChannel*>{&fallback_b, &fallback_c},
+                           &clock, options);
+  for (int i = 0; i < 3; ++i) (void)channel.Call({1});
+  ASSERT_EQ(channel.breaker_state(), ResilientChannel::BreakerState::kOpen);
+
+  // Every open-breaker call fails on the active fallback and rotates; the
+  // rotation wraps around the list rather than sticking or walking off
+  // the end.
+  for (int i = 0; i < 4; ++i) {
+    size_t before = channel.active_fallback();
+    EXPECT_FALSE(channel.Call({1}).ok());
+    EXPECT_EQ(channel.active_fallback(), (before + 1) % 2);
+  }
+  EXPECT_EQ(channel.stats().fallback_rotations, 4);
+}
+
 TEST(ResilientChannelTest, BreakerOpenWithoutFallbackFailsFast) {
   VirtualClock clock;
   FakeChannel dead(Status::Unavailable("down"), 1000000);

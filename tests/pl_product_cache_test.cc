@@ -14,6 +14,7 @@
 #include "rhessi/raw_unit.h"
 #include "rhessi/telemetry.h"
 #include "web/web_server.h"
+#include "cluster_fixture.h"
 #include "hedc_fixture.h"
 
 namespace hedc::pl {
@@ -821,6 +822,101 @@ TEST(ProductCacheStressTest, FrontendCoalescingManyRounds) {
   }
   // At most one execution per unique key, regardless of interleaving.
   EXPECT_EQ(runs.load(), kRounds);
+}
+
+// --- cluster-wide coherence ----------------------------------------------
+
+// A product cached via node A must die cluster-wide when the unit it
+// depends on is recalibrated through node B: the ClusterRunner wires every
+// node's recalibration hook to broadcast invalidation into all caches.
+TEST(ProductCacheClusterTest, RecalibrationOnOneNodeInvalidatesClusterWide) {
+  cluster::ClusterFixtureOptions fixture_options;
+  fixture_options.nodes = 2;
+  cluster::ClusterFixture fixture(fixture_options);
+  fixture.Start();
+  std::vector<int64_t> units = fixture.LoadTelemetryEverywhere();
+  ASSERT_FALSE(units.empty());
+  int64_t unit_id = units[0];
+
+  ProductCache* cache_a = fixture.runner().node(0)->product_cache();
+  ProductCache* cache_b = fixture.runner().node(1)->product_cache();
+  ASSERT_NE(cache_a, nullptr);
+  ASSERT_NE(cache_b, nullptr);
+
+  // The same derived product is cached on both nodes (each served it to
+  // its own clients), plus an unrelated product on node A.
+  analysis::AnalysisParams params;
+  ProductCacheKey depends =
+      MakeProductCacheKey("imaging", params, {{unit_id, 1}});
+  ProductCacheKey unrelated =
+      MakeProductCacheKey("imaging", params, {{999999, 1}});
+  cache_a->CompleteSuccess(cache_a->Admit(depends), MakeProduct("imaging"), 1,
+                           0);
+  cache_a->CompleteSuccess(cache_a->Admit(unrelated), MakeProduct("imaging"),
+                           1, 0);
+  cache_b->CompleteSuccess(cache_b->Admit(depends), MakeProduct("imaging"), 1,
+                           0);
+  ASSERT_TRUE(cache_a->Peek(depends));
+  ASSERT_TRUE(cache_b->Peek(depends));
+
+  // Recalibrate the unit through node B only.
+  rhessi::CalibrationTable calibrations;
+  rhessi::CalibrationVersion v2;
+  v2.version = 2;
+  for (double& g : v2.gain) g = 1.05;
+  ASSERT_TRUE(calibrations.Register(v2).ok());
+  auto recal = fixture.runner().node(1)->process()->RecalibrateUnit(
+      fixture.SuperSession(1), unit_id, calibrations, 2);
+  ASSERT_TRUE(recal.ok()) << recal.status().ToString();
+
+  // The broadcast reached every node: node A never serves stale bytes,
+  // and products not touching the unit survive.
+  EXPECT_FALSE(cache_a->Peek(depends)) << "stale entry survived on node A";
+  EXPECT_FALSE(cache_b->Peek(depends));
+  EXPECT_TRUE(cache_a->Peek(unrelated));
+}
+
+// Purging an analysis through one node drops entries sharing the ana id
+// from every node's cache (same broadcast path, ana edition).
+TEST(ProductCacheClusterTest, AnaPurgeBroadcastsAcrossNodes) {
+  cluster::ClusterFixtureOptions fixture_options;
+  fixture_options.nodes = 2;
+  cluster::ClusterFixture fixture(fixture_options);
+  fixture.Start();
+  std::vector<int64_t> units = fixture.LoadTelemetryEverywhere();
+  ASSERT_FALSE(units.empty());
+  ProductCache* cache_a = fixture.runner().node(0)->product_cache();
+  ASSERT_NE(cache_a, nullptr);
+
+  // A private, purgeable analysis on node B. Cluster nodes load the same
+  // data in the same order, so its ana id denotes the same analysis on
+  // every node; node A has the derived product cached under that id.
+  dm::Session session_b = fixture.SuperSession(1);
+  dm::AnaRecord record;
+  record.hle_id = 1;
+  record.is_public = false;
+  record.routine = "imaging";
+  record.status = "done";
+  Result<int64_t> ana = fixture.runner()
+                            .node(1)
+                            ->dm()
+                            ->semantics()
+                            .CreateAna(session_b, record);
+  ASSERT_TRUE(ana.ok()) << ana.status().ToString();
+
+  analysis::AnalysisParams params;
+  ProductCacheKey key = MakeProductCacheKey("imaging", params, {{42, 1}});
+  cache_a->CompleteSuccess(cache_a->Admit(key), MakeProduct("imaging"), 1,
+                           ana.value());
+  ASSERT_TRUE(cache_a->Peek(key));
+
+  // Purge through node B: its listener fires per purged analysis and the
+  // runner-wired broadcast must evict node A's entry.
+  Result<int64_t> purged = fixture.runner().node(1)->process()->
+      PurgeStaleAnalyses(session_b, 1e18);
+  ASSERT_TRUE(purged.ok()) << purged.status().ToString();
+  EXPECT_GE(purged.value(), 1);
+  EXPECT_FALSE(cache_a->Peek(key)) << "purge did not reach node A's cache";
 }
 
 }  // namespace

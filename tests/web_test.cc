@@ -1,6 +1,7 @@
 // Web tier tests: query parsing, templates, servlets end to end.
 #include <gtest/gtest.h>
 
+#include "cluster_fixture.h"
 #include "core/strings.h"
 #include "hedc_fixture.h"
 #include "web/http.h"
@@ -216,6 +217,75 @@ TEST_F(WebStackTest, LogoutRevokesTokenAndSessions) {
   EXPECT_EQ(stack_.web_server->Dispatch(
                 MakeRequest(url, "10.0.0.1", cookie)).status_code,
             403);
+}
+
+// The cluster dispatch seam: a registered node router picks the DM node a
+// request executes on; returning nullptr falls back to the default
+// redirection path.
+TEST(WebClusterDispatchTest, NodeRouterPicksServingNode) {
+  cluster::ClusterFixtureOptions fixture_options;
+  fixture_options.nodes = 2;
+  cluster::ClusterFixture fixture(fixture_options);
+  fixture.Start();
+  // "alice" exists only on node 1, so a successful login proves which
+  // node authenticated the request.
+  ASSERT_TRUE(fixture.runner()
+                  .node(1)
+                  ->dm()
+                  ->users()
+                  .CreateUser("alice", "pw", dm::UserProfile{})
+                  .ok());
+
+  WebServer web(fixture.runner().node(0)->dm(), nullptr);
+  web.RegisterStandardServlets();
+  HttpRequest login = MakeRequest("/login?user=alice&password=pw", "10.0.0.2");
+
+  // Without a router the default node (0) serves, where alice is unknown.
+  EXPECT_EQ(web.Dispatch(login).status_code, 403);
+
+  cluster::ClusterRunner* runner = &fixture.runner();
+  web.set_node_router(
+      [runner](const HttpRequest& request) -> dm::DataManager* {
+        if (request.client_ip != "10.0.0.2") return nullptr;
+        return runner->node(1)->dm();
+      });
+  EXPECT_EQ(web.Dispatch(login).status_code, 200);
+  // Requests outside the routed set still fall back to the default path.
+  EXPECT_EQ(web.Dispatch(
+                    MakeRequest("/login?user=alice&password=pw", "10.0.0.1"))
+                .status_code,
+            403);
+}
+
+// Production wiring: RouteInProcess keyed by the session cookie (client
+// ip for anonymous requests). Repeat requests with one key stick to a
+// single node.
+TEST(WebClusterDispatchTest, RoutedDispatchSticksPerSessionKey) {
+  cluster::ClusterFixtureOptions fixture_options;
+  fixture_options.nodes = 2;
+  cluster::ClusterFixture fixture(fixture_options);
+  fixture.Start();
+  cluster::ClusterRunner* runner = &fixture.runner();
+
+  WebServer web(runner->node(0)->dm(), nullptr);
+  web.RegisterStandardServlets();
+  web.set_node_router(
+      [runner](const HttpRequest& request) -> dm::DataManager* {
+        std::string key = request.GetCookie("hedc_session");
+        if (key.empty()) key = request.client_ip;
+        auto routed = runner->RouteInProcess(key);
+        return routed.ok() ? routed.value() : nullptr;
+      });
+
+  int64_t before0 = runner->node(0)->dm()->requests_handled();
+  int64_t before1 = runner->node(1)->dm()->requests_handled();
+  for (int i = 0; i < 8; ++i) {
+    web.Dispatch(MakeRequest("/catalog?name=standard", "10.9.9.9"));
+  }
+  int64_t served0 = runner->node(0)->dm()->requests_handled() - before0;
+  int64_t served1 = runner->node(1)->dm()->requests_handled() - before1;
+  EXPECT_EQ(served0 + served1, 8);
+  EXPECT_TRUE(served0 == 0 || served1 == 0) << "session key did not stick";
 }
 
 TEST_F(WebStackTest, RedirectionSpreadsAcrossPeers) {
