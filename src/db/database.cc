@@ -6,6 +6,7 @@
 #include "core/config.h"
 #include "core/metrics.h"
 #include "core/strings.h"
+#include "db/join.h"
 #include "db/scan_bounds.h"
 #include "db/vectorized.h"
 
@@ -280,6 +281,9 @@ void Database::Configure(const Config& config) {
   opts.morsel_rows = config.GetInt("db.morsel_rows", opts.morsel_rows);
   opts.scan_threads =
       static_cast<int>(config.GetInt("db.scan_threads", opts.scan_threads));
+  opts.join_partitions = static_cast<int>(
+      config.GetInt("db.join_partitions", opts.join_partitions));
+  opts.join_planner = config.GetBool("db.join_planner", opts.join_planner);
   exec_options_ = opts;
 }
 
@@ -384,6 +388,7 @@ Status Database::CollectIndexCandidates(Table* table, const Expr* where,
 
 Result<ResultSet> Database::ExecSelect(const SelectStmt& stmt,
                                        const std::vector<Value>& params) {
+  if (!stmt.joins.empty()) return ExecJoinedSelect(stmt, params);
   std::shared_lock<std::shared_mutex> catalog(catalog_mu_);
   TableEntry* entry = FindEntry(stmt.table);
   if (entry == nullptr) return Status::NotFound("table " + stmt.table);
@@ -391,16 +396,113 @@ Result<ResultSet> Database::ExecSelect(const SelectStmt& stmt,
   Table* table = &entry->table;
   const Schema& schema = table->schema();
 
+  // Column references may carry the table as a qualifier even in
+  // single-table statements.
+  auto resolve = [&](const std::string& name) -> std::optional<size_t> {
+    auto ci = schema.ColumnIndex(name);
+    if (!ci.has_value()) {
+      ci = schema.ColumnIndex(StripQualifier(name, stmt.table));
+    }
+    return ci;
+  };
+
   std::unique_ptr<Expr> where;
   if (stmt.where != nullptr) {
     where = stmt.where->Clone();
+    StripQualifiers(where.get(), stmt.table);
     HEDC_RETURN_IF_ERROR(BindExpr(where.get(), schema, params));
+  }
+
+  // Resolve the output shape up front: the aggregate fast path below
+  // picks its scan strategy from it.
+  bool has_agg = false;
+  for (const SelectItem& item : stmt.items) {
+    if (item.agg != AggFunc::kNone) has_agg = true;
+  }
+  const bool agg_path = has_agg || !stmt.group_by.empty();
+  std::vector<int> group_cols;
+  std::vector<AggSpec> agg_specs;
+  std::vector<GroupedAggregator::OutputSlot> agg_layout;
+  if (agg_path) {
+    if (stmt.star) {
+      return Status::InvalidArgument(
+          "SELECT * cannot be combined with aggregation");
+    }
+    for (const std::string& g : stmt.group_by) {
+      auto ci = resolve(g);
+      if (!ci.has_value()) {
+        return Status::InvalidArgument("unknown GROUP BY column: " + g);
+      }
+      group_cols.push_back(static_cast<int>(*ci));
+    }
+    for (const SelectItem& item : stmt.items) {
+      if (item.agg == AggFunc::kNone) {
+        auto ci = resolve(item.column);
+        if (!ci.has_value()) {
+          return Status::InvalidArgument("unknown column: " + item.column);
+        }
+        const auto it = std::find(group_cols.begin(), group_cols.end(),
+                                  static_cast<int>(*ci));
+        if (it == group_cols.end()) {
+          return Status::InvalidArgument("column " + item.column +
+                                         " must appear in GROUP BY");
+        }
+        agg_layout.push_back(GroupedAggregator::OutputSlot{
+            true, static_cast<size_t>(it - group_cols.begin())});
+        continue;
+      }
+      AggSpec spec{item.agg, -1};
+      if (item.agg != AggFunc::kCountStar) {
+        auto ci = resolve(item.column);
+        if (!ci.has_value()) {
+          return Status::InvalidArgument("unknown column: " + item.column);
+        }
+        spec.col = static_cast<int>(*ci);
+      }
+      agg_layout.push_back(
+          GroupedAggregator::OutputSlot{false, agg_specs.size()});
+      agg_specs.push_back(spec);
+    }
   }
 
   bool used_index = false;
   std::vector<int64_t> candidates;
   HEDC_RETURN_IF_ERROR(
       CollectIndexCandidates(table, where.get(), &candidates, &used_index));
+
+  // Aggregate fast path: no index, no ORDER BY (which reorders groups
+  // through first-seen) — scan → filter → aggregate per morsel without
+  // materializing matches (db/vectorized.h).
+  if (agg_path && !used_index && exec_options_.vectorized &&
+      stmt.order_by.empty()) {
+    ScanOptions sopts;
+    sopts.zone_maps = exec_options_.zone_maps;
+    sopts.threads = exec_options_.scan_threads;
+    sopts.pool = exec_options_.scan_threads > 1 ? ScanPool() : nullptr;
+    ScanStats sstats;
+    GroupedAggregator agg(group_cols, agg_specs);
+    HEDC_RETURN_IF_ERROR(
+        ScanAggregate(*table, where.get(), sopts, &agg, &sstats));
+    stats_.rows_examined.fetch_add(sstats.rows_scanned,
+                                   std::memory_order_relaxed);
+    stats_.morsels_pruned.fetch_add(sstats.morsels_pruned,
+                                    std::memory_order_relaxed);
+    stats_.rows_matched.fetch_add(sstats.rows_matched,
+                                  std::memory_order_relaxed);
+    RowsScannedCounter()->Add(sstats.rows_scanned);
+    RowsMatchedCounter()->Add(sstats.rows_matched);
+    ResultSet result;
+    for (const SelectItem& item : stmt.items) {
+      result.columns.push_back(item.alias);
+    }
+    agg.Emit(agg_layout, /*empty_input_row=*/group_cols.empty(),
+             &result.rows);
+    if (stmt.limit >= 0 &&
+        result.rows.size() > static_cast<size_t>(stmt.limit)) {
+      result.rows.resize(static_cast<size_t>(stmt.limit));
+    }
+    return result;
+  }
 
   // Survivors are borrowed pointers into the heap — stable because the
   // shared latch blocks all mutation for the rest of this function — so
@@ -468,9 +570,10 @@ Result<ResultSet> Database::ExecSelect(const SelectStmt& stmt,
                                 std::memory_order_relaxed);
   RowsMatchedCounter()->Add(static_cast<int64_t>(matches.size()));
 
-  // ORDER BY before projection/limit.
+  // ORDER BY before projection/limit (and before aggregation, where it
+  // fixes the groups' first-seen order).
   if (!stmt.order_by.empty()) {
-    auto col = schema.ColumnIndex(stmt.order_by);
+    auto col = resolve(stmt.order_by);
     if (!col.has_value()) {
       return Status::InvalidArgument("unknown ORDER BY column: " +
                                      stmt.order_by);
@@ -486,130 +589,18 @@ Result<ResultSet> Database::ExecSelect(const SelectStmt& stmt,
 
   ResultSet result;
 
-  bool has_agg = false;
-  for (const SelectItem& item : stmt.items) {
-    if (item.agg != AggFunc::kNone) has_agg = true;
-  }
-
-  if (has_agg || !stmt.group_by.empty()) {
-    // Aggregation path. Groups preserve first-seen order.
-    std::optional<size_t> group_col;
-    if (!stmt.group_by.empty()) {
-      group_col = schema.ColumnIndex(stmt.group_by);
-      if (!group_col.has_value()) {
-        return Status::InvalidArgument("unknown GROUP BY column: " +
-                                       stmt.group_by);
-      }
-    }
-    struct AggState {
-      int64_t count = 0;
-      double sum = 0;
-      bool any = false;
-      Value min, max;
-      Value group_key;
-    };
-    std::vector<AggState> groups;
-    std::unordered_map<std::string, size_t> group_index;
-
-    // Resolve aggregate column indexes once.
-    struct ItemPlan {
-      AggFunc agg;
-      int col = -1;
-    };
-    std::vector<ItemPlan> plans;
+  if (agg_path) {
+    // Aggregation over the materialized matches (index scans, ORDER BY,
+    // or the row-at-a-time mode). Groups preserve first-seen order in
+    // the (possibly sorted) match sequence.
+    GroupedAggregator agg(group_cols, agg_specs);
+    int64_t seq = 0;
+    for (const ScanMatch& m : matches) agg.AccumulateRow(*m.row, seq++);
     for (const SelectItem& item : stmt.items) {
-      ItemPlan plan{item.agg, -1};
-      if (!item.column.empty()) {
-        auto ci = schema.ColumnIndex(item.column);
-        if (!ci.has_value()) {
-          return Status::InvalidArgument("unknown column: " + item.column);
-        }
-        plan.col = static_cast<int>(*ci);
-      }
-      plans.push_back(plan);
+      result.columns.push_back(item.alias);
     }
-
-    // The dialect allows a single aggregated column per statement (every
-    // metadata query in the system satisfies this); the group state below
-    // tracks that one column.
-    int agg_col = -1;
-    for (const ItemPlan& plan : plans) {
-      if (plan.col < 0 || plan.agg == AggFunc::kNone) continue;
-      if (agg_col >= 0 && plan.col != agg_col) {
-        return Status::Unimplemented(
-            "multiple distinct aggregate columns in one SELECT");
-      }
-      agg_col = plan.col;
-    }
-
-    for (const ScanMatch& m : matches) {
-      const Row& row = *m.row;
-      std::string key =
-          group_col.has_value() ? row[*group_col].AsText() : "";
-      auto [it, inserted] = group_index.try_emplace(key, groups.size());
-      if (inserted) {
-        groups.emplace_back();
-        if (group_col.has_value()) {
-          groups.back().group_key = row[*group_col];
-        }
-      }
-      AggState& g = groups[it->second];
-      ++g.count;
-      if (agg_col >= 0) {
-        const Value& v = row[agg_col];
-        if (!v.is_null()) {
-          g.sum += v.AsReal();
-          if (!g.any || v.Compare(g.min) < 0) g.min = v;
-          if (!g.any || v.Compare(g.max) > 0) g.max = v;
-          g.any = true;
-        }
-      }
-    }
-
-    for (const SelectItem& item : stmt.items) result.columns.push_back(item.alias);
-    for (AggState& g : groups) {
-      Row out_row;
-      for (size_t i = 0; i < stmt.items.size(); ++i) {
-        const ItemPlan& plan = plans[i];
-        switch (plan.agg) {
-          case AggFunc::kCountStar:
-          case AggFunc::kCount:
-            out_row.push_back(Value::Int(g.count));
-            break;
-          case AggFunc::kMin:
-            out_row.push_back(g.any ? g.min : Value::Null());
-            break;
-          case AggFunc::kMax:
-            out_row.push_back(g.any ? g.max : Value::Null());
-            break;
-          case AggFunc::kSum:
-            out_row.push_back(g.any ? Value::Real(g.sum) : Value::Null());
-            break;
-          case AggFunc::kAvg:
-            out_row.push_back(
-                g.count > 0 && g.any
-                    ? Value::Real(g.sum / static_cast<double>(g.count))
-                    : Value::Null());
-            break;
-          case AggFunc::kNone:
-            // Non-aggregated item: only valid as the GROUP BY column.
-            out_row.push_back(g.group_key);
-            break;
-        }
-      }
-      result.rows.push_back(std::move(out_row));
-    }
-    if (groups.empty() && !group_col.has_value()) {
-      // Aggregate over empty input still yields one row (COUNT=0 etc.).
-      Row out_row;
-      for (const ItemPlan& plan : plans) {
-        out_row.push_back(plan.agg == AggFunc::kCount ||
-                                  plan.agg == AggFunc::kCountStar
-                              ? Value::Int(0)
-                              : Value::Null());
-      }
-      result.rows.push_back(std::move(out_row));
-    }
+    agg.Emit(agg_layout, /*empty_input_row=*/group_cols.empty(),
+             &result.rows);
   } else {
     // Plain projection.
     std::vector<int> proj;
@@ -620,7 +611,7 @@ Result<ResultSet> Database::ExecSelect(const SelectStmt& stmt,
       }
     } else {
       for (const SelectItem& item : stmt.items) {
-        auto ci = schema.ColumnIndex(item.column);
+        auto ci = resolve(item.column);
         if (!ci.has_value()) {
           return Status::InvalidArgument("unknown column: " + item.column);
         }

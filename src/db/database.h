@@ -8,9 +8,9 @@
 //   1. catalog_mu_ — shared by every statement, exclusive for DDL
 //      (CREATE/DROP TABLE, CREATE INDEX) and WAL reset;
 //   2. one per-table latch — shared for SELECT, exclusive for DML.
-// A single statement touches at most one table latch, so writers to
-// different tables proceed in parallel; the only multi-latch path
-// (transaction rollback) acquires latches in ascending table-name order,
+// A DML statement touches one table latch, so writers to different
+// tables proceed in parallel; the multi-latch paths (joined SELECTs and
+// transaction rollback) acquire latches in ascending table-name order,
 // which keeps the hierarchy deadlock-free. Explicit transactions assume a
 // single writer thread (Begin/Commit/Rollback serialize on txn_mu_).
 #ifndef HEDC_DB_DATABASE_H_
@@ -51,6 +51,7 @@ struct ResultSet {
 // Execution statistics for the evaluation harness.
 struct DbStats {
   std::atomic<int64_t> queries{0};        // SELECT statements
+  std::atomic<int64_t> joins{0};          // joined SELECT statements
   std::atomic<int64_t> updates{0};        // INSERT/UPDATE/DELETE statements
   std::atomic<int64_t> full_scans{0};     // table scans (no usable index)
   std::atomic<int64_t> index_scans{0};    // index-assisted accesses
@@ -68,6 +69,10 @@ struct ExecOptions {
   bool zone_maps = true;    // morsel min/max pruning
   int64_t morsel_rows = Table::kDefaultRowsPerMorsel;
   int scan_threads = 4;     // max parallelism of one full scan
+  int join_partitions = 8;  // hash-join build partitions (vectorized mode)
+  // Cost-based join order (largest estimated input drives, smallest
+  // builds first); off = FROM order.
+  bool join_planner = true;
 };
 
 class Database {
@@ -112,13 +117,20 @@ class Database {
   const Table* GetTable(const std::string& name) const;
   std::vector<std::string> TableNames() const;
 
-  // Reads db.vectorized, db.zone_maps, db.morsel_rows and
-  // db.scan_threads; unset keys keep their current value.
+  // Reads db.vectorized, db.zone_maps, db.morsel_rows, db.scan_threads,
+  // db.join_partitions and db.join_planner; unset keys keep their
+  // current value.
   void Configure(const Config& config);
   void set_exec_options(const ExecOptions& opts) { exec_options_ = opts; }
   const ExecOptions& exec_options() const { return exec_options_; }
 
   DbStats& stats() { return stats_; }
+
+  // Plan description for a joined SELECT, one line per pipeline stage
+  // (driver scan, hash-join builds, terminal); mirrors the planner
+  // decisions ExecJoinedSelect would make (src/db/join.cc).
+  Result<std::vector<std::string>> ExplainJoinedSelect(
+      const SelectStmt& stmt, const std::vector<Value>& params);
 
  private:
   struct UndoOp {
@@ -140,6 +152,10 @@ class Database {
 
   Result<ResultSet> ExecSelect(const SelectStmt& stmt,
                                const std::vector<Value>& params);
+  // Multi-table SELECT (src/db/join.cc): plans an equi-join pipeline
+  // and runs it vectorized or row-at-a-time per exec_options_.
+  Result<ResultSet> ExecJoinedSelect(const SelectStmt& stmt,
+                                     const std::vector<Value>& params);
   Result<ResultSet> ExecInsert(const InsertStmt& stmt,
                                const std::vector<Value>& params);
   Result<ResultSet> ExecUpdate(const UpdateStmt& stmt,

@@ -13,6 +13,14 @@
 namespace hedc::db {
 
 std::string QueryPlan::ToString() const {
+  if (joined) {
+    std::string s = "PIPELINE ";
+    for (size_t i = 0; i < pipeline.size(); ++i) {
+      if (i > 0) s += " -> ";
+      s += pipeline[i];
+    }
+    return s;
+  }
   switch (access) {
     case Access::kFullScan: {
       std::string s = StrFormat("FULL SCAN %s%s", table.c_str(),
@@ -44,6 +52,20 @@ Result<QueryPlan> ExplainSelect(Database* db, std::string_view sql,
     return Status::InvalidArgument("EXPLAIN supports SELECT only");
   }
   const SelectStmt& select = stmt->select;
+
+  if (!select.joins.empty()) {
+    // Joined SELECT: the join planner reports its pipeline directly so
+    // EXPLAIN and execution share one set of decisions.
+    std::vector<Value> padded = params;
+    padded.resize(static_cast<size_t>(stmt->num_params), Value::Int(0));
+    QueryPlan plan;
+    plan.joined = true;
+    plan.table = select.table;
+    HEDC_ASSIGN_OR_RETURN(plan.pipeline,
+                          db->ExplainJoinedSelect(select, padded));
+    return plan;
+  }
+
   Table* table = db->GetTable(select.table);
   if (table == nullptr) return Status::NotFound("table " + select.table);
 

@@ -6,6 +6,7 @@
 #define HEDC_DB_EXPLAIN_H_
 
 #include <string>
+#include <vector>
 
 #include "core/status.h"
 #include "db/database.h"
@@ -25,6 +26,13 @@ struct QueryPlan {
   int64_t morsel_count = 0;   // morsels in the table at plan time
   int64_t morsels_pruned = 0;  // morsels the zone maps would skip
   int parallelism = 1;        // threads the executor would use
+
+  // Joined SELECTs: the pipeline stages the join planner chose (driver
+  // scan, hash-join builds, terminal), rendered by ToString as
+  // "PIPELINE stage -> stage -> ...". The single-table fields above are
+  // not populated for joined plans.
+  bool joined = false;
+  std::vector<std::string> pipeline;
 
   std::string ToString() const;
 };

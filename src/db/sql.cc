@@ -235,6 +235,17 @@ class Parser {
     return name;
   }
 
+  // Column reference: ident or qualified table.ident.
+  Result<std::string> ExpectColumnName() {
+    HEDC_ASSIGN_OR_RETURN(std::string name, ExpectIdent());
+    if (IsSymbol(".")) {
+      Advance();
+      HEDC_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+      name += "." + col;
+    }
+    return name;
+  }
+
   static std::optional<AggFunc> AggFromName(std::string_view name) {
     if (EqualsIgnoreCase(name, "COUNT")) return AggFunc::kCount;
     if (EqualsIgnoreCase(name, "MIN")) return AggFunc::kMin;
@@ -268,7 +279,7 @@ class Parser {
             item.agg = AggFunc::kCountStar;
             item.alias = "COUNT(*)";
           } else {
-            HEDC_ASSIGN_OR_RETURN(item.column, ExpectIdent());
+            HEDC_ASSIGN_OR_RETURN(item.column, ExpectColumnName());
             item.agg = *agg;
             item.alias = ToUpper(name) + "(" + item.column + ")";
           }
@@ -276,7 +287,12 @@ class Parser {
         } else {
           Advance();
           item.column = name;
-          item.alias = name;
+          if (IsSymbol(".")) {
+            Advance();
+            HEDC_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+            item.column += "." + col;
+          }
+          item.alias = item.column;
         }
         if (IsKeyword("AS")) {
           Advance();
@@ -289,6 +305,15 @@ class Parser {
     }
     HEDC_RETURN_IF_ERROR(Expect("FROM"));
     HEDC_ASSIGN_OR_RETURN(out->table, ExpectIdent());
+    while (IsKeyword("JOIN") || (IsKeyword("INNER") && IsKeyword("JOIN", 1))) {
+      if (IsKeyword("INNER")) Advance();
+      Advance();  // JOIN
+      JoinClause join;
+      HEDC_ASSIGN_OR_RETURN(join.table, ExpectIdent());
+      HEDC_RETURN_IF_ERROR(Expect("ON"));
+      HEDC_ASSIGN_OR_RETURN(join.on, ParseExpr());
+      out->joins.push_back(std::move(join));
+    }
     if (IsKeyword("WHERE")) {
       Advance();
       HEDC_ASSIGN_OR_RETURN(out->where, ParseExpr());
@@ -296,12 +321,17 @@ class Parser {
     if (IsKeyword("GROUP")) {
       Advance();
       HEDC_RETURN_IF_ERROR(Expect("BY"));
-      HEDC_ASSIGN_OR_RETURN(out->group_by, ExpectIdent());
+      while (true) {
+        HEDC_ASSIGN_OR_RETURN(std::string col, ExpectColumnName());
+        out->group_by.push_back(std::move(col));
+        if (!IsSymbol(",")) break;
+        Advance();
+      }
     }
     if (IsKeyword("ORDER")) {
       Advance();
       HEDC_RETURN_IF_ERROR(Expect("BY"));
-      HEDC_ASSIGN_OR_RETURN(out->order_by, ExpectIdent());
+      HEDC_ASSIGN_OR_RETURN(out->order_by, ExpectColumnName());
       if (IsKeyword("ASC")) {
         Advance();
       } else if (IsKeyword("DESC")) {
@@ -651,6 +681,11 @@ class Parser {
         }
         std::string name = t.text;
         Advance();
+        if (IsSymbol(".")) {
+          Advance();
+          HEDC_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+          name += "." + col;
+        }
         return Expr::Column(std::move(name));
       }
       case TokKind::kSymbol:

@@ -1,8 +1,8 @@
 // SQL-subset front end: lexer, AST and recursive-descent parser.
 //
 // Dialect (sufficient for all metadata traffic in the paper):
-//   SELECT */cols/aggs FROM t [WHERE e] [GROUP BY c] [ORDER BY c [DESC]]
-//       [LIMIT n]
+//   SELECT */cols/aggs FROM t [[INNER] JOIN t2 ON e]... [WHERE e]
+//       [GROUP BY c, ...] [ORDER BY c [DESC]] [LIMIT n]
 //   INSERT INTO t [(cols)] VALUES (...), (...)
 //   UPDATE t SET c = e, ... [WHERE e]
 //   DELETE FROM t [WHERE e]
@@ -11,6 +11,10 @@
 //   DROP TABLE t
 // Literals: integers, reals, 'strings', TRUE/FALSE/NULL; '?' parameters.
 // Aggregates: COUNT(*), COUNT(c), MIN, MAX, SUM, AVG.
+// Column references may be qualified (table.column); each JOIN is an
+// inner equi-join whose ON clause must contain at least one equality
+// between columns of the new table and an earlier one (extra ON
+// conjuncts become residual predicates).
 #ifndef HEDC_DB_SQL_H_
 #define HEDC_DB_SQL_H_
 
@@ -33,12 +37,20 @@ struct SelectItem {
   std::string alias;   // display name
 };
 
+// One `JOIN table ON condition` clause. The ON tree may reference
+// columns of the joined table and any table to its left in FROM order.
+struct JoinClause {
+  std::string table;
+  std::unique_ptr<Expr> on;
+};
+
 struct SelectStmt {
   std::string table;
+  std::vector<JoinClause> joins;      // empty = single-table SELECT
   bool star = false;
   std::vector<SelectItem> items;
   std::unique_ptr<Expr> where;
-  std::string group_by;         // empty = none
+  std::vector<std::string> group_by;  // empty = none
   std::string order_by;         // empty = none
   bool order_desc = false;
   int64_t limit = -1;           // -1 = unlimited

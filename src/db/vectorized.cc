@@ -597,4 +597,381 @@ Status ScanFilter(const Table& table, const Expr* where,
   return Status::Ok();
 }
 
+// ---- Grouped aggregation ----
+
+namespace {
+// Group-key column separator: unlikely in data, and single-column keys
+// (the common case) carry no separator at all, matching the historical
+// AsText group keys byte for byte.
+constexpr char kKeySep = '\x1f';
+}  // namespace
+
+GroupedAggregator::GroupedAggregator(std::vector<int> group_cols,
+                                     std::vector<AggSpec> specs)
+    : group_cols_(std::move(group_cols)), specs_(std::move(specs)) {}
+
+GroupedAggregator GroupedAggregator::Fork() const {
+  return GroupedAggregator(group_cols_, specs_);
+}
+
+size_t GroupedAggregator::Intern(const std::string& key, int64_t seq,
+                                 const Value* kv, size_t nkv) {
+  auto [it, inserted] = index_.try_emplace(key, groups_.size());
+  if (inserted) {
+    Group g;
+    g.key = key;
+    g.key_vals.assign(kv, kv + nkv);
+    g.first_seen = seq;
+    g.items.resize(specs_.size());
+    groups_.push_back(std::move(g));
+  } else if (seq < groups_[it->second].first_seen) {
+    groups_[it->second].first_seen = seq;
+  }
+  return it->second;
+}
+
+std::string GroupedAggregator::BuildKey(const Row& row) const {
+  std::string key;
+  for (size_t i = 0; i < group_cols_.size(); ++i) {
+    if (i > 0) key.push_back(kKeySep);
+    key += row[static_cast<size_t>(group_cols_[i])].AsText();
+  }
+  return key;
+}
+
+void GroupedAggregator::UpdateMinMax(ItemAgg* a, const Value& v) {
+  if (!a->any) {
+    a->vmin = v;
+    a->vmax = v;
+    return;
+  }
+  if (v.Compare(a->vmin) < 0) a->vmin = v;
+  if (v.Compare(a->vmax) > 0) a->vmax = v;
+}
+
+void GroupedAggregator::AccumulateItems(Group* g, const Row& row) {
+  ++g->rows;
+  for (size_t k = 0; k < specs_.size(); ++k) {
+    const AggSpec& spec = specs_[k];
+    if (spec.col < 0) continue;
+    const Value& v = row[static_cast<size_t>(spec.col)];
+    if (v.is_null()) continue;
+    ItemAgg& a = g->items[k];
+    a.sum += v.AsReal();
+    UpdateMinMax(&a, v);
+    ++a.nonnull;
+    a.any = true;
+  }
+}
+
+void GroupedAggregator::AccumulateRow(const Row& row, int64_t seq) {
+  size_t slot;
+  if (group_cols_.empty()) {
+    slot = Intern(std::string(), seq, nullptr, 0);
+  } else {
+    std::vector<Value> kv;
+    kv.reserve(group_cols_.size());
+    for (int c : group_cols_) kv.push_back(row[static_cast<size_t>(c)]);
+    slot = Intern(BuildKey(row), seq, kv.data(), kv.size());
+  }
+  AccumulateItems(&groups_[slot], row);
+}
+
+void GroupedAggregator::AccumulateChunk(DataChunk* chunk,
+                                        const std::vector<uint32_t>& sel) {
+  if (sel.empty()) return;
+  gids_.resize(sel.size());
+
+  // Pass 1: group-id per selected row.
+  if (group_cols_.empty()) {
+    const size_t slot = Intern(std::string(), chunk->row_id(sel[0]), nullptr, 0);
+    std::fill(gids_.begin(), gids_.end(), static_cast<uint32_t>(slot));
+  } else if (group_cols_.size() == 1) {
+    const size_t gc = static_cast<size_t>(group_cols_[0]);
+    const FlatColumn& fc = chunk->Flatten(gc);
+    auto generic = [&](size_t j, uint32_t i) {
+      const Value& v = chunk->row(i)[gc];
+      gids_[j] = static_cast<uint32_t>(
+          Intern(v.AsText(), chunk->row_id(i), &v, 1));
+    };
+    if (fc.uniform && fc.tag == ValueType::kInt) {
+      for (size_t j = 0; j < sel.size(); ++j) {
+        const uint32_t i = sel[j];
+        if (fc.nulls[i]) {
+          generic(j, i);
+          continue;
+        }
+        const int64_t v = fc.ints[i];
+        auto it = int_memo_.find(v);
+        if (it == int_memo_.end()) {
+          const Value& boxed = chunk->row(i)[gc];
+          it = int_memo_
+                   .emplace(v, Intern(std::to_string(v), chunk->row_id(i),
+                                      &boxed, 1))
+                   .first;
+        } else if (chunk->row_id(i) < groups_[it->second].first_seen) {
+          groups_[it->second].first_seen = chunk->row_id(i);
+        }
+        gids_[j] = static_cast<uint32_t>(it->second);
+      }
+    } else if (fc.uniform && fc.tag == ValueType::kText) {
+      for (size_t j = 0; j < sel.size(); ++j) {
+        const uint32_t i = sel[j];
+        if (fc.nulls[i]) {
+          generic(j, i);
+          continue;
+        }
+        const Value& boxed = chunk->row(i)[gc];
+        gids_[j] = static_cast<uint32_t>(
+            Intern(*fc.texts[i], chunk->row_id(i), &boxed, 1));
+      }
+    } else {
+      for (size_t j = 0; j < sel.size(); ++j) generic(j, sel[j]);
+    }
+  } else {
+    std::vector<Value> kv;
+    for (size_t j = 0; j < sel.size(); ++j) {
+      const uint32_t i = sel[j];
+      const Row& row = chunk->row(i);
+      kv.clear();
+      for (int c : group_cols_) kv.push_back(row[static_cast<size_t>(c)]);
+      gids_[j] = static_cast<uint32_t>(
+          Intern(BuildKey(row), chunk->row_id(i), kv.data(), kv.size()));
+    }
+  }
+
+  // Pass 2: COUNT(*) bookkeeping.
+  for (size_t j = 0; j < sel.size(); ++j) ++groups_[gids_[j]].rows;
+
+  // Pass 3: one typed kernel per aggregate column.
+  for (size_t k = 0; k < specs_.size(); ++k) {
+    const AggSpec& spec = specs_[k];
+    if (spec.col < 0) continue;
+    const size_t col = static_cast<size_t>(spec.col);
+    const FlatColumn& fc = chunk->Flatten(col);
+    if (fc.uniform && fc.tag == ValueType::kInt) {
+      for (size_t j = 0; j < sel.size(); ++j) {
+        const uint32_t i = sel[j];
+        if (fc.nulls[i]) continue;
+        ItemAgg& a = groups_[gids_[j]].items[k];
+        a.sum += static_cast<double>(fc.ints[i]);
+        UpdateMinMax(&a, chunk->row(i)[col]);
+        ++a.nonnull;
+        a.any = true;
+      }
+    } else if (fc.uniform && fc.tag == ValueType::kReal) {
+      for (size_t j = 0; j < sel.size(); ++j) {
+        const uint32_t i = sel[j];
+        if (fc.nulls[i]) continue;
+        ItemAgg& a = groups_[gids_[j]].items[k];
+        a.sum += fc.reals[i];
+        UpdateMinMax(&a, chunk->row(i)[col]);
+        ++a.nonnull;
+        a.any = true;
+      }
+    } else {
+      for (size_t j = 0; j < sel.size(); ++j) {
+        const uint32_t i = sel[j];
+        const Value& v = chunk->row(i)[col];
+        if (v.is_null()) continue;
+        ItemAgg& a = groups_[gids_[j]].items[k];
+        a.sum += v.AsReal();
+        UpdateMinMax(&a, v);
+        ++a.nonnull;
+        a.any = true;
+      }
+    }
+  }
+}
+
+void GroupedAggregator::MergeFrom(const GroupedAggregator& other) {
+  for (const Group& og : other.groups_) {
+    const size_t slot =
+        Intern(og.key, og.first_seen, og.key_vals.data(), og.key_vals.size());
+    Group& g = groups_[slot];
+    g.rows += og.rows;
+    for (size_t k = 0; k < specs_.size(); ++k) {
+      const ItemAgg& oa = og.items[k];
+      if (oa.nonnull == 0 && !oa.any) continue;
+      ItemAgg& a = g.items[k];
+      a.nonnull += oa.nonnull;
+      a.sum += oa.sum;
+      if (oa.any) {
+        UpdateMinMax(&a, oa.vmin);
+        UpdateMinMax(&a, oa.vmax);
+        a.any = true;
+      }
+    }
+  }
+}
+
+void GroupedAggregator::Emit(const std::vector<OutputSlot>& layout,
+                             bool empty_input_row,
+                             std::vector<Row>* out) const {
+  if (groups_.empty()) {
+    if (!empty_input_row || !group_cols_.empty()) return;
+    Row row;
+    row.reserve(layout.size());
+    for (const OutputSlot& slot : layout) {
+      const bool is_count =
+          !slot.group_key && (specs_[slot.index].func == AggFunc::kCount ||
+                              specs_[slot.index].func == AggFunc::kCountStar);
+      row.push_back(is_count ? Value::Int(0) : Value::Null());
+    }
+    out->push_back(std::move(row));
+    return;
+  }
+  std::vector<size_t> order(groups_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    return groups_[a].first_seen < groups_[b].first_seen;
+  });
+  out->reserve(out->size() + order.size());
+  for (size_t gi : order) {
+    const Group& g = groups_[gi];
+    Row row;
+    row.reserve(layout.size());
+    for (const OutputSlot& slot : layout) {
+      if (slot.group_key) {
+        row.push_back(g.key_vals[slot.index]);
+        continue;
+      }
+      const ItemAgg& a = g.items[slot.index];
+      switch (specs_[slot.index].func) {
+        case AggFunc::kCountStar:
+          row.push_back(Value::Int(g.rows));
+          break;
+        case AggFunc::kCount:
+          row.push_back(Value::Int(a.nonnull));
+          break;
+        case AggFunc::kMin:
+          row.push_back(a.any ? a.vmin : Value::Null());
+          break;
+        case AggFunc::kMax:
+          row.push_back(a.any ? a.vmax : Value::Null());
+          break;
+        case AggFunc::kSum:
+          row.push_back(a.any ? Value::Real(a.sum) : Value::Null());
+          break;
+        case AggFunc::kAvg:
+          row.push_back(a.nonnull > 0
+                            ? Value::Real(a.sum /
+                                          static_cast<double>(a.nonnull))
+                            : Value::Null());
+          break;
+        case AggFunc::kNone:
+          row.push_back(Value::Null());  // unreachable: layout maps kNone
+          break;                         // items to group-key slots
+      }
+    }
+    out->push_back(std::move(row));
+  }
+}
+
+Status ScanAggregate(const Table& table, const Expr* where,
+                     const ScanOptions& opts, GroupedAggregator* agg,
+                     ScanStats* stats) {
+  const FilterPlan plan = CompileFilter(where);
+
+  stats->morsels_total = static_cast<int64_t>(table.num_morsels());
+  std::vector<const Table::Morsel*> morsels;
+  if (opts.zone_maps && where != nullptr) {
+    const auto bounds = ExtractColumnBounds(where);
+    if (!bounds.empty()) {
+      PruneMorsels(table, bounds, &morsels, &stats->morsels_pruned);
+    } else {
+      table.ListMorsels(&morsels);
+    }
+  } else {
+    table.ListMorsels(&morsels);
+  }
+
+  auto aggregate_morsel = [&](const Table::Morsel& m, DataChunk* chunk,
+                              std::vector<uint32_t>* sel,
+                              GroupedAggregator* into, int64_t* scanned,
+                              int64_t* matched) -> Status {
+    table.FillChunk(m, chunk);
+    sel->resize(chunk->size());
+    std::iota(sel->begin(), sel->end(), 0);
+    HEDC_RETURN_IF_ERROR(ApplyFilter(plan, chunk, sel));
+    *scanned += static_cast<int64_t>(chunk->size());
+    *matched += static_cast<int64_t>(sel->size());
+    into->AccumulateChunk(chunk, *sel);
+    return Status::Ok();
+  };
+
+  const int threads =
+      opts.pool != nullptr ? PlannedScanThreads(table, opts) : 1;
+  if (threads <= 1 || morsels.size() <= 1) {
+    stats->threads_used = 1;
+    DataChunk chunk;
+    std::vector<uint32_t> sel;
+    for (const Table::Morsel* m : morsels) {
+      HEDC_RETURN_IF_ERROR(aggregate_morsel(*m, &chunk, &sel, agg,
+                                            &stats->rows_scanned,
+                                            &stats->rows_matched));
+    }
+    return Status::Ok();
+  }
+
+  // Morsel-driven claim loop as in ScanFilter; each worker owns a
+  // partial aggregator merged into `agg` once every claim is drained.
+  std::atomic<size_t> next{0};
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> scanned{0}, matched{0};
+  std::vector<GroupedAggregator> partials;
+  partials.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) partials.push_back(agg->Fork());
+  std::mutex err_mu;
+  Status first_error = Status::Ok();
+
+  auto worker = [&](int t) {
+    DataChunk chunk;
+    std::vector<uint32_t> sel;
+    int64_t local_scanned = 0, local_matched = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= morsels.size()) break;
+      Status s = aggregate_morsel(*morsels[i], &chunk, &sel, &partials[t],
+                                  &local_scanned, &local_matched);
+      if (!s.ok()) {
+        {
+          std::lock_guard<std::mutex> lock(err_mu);
+          if (first_error.ok()) first_error = std::move(s);
+        }
+        stop.store(true, std::memory_order_relaxed);
+        break;
+      }
+    }
+    scanned.fetch_add(local_scanned, std::memory_order_relaxed);
+    matched.fetch_add(local_matched, std::memory_order_relaxed);
+  };
+
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  int launched = 0;
+  int done = 0;
+  for (int t = 1; t < threads; ++t) {
+    const bool ok = opts.pool->TrySubmit([&, t] {
+      worker(t);
+      std::lock_guard<std::mutex> lock(done_mu);
+      ++done;
+      done_cv.notify_all();
+    });
+    if (ok) ++launched;
+  }
+  worker(0);
+  {
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&] { return done == launched; });
+  }
+
+  stats->threads_used = launched + 1;
+  stats->rows_scanned = scanned.load();
+  stats->rows_matched = matched.load();
+  if (!first_error.ok()) return first_error;
+  for (const GroupedAggregator& partial : partials) agg->MergeFrom(partial);
+  return Status::Ok();
+}
+
 }  // namespace hedc::db

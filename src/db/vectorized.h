@@ -20,6 +20,8 @@
 #define HEDC_DB_VECTORIZED_H_
 
 #include <cstdint>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/status.h"
@@ -27,6 +29,7 @@
 #include "db/data_chunk.h"
 #include "db/expr.h"
 #include "db/scan_bounds.h"
+#include "db/sql.h"
 #include "db/table.h"
 
 namespace hedc::db {
@@ -120,6 +123,97 @@ int PlannedScanThreads(const Table& table, const ScanOptions& opts);
 Status ScanFilter(const Table& table, const Expr* where,
                   const ScanOptions& opts, std::vector<ScanMatch>* out,
                   ScanStats* stats);
+
+// ---- Vectorized grouped aggregation (DESIGN.md §4h) ----
+//
+// One hash-grouped accumulator shared by every aggregation path: the
+// row interpreter feeds it boxed rows, the vectorized paths run typed
+// kernels over a chunk's flattened columns, and parallel scans fork one
+// aggregator per worker and merge the partials. Group identity is the
+// rendered text of the key columns joined with 0x1f (single-column keys
+// therefore match the historical row path exactly, including NULL
+// rendering as "NULL"), so Int(1) and Real(1.0) share a group just as
+// Value::Compare equates them.
+
+struct AggSpec {
+  AggFunc func = AggFunc::kCountStar;
+  int col = -1;  // column index (combined/flat for joins); -1 = COUNT(*)
+};
+
+class GroupedAggregator {
+ public:
+  GroupedAggregator(std::vector<int> group_cols, std::vector<AggSpec> specs);
+
+  // Empty aggregator with the same shape (per-worker partials).
+  GroupedAggregator Fork() const;
+
+  // Row-at-a-time accumulation. `seq` orders a group's first appearance
+  // across partials (pass the driving row id, or a running counter).
+  void AccumulateRow(const Row& row, int64_t seq);
+
+  // Chunk accumulation over the selected positions: group ids resolve
+  // once per row (memoized int / borrowed text fast paths for uniform
+  // key columns), then each aggregate runs a typed kernel over the
+  // flattened column with a generic Value fallback for mixed columns.
+  void AccumulateChunk(DataChunk* chunk, const std::vector<uint32_t>& sel);
+
+  // Folds a partial into this aggregator (key-wise; first_seen = min).
+  void MergeFrom(const GroupedAggregator& other);
+
+  size_t num_groups() const { return groups_.size(); }
+
+  // Output layout: each slot is either a group key (index into the
+  // group_cols list) or an aggregate (index into the specs list).
+  struct OutputSlot {
+    bool group_key = false;
+    size_t index = 0;
+  };
+
+  // One row per group, ordered by first appearance. With no group
+  // columns and no accumulated rows, emits the SQL empty-input row
+  // (COUNT = 0, other aggregates NULL) when `empty_input_row` is set.
+  void Emit(const std::vector<OutputSlot>& layout, bool empty_input_row,
+            std::vector<Row>* out) const;
+
+ private:
+  struct ItemAgg {
+    int64_t nonnull = 0;  // non-NULL inputs (COUNT(col), AVG divisor)
+    double sum = 0;
+    bool any = false;
+    Value vmin, vmax;
+  };
+  struct Group {
+    std::string key;
+    std::vector<Value> key_vals;  // first-seen key values, display order
+    int64_t rows = 0;             // COUNT(*)
+    int64_t first_seen = 0;
+    std::vector<ItemAgg> items;   // parallel to specs_
+  };
+
+  // Group index for `key`, creating it (first_seen=seq, key values
+  // copied from kv[0..nkv)) on first sight; min-updates first_seen.
+  size_t Intern(const std::string& key, int64_t seq, const Value* kv,
+                size_t nkv);
+  std::string BuildKey(const Row& row) const;
+  void AccumulateItems(Group* g, const Row& row);
+  static void UpdateMinMax(ItemAgg* a, const Value& v);
+
+  std::vector<int> group_cols_;
+  std::vector<AggSpec> specs_;
+  std::vector<Group> groups_;
+  std::unordered_map<std::string, size_t> index_;
+  std::unordered_map<int64_t, size_t> int_memo_;  // single-int-key cache
+  std::vector<uint32_t> gids_;                    // per-chunk scratch
+};
+
+// ScanFilter's sibling for aggregate queries: scan → filter → aggregate
+// per morsel without materializing matches. Parallel workers accumulate
+// worker-local partials, merged into `agg` after the scan; group output
+// order stays deterministic (first_seen is the row id) but
+// floating-point SUM/AVG association varies with the schedule.
+Status ScanAggregate(const Table& table, const Expr* where,
+                     const ScanOptions& opts, GroupedAggregator* agg,
+                     ScanStats* stats);
 
 }  // namespace hedc::db
 

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "core/clock.h"
+#include "core/config.h"
 #include "core/metrics.h"
 #include "db/blob_store.h"
 #include "db/connection.h"
@@ -122,6 +123,88 @@ TEST_F(DatabaseTest, GroupByCount) {
   int64_t total = 0;
   for (const Row& row : r.value().rows) total += row[1].AsInt();
   EXPECT_EQ(total, 100);
+}
+
+TEST_F(DatabaseTest, MixedAggregatesOverDistinctColumns) {
+  // Aggregates over several different columns in one statement, on the
+  // vectorized path and on the row fallback.
+  for (const char* vectorized : {"true", "false"}) {
+    Config config;
+    config.Set("db.vectorized", vectorized);
+    db_.Configure(config);
+    auto r = db_.Execute(
+        "SELECT COUNT(*), SUM(start_time), AVG(peak_energy), MIN(hle_id), "
+        "MAX(start_time) FROM hle");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    const Row& row = r.value().rows[0];
+    EXPECT_EQ(row[0].AsInt(), 100);
+    EXPECT_DOUBLE_EQ(row[1].AsReal(), 49500.0);
+    // peak_energy = 3 + i % 20 -> five full cycles of 0..19.
+    EXPECT_NEAR(row[2].AsReal(), 3.0 + 9.5, 1e-9);
+    EXPECT_EQ(row[3].AsInt(), 0);
+    EXPECT_DOUBLE_EQ(row[4].AsReal(), 990.0);
+  }
+}
+
+TEST_F(DatabaseTest, CountColumnSkipsNulls) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE n (a INT, b INT)").ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(db_.Execute("INSERT INTO n VALUES (?, ?)",
+                            {Value::Int(i),
+                             i % 2 == 0 ? Value::Null() : Value::Int(i)})
+                    .ok());
+  }
+  for (const char* vectorized : {"true", "false"}) {
+    Config config;
+    config.Set("db.vectorized", vectorized);
+    db_.Configure(config);
+    auto r = db_.Execute("SELECT COUNT(*), COUNT(b), SUM(b), AVG(b) FROM n");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    const Row& row = r.value().rows[0];
+    EXPECT_EQ(row[0].AsInt(), 10);
+    EXPECT_EQ(row[1].AsInt(), 5);            // NULLs not counted
+    EXPECT_EQ(row[2].AsInt(), 1 + 3 + 5 + 7 + 9);
+    EXPECT_NEAR(row[3].AsReal(), 25.0 / 5, 1e-9);  // mean of non-NULL
+  }
+}
+
+TEST_F(DatabaseTest, GroupByWithMultipleAggregates) {
+  for (const char* vectorized : {"true", "false"}) {
+    Config config;
+    config.Set("db.vectorized", vectorized);
+    db_.Configure(config);
+    auto r = db_.Execute(
+        "SELECT owner, COUNT(*), SUM(start_time), MAX(peak_energy) "
+        "FROM hle GROUP BY owner");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_EQ(r.value().num_rows(), 2u);
+    for (const Row& row : r.value().rows) {
+      EXPECT_EQ(row[1].AsInt(), 50);
+      // alice holds the evens (sum 10*(0+2+..+98)), bob the odds.
+      const bool alice = row[0].AsText() == "alice";
+      EXPECT_DOUBLE_EQ(row[2].AsReal(), alice ? 24500.0 : 25000.0);
+      // alice holds even i: max(i % 20) = 18; bob's odds reach 19.
+      EXPECT_DOUBLE_EQ(row[3].AsReal(), alice ? 21.0 : 22.0);
+    }
+  }
+}
+
+TEST_F(DatabaseTest, GroupByMultipleColumns) {
+  auto r = db_.Execute(
+      "SELECT owner, event_type, COUNT(*) FROM hle "
+      "GROUP BY owner, event_type");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().num_rows(), 4u);  // 2 owners x 2 event types
+  int64_t total = 0;
+  for (const Row& row : r.value().rows) total += row[2].AsInt();
+  EXPECT_EQ(total, 100);
+}
+
+TEST_F(DatabaseTest, NonGroupedSelectColumnRejected) {
+  auto r = db_.Execute(
+      "SELECT owner, COUNT(*) FROM hle GROUP BY event_type");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("GROUP BY"), std::string::npos);
 }
 
 TEST_F(DatabaseTest, UpdateAffectsMatchingRows) {

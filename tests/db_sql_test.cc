@@ -47,7 +47,61 @@ TEST(SqlParserTest, Aggregates) {
 TEST(SqlParserTest, GroupBy) {
   auto r = ParseSql("SELECT event_type, COUNT(*) FROM hle GROUP BY event_type");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
-  EXPECT_EQ(r.value()->select.group_by, "event_type");
+  ASSERT_EQ(r.value()->select.group_by.size(), 1u);
+  EXPECT_EQ(r.value()->select.group_by[0], "event_type");
+}
+
+TEST(SqlParserTest, GroupByMultipleColumns) {
+  auto r = ParseSql(
+      "SELECT event_type, run_id, COUNT(*), SUM(peak_energy) FROM hle "
+      "GROUP BY event_type, run_id");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const SelectStmt& sel = r.value()->select;
+  ASSERT_EQ(sel.group_by.size(), 2u);
+  EXPECT_EQ(sel.group_by[0], "event_type");
+  EXPECT_EQ(sel.group_by[1], "run_id");
+}
+
+TEST(SqlParserTest, JoinWithOn) {
+  auto r = ParseSql(
+      "SELECT le.rel_path, archives.path_prefix FROM le "
+      "JOIN archives ON le.archive_id = archives.archive_id "
+      "WHERE le.item_id = 7");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const SelectStmt& sel = r.value()->select;
+  EXPECT_EQ(sel.table, "le");
+  ASSERT_EQ(sel.joins.size(), 1u);
+  EXPECT_EQ(sel.joins[0].table, "archives");
+  ASSERT_NE(sel.joins[0].on, nullptr);
+  ASSERT_EQ(sel.items.size(), 2u);
+  EXPECT_EQ(sel.items[0].column, "le.rel_path");
+  EXPECT_EQ(sel.items[1].column, "archives.path_prefix");
+}
+
+TEST(SqlParserTest, InnerJoinChain) {
+  auto r = ParseSql(
+      "SELECT a.x FROM a INNER JOIN b ON a.id = b.id "
+      "JOIN c ON b.cid = c.cid AND c.flag = TRUE");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const SelectStmt& sel = r.value()->select;
+  ASSERT_EQ(sel.joins.size(), 2u);
+  EXPECT_EQ(sel.joins[0].table, "b");
+  EXPECT_EQ(sel.joins[1].table, "c");
+}
+
+TEST(SqlParserTest, JoinRequiresOn) {
+  auto r = ParseSql("SELECT * FROM a JOIN b");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SqlParserTest, QualifiedAggregateArgument) {
+  auto r = ParseSql(
+      "SELECT COUNT(*), MAX(t.v) FROM t JOIN u ON t.id = u.id");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const SelectStmt& sel = r.value()->select;
+  ASSERT_EQ(sel.items.size(), 2u);
+  EXPECT_EQ(sel.items[1].agg, AggFunc::kMax);
+  EXPECT_EQ(sel.items[1].column, "t.v");
 }
 
 TEST(SqlParserTest, InsertWithColumns) {
