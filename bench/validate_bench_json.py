@@ -13,6 +13,13 @@ located (same file or a sibling BENCH_remote_redirection.json) and the
 speedups-normalized-to-one-node are cross-checked: per-N deviation is
 printed, and deviations beyond DEVIATION_WARN get a WARN line so the two
 curves cannot drift apart silently.
+
+When a file carries c10k_conns_* rows (the perf_c10k transport bench),
+p99 flatness is checked: p99 at the largest connection count must stay
+within C10K_P99_RATIO_MAX of p99 at the smallest. The check is a hard
+FAIL only for a full-scale run (max connections >= 10000) — smoke runs
+use tiny counts whose wall-clock noise dwarfs the signal, so they only
+earn a WARN.
 """
 import json
 import os
@@ -22,6 +29,11 @@ REQUIRED_METRICS = ("throughput_per_sec", "p50_us", "p99_us")
 
 # Measured-vs-model speedup deviation that earns a WARN (fraction).
 DEVIATION_WARN = 0.40
+
+# C10K acceptance: p99 at the largest connection count may be at most
+# this multiple of p99 at the smallest (hard FAIL at >= this many conns).
+C10K_P99_RATIO_MAX = 2.0
+C10K_FULL_SCALE = 10000
 
 
 def speedup_curve(results, prefix):
@@ -76,6 +88,36 @@ def crosscheck_cluster(path, results):
               f"model {model[n]:.2f}x  deviation {deviation:+.1%}{flag}")
 
 
+def crosscheck_c10k(path, results):
+    """Checks c10k p99 flatness; returns an error string or None."""
+    curve = {}
+    for row in results:
+        if not row.get("label", "").startswith("c10k_conns_"):
+            continue
+        conns = row.get("connections")
+        p99 = row.get("p99_us")
+        if isinstance(conns, (int, float)) and isinstance(p99, (int, float)):
+            curve[int(conns)] = float(p99)
+    if len(curve) < 2:
+        return None
+    low, high = min(curve), max(curve)
+    if curve[low] <= 0:
+        return f"c10k baseline p99 at {low} connections is not positive"
+    ratio = curve[high] / curve[low]
+    verdict = "ok" if ratio <= C10K_P99_RATIO_MAX else "FLAT-VIOLATION"
+    print(f"crosscheck {path}: c10k p99 flatness "
+          f"{low} conns {curve[low]:.0f}us -> {high} conns "
+          f"{curve[high]:.0f}us  ratio {ratio:.2f}x "
+          f"(limit {C10K_P99_RATIO_MAX:.1f}x)  {verdict}")
+    if ratio > C10K_P99_RATIO_MAX:
+        if high >= C10K_FULL_SCALE:
+            return (f"c10k p99 at {high} connections is {ratio:.2f}x the "
+                    f"{low}-connection p99 (limit {C10K_P99_RATIO_MAX:.1f}x)")
+        print(f"  WARN ratio beyond limit at sub-scale ({high} conns); "
+              "not failing a smoke run")
+    return None
+
+
 def validate(path):
     with open(path) as fh:
         doc = json.load(fh)
@@ -108,7 +150,7 @@ def validate(path):
             if not isinstance(value, (int, float)) or isinstance(value, bool):
                 return f"results[{i}] ({label}): non-numeric metric {key!r}"
     crosscheck_cluster(path, results)
-    return None
+    return crosscheck_c10k(path, results)
 
 
 def main(argv):

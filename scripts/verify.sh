@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Tier-1 verification: build, the fast cluster lane, the full test suite
-# (including the bench-smoke JSON-schema checks and the remote
-# chaos/failover suites), the measured-vs-model scale-out crosscheck,
-# then the stress suite — concurrency hammers, networked chaos/failover
-# and the cluster kill/restart stress — under ThreadSanitizer. Run from
-# the repo root:
+# (including the bench-smoke JSON-schema checks, the transport conformance
+# suite and the remote chaos/failover suites), the measured-vs-model
+# scale-out and c10k p99-flatness crosschecks, then the stress suite —
+# concurrency hammers, networked chaos/failover, the cluster kill/restart
+# stress and the reactor net-stress lane (`ctest -L net-stress` runs just
+# that lane; the stress label regex picks it up here) — under
+# ThreadSanitizer. Run from the repo root:
 #   scripts/verify.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -22,6 +24,9 @@ echo "=== full suite (fast tests + stress + bench-smoke) ==="
 echo "=== scale-out crosscheck (measured vs modeled fig5 curve) ==="
 python3 bench/validate_bench_json.py BENCH_cluster_scaleout.json \
     BENCH_remote_redirection.json
+
+echo "=== c10k crosscheck (p99 flatness at 10k keep-alive connections) ==="
+python3 bench/validate_bench_json.py BENCH_c10k.json
 
 echo "=== build (HEDC_SANITIZE=thread) ==="
 cmake -B build-tsan -S . -DHEDC_SANITIZE=thread >/dev/null

@@ -21,6 +21,7 @@ ClusterOptions ClusterOptions::FromConfig(const Config& config) {
       config.GetInt("cluster.shared_db_slots", out.shared_db_slots));
   out.shared_db_floor =
       config.GetInt("cluster.shared_db_floor_us", out.shared_db_floor);
+  out.node.rmi = dm::TcpRmiServer::Options::FromConfig(config);
   return out;
 }
 
@@ -35,6 +36,14 @@ ClusterRunner::ClusterRunner(ClusterOptions options, Clock* clock,
                                               options_.shared_db_floor,
                                               clock_);
     options_.node.shared_db = shared_db_.get();
+  }
+  if (options_.node.rmi.use_reactor) {
+    // All nodes' RMI listeners share this loop: O(workers) threads for
+    // the whole cluster, however many nodes and channels exist.
+    net::Reactor::Options reactor_options = options_.node.rmi.reactor;
+    if (reactor_options.metrics == nullptr) reactor_options.metrics = metrics_;
+    shared_reactor_ = std::make_unique<net::Reactor>(reactor_options);
+    options_.node.rmi.shared_reactor = shared_reactor_.get();
   }
   // The load probe reads the node gate's in-flight count, giving the
   // least_loaded policy live load on top of sticky-assignment counts.

@@ -39,6 +39,7 @@
 #include "cluster/routing.h"
 #include "core/config.h"
 #include "dm/resilient_channel.h"
+#include "net/reactor.h"
 
 namespace hedc::cluster {
 
@@ -56,8 +57,10 @@ struct ClusterOptions {
 
   // Reads cluster.nodes, cluster.routing, cluster.virtual_points,
   // cluster.node_slots, cluster.service_floor_us, cluster.wal_dir,
-  // cluster.shared_db_slots, cluster.shared_db_floor_us. Unknown routing
-  // names fall back to least_loaded.
+  // cluster.shared_db_slots, cluster.shared_db_floor_us, plus the node
+  // RMI transport knobs (net.reactor and friends; see
+  // dm::TcpRmiServer::Options::FromConfig). Unknown routing names fall
+  // back to least_loaded.
   static ClusterOptions FromConfig(const Config& config);
 };
 
@@ -106,6 +109,10 @@ class ClusterRunner {
   Clock* clock_;
   MetricsRegistry* metrics_;
   std::unique_ptr<SharedGate> shared_db_;
+  // One event loop serving every node's RMI port when net.reactor is on.
+  // Declared before nodes_ so it outlives them (each node's Stop drains
+  // its listener from this reactor).
+  std::unique_ptr<net::Reactor> shared_reactor_;
   MembershipRegistry membership_;
   std::unique_ptr<SessionRouter> router_;
 

@@ -116,7 +116,8 @@ Status ClusterNode::Boot() {
   gate_ = std::make_unique<NodeGate>(rmi_.get(), options_.executor_slots,
                                      options_.service_floor, clock_,
                                      &metrics_, options_.shared_db);
-  tcp_ = std::make_unique<dm::TcpRmiServer>(gate_.get(), &metrics_);
+  tcp_ = std::make_unique<dm::TcpRmiServer>(gate_.get(), &metrics_,
+                                            options_.rmi);
   return StartServing();
 }
 

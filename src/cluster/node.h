@@ -79,6 +79,11 @@ struct NodeOptions {
   // owned; nullptr = queries run ungated). Set by the cluster runner
   // when ClusterOptions::shared_db_slots > 0.
   SharedGate* shared_db = nullptr;
+  // RMI transport engine (blocking vs reactor) and tuning. The cluster
+  // runner points rmi.shared_reactor at its own reactor when net.reactor
+  // is on, so N nodes serve from one event loop instead of N thread
+  // armies.
+  dm::TcpRmiServer::Options rmi;
   dm::DataManager::Options dm;
   pl::ProductCache::Options cache;
   bool enable_product_cache = true;

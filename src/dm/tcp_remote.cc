@@ -2,16 +2,128 @@
 
 #include <sys/socket.h>
 
+#include "core/crc32.h"
+
 namespace hedc::dm {
+
+namespace {
+
+// Per-connection state machine for [u32 len][payload][u32 crc32] frames on
+// the reactor. Mirrors the blocking server's semantics exactly: a hostile
+// length or checksum mismatch drops the connection without a response
+// (peers observe kUnavailable on their next read); a valid frame executes
+// on the worker pool and always produces a response frame.
+class RmiFrameProtocol : public net::ReactorProtocol {
+ public:
+  RmiFrameProtocol(RmiHandler* rmi, MetricsRegistry* metrics,
+                   size_t max_frame)
+      : rmi_(rmi), metrics_(metrics), max_frame_(max_frame) {}
+
+  size_t OnData(const uint8_t* data, size_t n,
+                net::ReactorContext* ctx) override {
+    if (n < 4) return 0;
+    uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<uint32_t>(data[i]) << (8 * i);
+    }
+    if (len > max_frame_) {
+      // Rejected on the 4 header bytes alone — no payload-sized
+      // allocation ever happens for a hostile length.
+      metrics_->GetCounter("net.oversized_frames")->Add();
+      ctx->Close();
+      return 0;
+    }
+    size_t total = 4 + static_cast<size_t>(len) + 4;
+    if (n < total) return 0;
+    uint32_t crc = 0;
+    for (int i = 0; i < 4; ++i) {
+      crc |= static_cast<uint32_t>(data[4 + len + i]) << (8 * i);
+    }
+    std::vector<uint8_t> payload(data + 4, data + 4 + len);
+    if (crc != Crc32(payload)) {
+      ctx->Close();
+      return 0;
+    }
+    // Transport-level frame count; the RMI codec layer above counts
+    // remote.server.calls (one per decoded call, either engine).
+    metrics_->GetCounter("remote.server.frames")->Add();
+    ctx->Dispatch([rmi = rmi_, payload = std::move(payload)]() mutable {
+      return net::ReactorReply{net::EncodeFrame(rmi->Handle(payload)),
+                               /*close_after=*/false};
+    });
+    return total;
+  }
+
+ private:
+  RmiHandler* rmi_;
+  MetricsRegistry* metrics_;
+  size_t max_frame_;
+};
+
+}  // namespace
+
+TcpRmiServer::Options TcpRmiServer::Options::FromConfig(
+    const Config& config) {
+  Options options;
+  options.use_reactor = config.GetBool("net.reactor", false);
+  options.reactor = net::Reactor::Options::FromConfig(config);
+  options.max_frame = static_cast<size_t>(
+      config.GetInt("net.max_frame_bytes",
+                    static_cast<int64_t>(options.max_frame)));
+  // One knob governs idle policy in both engines.
+  options.blocking_idle_timeout = options.reactor.idle_timeout;
+  return options;
+}
+
+TcpRmiServer::~TcpRmiServer() {
+  Stop();
+  if (own_reactor_ != nullptr) own_reactor_->Stop();
+}
+
+net::Reactor* TcpRmiServer::reactor() {
+  if (options_.shared_reactor != nullptr) return options_.shared_reactor;
+  if (own_reactor_ == nullptr) {
+    net::Reactor::Options reactor_options = options_.reactor;
+    if (reactor_options.metrics == nullptr) reactor_options.metrics = metrics_;
+    own_reactor_ = std::make_unique<net::Reactor>(reactor_options);
+  }
+  return own_reactor_.get();
+}
 
 Status TcpRmiServer::Start(int port) {
   std::lock_guard<std::mutex> lock(mu_);
   if (running_) return Status::FailedPrecondition("server already running");
+  if (options_.use_reactor) {
+    net::Reactor* r = reactor();
+    if (!r->running()) {
+      // Owned reactor: boots on first Start and survives Stop/Start
+      // cycles (only this server's listener is drained on Stop).
+      HEDC_RETURN_IF_ERROR(r->Start());
+    }
+    RmiHandler* rmi = rmi_;
+    MetricsRegistry* metrics = metrics_;
+    size_t max_frame = options_.max_frame;
+    Result<net::Reactor::ListenerInfo> listener =
+        r->AddListener(port, [rmi, metrics, max_frame] {
+          metrics->GetCounter("remote.server.connections")->Add();
+          return std::make_unique<RmiFrameProtocol>(rmi, metrics, max_frame);
+        });
+    if (!listener.ok()) return listener.status();
+    reactor_listener_ = listener.value();
+    running_ = true;
+    return Status::Ok();
+  }
   HEDC_RETURN_IF_ERROR(listener_.Listen(port));
   running_ = true;
   stopping_ = false;
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::Ok();
+}
+
+int TcpRmiServer::port() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.use_reactor) return reactor_listener_.port;
+  return listener_.port();
 }
 
 bool TcpRmiServer::running() const {
@@ -36,9 +148,16 @@ void TcpRmiServer::AcceptLoop() {
 }
 
 void TcpRmiServer::ServeConnection(net::TcpSocket socket) {
+  if (options_.blocking_idle_timeout > 0) {
+    // Parity with the reactor's idle reaper: a silent connection is
+    // dropped instead of parking this thread forever.
+    socket.SetRecvTimeout(options_.blocking_idle_timeout);
+  }
   while (true) {
-    Result<std::vector<uint8_t>> request = net::RecvFrame(socket);
-    if (!request.ok()) break;  // peer closed, reset, or corrupt stream
+    Result<std::vector<uint8_t>> request =
+        net::RecvFrame(socket, options_.max_frame);
+    if (!request.ok()) break;  // peer closed, reset, idle, or corrupt
+    metrics_->GetCounter("remote.server.frames")->Add();
     std::vector<uint8_t> response = rmi_->Handle(request.value());
     if (!net::SendFrame(socket, response).ok()) break;
   }
@@ -55,14 +174,26 @@ void TcpRmiServer::ServeConnection(net::TcpSocket socket) {
 }
 
 void TcpRmiServer::Stop() {
+  int reactor_listener_id = -1;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!running_) return;
     running_ = false;
-    stopping_ = true;
-    // Shut down live connections so blocked reads fail; the fds are closed
-    // by their owning ServeConnection threads.
-    for (int fd : live_connection_fds_) ::shutdown(fd, SHUT_RDWR);
+    if (options_.use_reactor) {
+      reactor_listener_id = reactor_listener_.id;
+      reactor_listener_ = net::Reactor::ListenerInfo{};
+    } else {
+      stopping_ = true;
+      // Shut down live connections so blocked reads fail; the fds are
+      // closed by their owning ServeConnection threads.
+      for (int fd : live_connection_fds_) ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+  if (reactor_listener_id >= 0) {
+    // Drains this listener's connections and in-flight frames; must run
+    // outside mu_ (port() readers proceed meanwhile).
+    reactor()->CloseListener(reactor_listener_id);
+    return;
   }
   listener_.Close();
   if (accept_thread_.joinable()) accept_thread_.join();
@@ -83,23 +214,27 @@ Result<std::vector<uint8_t>> TcpChannel::Call(
   if (!socket_.valid()) {
     Result<net::TcpSocket> connected = net::TcpConnect(host_, port_);
     if (!connected.ok()) return connected.status();
+    // Adopt the fresh socket only once the old one is provably gone —
+    // move-assignment closes it, but the explicit disconnect keeps the
+    // no-two-fds invariant local to this function.
+    DisconnectLocked();
     socket_ = std::move(connected).value();
     Status s = socket_.SetRecvTimeout(recv_timeout_);
     if (!s.ok()) {
-      socket_.Close();
+      DisconnectLocked();
       return s;
     }
   }
   Status sent = net::SendFrame(socket_, request);
   if (!sent.ok()) {
-    socket_.Close();
+    DisconnectLocked();
     return sent;
   }
   Result<std::vector<uint8_t>> response = net::RecvFrame(socket_);
   if (!response.ok()) {
     // Timeout or corruption leaves the stream desynchronized; reconnect on
     // the next call rather than trying to resynchronize mid-stream.
-    socket_.Close();
+    DisconnectLocked();
   }
   return response;
 }

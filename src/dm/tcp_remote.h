@@ -6,6 +6,20 @@
 // of request/response frames; a TcpChannel serializes its calls and
 // reconnects lazily after any transport error, so a ResilientChannel
 // layered on top can simply retry.
+//
+// The server has two interchangeable engines, selected by
+// Options::use_reactor (config `net.reactor`):
+//  * blocking (default): an accept thread plus one thread per connection
+//    — simple, but caps concurrency at thread scale;
+//  * reactor: connections are parsed by a per-connection frame state
+//    machine on a shared epoll loop (net/reactor.h) and frames execute on
+//    its worker pool — C10K-capable, and many servers can share one
+//    Reactor (Options::shared_reactor), which is how a whole cluster's
+//    nodes serve without thread explosion.
+// Client-visible semantics are identical by construction and locked down
+// by tests/net_conformance_test.cc: framing errors drop the connection
+// (peers observe kUnavailable), valid frames always get a response, and
+// Stop() kills in-flight calls.
 #ifndef HEDC_DM_TCP_REMOTE_H_
 #define HEDC_DM_TCP_REMOTE_H_
 
@@ -15,23 +29,48 @@
 #include <thread>
 #include <vector>
 
+#include "core/config.h"
 #include "core/metrics.h"
 #include "dm/remote.h"
+#include "net/reactor.h"
 #include "web/tcp.h"
 
 namespace hedc::dm {
 
-// Serves RMI frames over TCP. Start() spawns an accept thread and one
-// thread per connection; Stop() shuts the listener and all live
-// connections down (failing any in-flight calls) and joins the threads.
-// Start() after Stop() reboots the server (on a fresh ephemeral port when
-// port 0 is used), which is how a cluster node restarts.
+// Serves RMI frames over TCP. Start() after Stop() reboots the server (on
+// a fresh ephemeral port when port 0 is used), which is how a cluster
+// node restarts. In blocking mode Stop() joins the accept and connection
+// threads; in reactor mode it drains this server's listener (an owned
+// reactor keeps running for the next Start(); a shared one is untouched).
 class TcpRmiServer {
  public:
+  struct Options {
+    // Serve through an epoll reactor instead of thread-per-connection.
+    bool use_reactor = false;
+    // Reactor tuning when this server owns its reactor.
+    net::Reactor::Options reactor;
+    // Serve on an existing (already started) reactor instead; not owned.
+    net::Reactor* shared_reactor = nullptr;
+    // Frames whose header claims more than this are rejected before any
+    // payload allocation and the connection dropped (both engines).
+    size_t max_frame = 64u << 20;
+    // Blocking mode: per-recv silence deadline on each connection
+    // (0 = wait forever) — the counterpart of reactor idle reaping.
+    Micros blocking_idle_timeout = 0;
+
+    // Reads net.reactor plus the net.* reactor knobs (see
+    // net::Reactor::Options::FromConfig); net.idle_timeout_ms applies to
+    // both engines so the knob flips implementation, not policy.
+    static Options FromConfig(const Config& config);
+  };
+
   explicit TcpRmiServer(RmiHandler* rmi, MetricsRegistry* metrics = nullptr)
+      : TcpRmiServer(rmi, metrics, Options()) {}
+  TcpRmiServer(RmiHandler* rmi, MetricsRegistry* metrics, Options options)
       : rmi_(rmi),
-        metrics_(metrics != nullptr ? metrics : MetricsRegistry::Default()) {}
-  ~TcpRmiServer() { Stop(); }
+        metrics_(metrics != nullptr ? metrics : MetricsRegistry::Default()),
+        options_(options) {}
+  ~TcpRmiServer();
   TcpRmiServer(const TcpRmiServer&) = delete;
   TcpRmiServer& operator=(const TcpRmiServer&) = delete;
 
@@ -39,10 +78,7 @@ class TcpRmiServer {
   Status Start(int port = 0);
   // Locked: a restart (Stop + Start) rebinds the listener, and clients
   // may read the port concurrently with the rebind.
-  int port() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return listener_.port();
-  }
+  int port() const;
   bool running() const;
   // Idempotent; kills in-flight calls mid-frame (clients observe a reset).
   void Stop();
@@ -50,15 +86,20 @@ class TcpRmiServer {
  private:
   void AcceptLoop();
   void ServeConnection(net::TcpSocket socket);
+  // The serving reactor (shared or lazily created owned instance).
+  net::Reactor* reactor();
 
   RmiHandler* rmi_;
   MetricsRegistry* metrics_;
+  Options options_;
   net::TcpListener listener_;
   std::thread accept_thread_;
+  std::unique_ptr<net::Reactor> own_reactor_;
 
   mutable std::mutex mu_;
   bool running_ = false;
   bool stopping_ = false;
+  net::Reactor::ListenerInfo reactor_listener_;
   std::vector<std::thread> connection_threads_;
   std::vector<int> live_connection_fds_;
 };
@@ -83,6 +124,11 @@ class TcpChannel : public ByteChannel {
   }
 
  private:
+  // Every transport error funnels through here before the next call may
+  // reconnect, so an error can never strand the old fd (regression:
+  // tests/net_adversarial_test.cc reconnect hammer).
+  void DisconnectLocked() { socket_.Close(); }
+
   std::string host_;
   int port_;
 

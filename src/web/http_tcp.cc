@@ -1,0 +1,393 @@
+#include "web/http_tcp.h"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+
+namespace hedc::web {
+
+namespace {
+
+std::string ToLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+// "a=b; c=d" -> {a: b, c: d}
+std::map<std::string, std::string> ParseCookieHeader(const std::string& v) {
+  std::map<std::string, std::string> cookies;
+  size_t pos = 0;
+  while (pos < v.size()) {
+    size_t semi = v.find(';', pos);
+    if (semi == std::string::npos) semi = v.size();
+    std::string pair = Trim(v.substr(pos, semi - pos));
+    size_t eq = pair.find('=');
+    if (eq != std::string::npos) {
+      cookies[pair.substr(0, eq)] = pair.substr(eq + 1);
+    }
+    pos = semi + 1;
+  }
+  return cookies;
+}
+
+const char* StatusText(int code) {
+  switch (code) {
+    case 200: return "OK";
+    case 302: return "Found";
+    case 400: return "Bad Request";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Status";
+  }
+}
+
+}  // namespace
+
+HttpParseResult ParseHttpRequest(const uint8_t* data, size_t n,
+                                 size_t max_header, size_t max_body,
+                                 ParsedHttpRequest* out, size_t* consumed) {
+  const char* p = reinterpret_cast<const char*>(data);
+  // Find the header terminator without scanning unbounded garbage.
+  size_t scan = std::min(n, max_header);
+  size_t header_end = std::string::npos;
+  for (size_t i = 0; i + 3 < scan; ++i) {
+    if (p[i] == '\r' && p[i + 1] == '\n' && p[i + 2] == '\r' &&
+        p[i + 3] == '\n') {
+      header_end = i;
+      break;
+    }
+  }
+  if (header_end == std::string::npos) {
+    // No terminator inside the permitted header window: anything already
+    // past the cap can never become a valid request.
+    return n >= max_header ? HttpParseResult::kBad : HttpParseResult::kNeedMore;
+  }
+
+  std::string head(p, header_end);
+  size_t line_end = head.find("\r\n");
+  std::string request_line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+  size_t sp1 = request_line.find(' ');
+  size_t sp2 = request_line.rfind(' ');
+  if (sp1 == std::string::npos || sp2 == sp1) return HttpParseResult::kBad;
+  std::string method = request_line.substr(0, sp1);
+  std::string target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string version = request_line.substr(sp2 + 1);
+  if (method.empty() || target.empty() || target[0] != '/' ||
+      version.rfind("HTTP/", 0) != 0) {
+    return HttpParseResult::kBad;
+  }
+
+  std::map<std::string, std::string> headers;  // lowercased names
+  size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    size_t eol = head.find("\r\n", pos);
+    if (eol == std::string::npos) eol = head.size();
+    std::string line = head.substr(pos, eol - pos);
+    size_t colon = line.find(':');
+    if (colon == std::string::npos) return HttpParseResult::kBad;
+    headers[ToLower(Trim(line.substr(0, colon)))] =
+        Trim(line.substr(colon + 1));
+    pos = eol + 2;
+  }
+
+  size_t body_len = 0;
+  auto cl = headers.find("content-length");
+  if (cl != headers.end()) {
+    errno = 0;
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(cl->second.c_str(), &end, 10);
+    if (end == cl->second.c_str() || *end != '\0' || errno != 0) {
+      return HttpParseResult::kBad;
+    }
+    if (v > max_body) return HttpParseResult::kBad;
+    body_len = static_cast<size_t>(v);
+  }
+  size_t total = header_end + 4 + body_len;
+  if (n < total) return HttpParseResult::kNeedMore;
+
+  ParsedHttpRequest parsed;
+  parsed.request.method = method;
+  size_t q = target.find('?');
+  parsed.request.path = target.substr(0, q);
+  if (q != std::string::npos) {
+    parsed.request.query = ParseQueryString(target.substr(q + 1));
+  }
+  auto cookie = headers.find("cookie");
+  if (cookie != headers.end()) {
+    parsed.request.cookies = ParseCookieHeader(cookie->second);
+  }
+  if (body_len > 0) {
+    parsed.request.body.assign(p + header_end + 4, body_len);
+  }
+  // HTTP/1.1 defaults to keep-alive, 1.0 to close; Connection overrides.
+  bool http11 = version == "HTTP/1.1";
+  auto conn = headers.find("connection");
+  if (conn != headers.end()) {
+    std::string v = ToLower(conn->second);
+    parsed.keep_alive = v != "close" && (http11 || v == "keep-alive");
+  } else {
+    parsed.keep_alive = http11;
+  }
+  *out = std::move(parsed);
+  *consumed = total;
+  return HttpParseResult::kOk;
+}
+
+std::vector<uint8_t> SerializeHttpResponse(const HttpResponse& response,
+                                           bool keep_alive) {
+  std::string head;
+  head.reserve(256);
+  head += "HTTP/1.1 " + std::to_string(response.status_code) + " " +
+          StatusText(response.status_code) + "\r\n";
+  head += "Content-Type: " + response.content_type + "\r\n";
+  head += "Content-Length: " + std::to_string(response.TotalBytes()) + "\r\n";
+  head += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  for (const auto& [name, value] : response.set_cookies) {
+    head += "Set-Cookie: " + name + "=" + value + "\r\n";
+  }
+  head += "\r\n";
+  std::vector<uint8_t> bytes;
+  bytes.reserve(head.size() + response.TotalBytes());
+  bytes.insert(bytes.end(), head.begin(), head.end());
+  bytes.insert(bytes.end(), response.body.begin(), response.body.end());
+  bytes.insert(bytes.end(), response.binary_body.begin(),
+               response.binary_body.end());
+  return bytes;
+}
+
+namespace {
+
+// Reactor-side connection state machine: buffer -> ParseHttpRequest ->
+// dispatch handler -> serialized reply (close_after on "Connection:
+// close"); malformed input gets a 400 and the connection dropped, exactly
+// like the blocking engine.
+class HttpProtocol : public net::ReactorProtocol {
+ public:
+  HttpProtocol(HttpTcpServer::Handler* handler, MetricsRegistry* metrics,
+               size_t max_header, size_t max_body)
+      : handler_(handler),
+        metrics_(metrics),
+        max_header_(max_header),
+        max_body_(max_body) {}
+
+  size_t OnData(const uint8_t* data, size_t n,
+                net::ReactorContext* ctx) override {
+    ParsedHttpRequest parsed;
+    size_t consumed = 0;
+    switch (ParseHttpRequest(data, n, max_header_, max_body_, &parsed,
+                             &consumed)) {
+      case HttpParseResult::kNeedMore:
+        return 0;
+      case HttpParseResult::kBad:
+        metrics_->GetCounter("web.http_bad_requests")->Add();
+        ctx->Dispatch([] {
+          return net::ReactorReply{
+              SerializeHttpResponse(
+                  HttpResponse::BadRequest("malformed request"),
+                  /*keep_alive=*/false),
+              /*close_after=*/true};
+        });
+        return n;  // discard the garbage; connection dies after the 400
+      case HttpParseResult::kOk:
+        break;
+    }
+    metrics_->GetCounter("web.http_requests")->Add();
+    ctx->Dispatch([handler = handler_, parsed = std::move(parsed)] {
+      HttpResponse response = (*handler)(parsed.request);
+      return net::ReactorReply{
+          SerializeHttpResponse(response, parsed.keep_alive),
+          /*close_after=*/!parsed.keep_alive};
+    });
+    return consumed;
+  }
+
+ private:
+  HttpTcpServer::Handler* handler_;
+  MetricsRegistry* metrics_;
+  size_t max_header_;
+  size_t max_body_;
+};
+
+}  // namespace
+
+HttpTcpServer::Options HttpTcpServer::Options::FromConfig(
+    const Config& config) {
+  Options options;
+  options.use_reactor = config.GetBool("net.reactor", false);
+  options.reactor = net::Reactor::Options::FromConfig(config);
+  options.blocking_idle_timeout = options.reactor.idle_timeout;
+  return options;
+}
+
+HttpTcpServer::HttpTcpServer(Handler handler, MetricsRegistry* metrics,
+                             Options options)
+    : handler_(std::move(handler)),
+      metrics_(metrics != nullptr ? metrics : MetricsRegistry::Default()),
+      options_(options) {}
+
+HttpTcpServer::~HttpTcpServer() {
+  Stop();
+  if (own_reactor_ != nullptr) own_reactor_->Stop();
+}
+
+net::Reactor* HttpTcpServer::reactor() {
+  if (options_.shared_reactor != nullptr) return options_.shared_reactor;
+  if (own_reactor_ == nullptr) {
+    net::Reactor::Options reactor_options = options_.reactor;
+    if (reactor_options.metrics == nullptr) reactor_options.metrics = metrics_;
+    own_reactor_ = std::make_unique<net::Reactor>(reactor_options);
+  }
+  return own_reactor_.get();
+}
+
+Status HttpTcpServer::Start(int port) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return Status::FailedPrecondition("server already running");
+  if (options_.use_reactor) {
+    net::Reactor* r = reactor();
+    if (!r->running()) {
+      HEDC_RETURN_IF_ERROR(r->Start());
+    }
+    Handler* handler = &handler_;
+    MetricsRegistry* metrics = metrics_;
+    size_t max_header = options_.max_header_bytes;
+    size_t max_body = options_.max_body_bytes;
+    Result<net::Reactor::ListenerInfo> listener =
+        r->AddListener(port, [handler, metrics, max_header, max_body] {
+          metrics->GetCounter("web.http_connections")->Add();
+          return std::make_unique<HttpProtocol>(handler, metrics, max_header,
+                                                max_body);
+        });
+    if (!listener.ok()) return listener.status();
+    reactor_listener_ = listener.value();
+    running_ = true;
+    return Status::Ok();
+  }
+  HEDC_RETURN_IF_ERROR(listener_.Listen(port));
+  running_ = true;
+  stopping_ = false;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+int HttpTcpServer::port() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.use_reactor) return reactor_listener_.port;
+  return listener_.port();
+}
+
+bool HttpTcpServer::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+void HttpTcpServer::AcceptLoop() {
+  while (true) {
+    Result<net::TcpSocket> accepted = listener_.Accept();
+    if (!accepted.ok()) return;
+    metrics_->GetCounter("web.http_connections")->Add();
+    net::TcpSocket socket = std::move(accepted).value();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    live_connection_fds_.push_back(socket.fd());
+    connection_threads_.emplace_back(
+        [this, sock = std::move(socket)]() mutable {
+          ServeConnection(std::move(sock));
+        });
+  }
+}
+
+void HttpTcpServer::ServeConnection(net::TcpSocket socket) {
+  if (options_.blocking_idle_timeout > 0) {
+    socket.SetRecvTimeout(options_.blocking_idle_timeout);
+  }
+  std::vector<uint8_t> buffer;
+  while (true) {
+    // Accumulate until the shared parser accepts or rejects the prefix.
+    ParsedHttpRequest parsed;
+    size_t consumed = 0;
+    HttpParseResult result = ParseHttpRequest(
+        buffer.data(), buffer.size(), options_.max_header_bytes,
+        options_.max_body_bytes, &parsed, &consumed);
+    if (result == HttpParseResult::kNeedMore) {
+      uint8_t chunk[16384];
+      ssize_t r = ::recv(socket.fd(), chunk, sizeof(chunk), 0);
+      if (r <= 0) break;  // EOF, reset, or idle deadline
+      buffer.insert(buffer.end(), chunk, chunk + r);
+      continue;
+    }
+    if (result == HttpParseResult::kBad) {
+      metrics_->GetCounter("web.http_bad_requests")->Add();
+      std::vector<uint8_t> reply = SerializeHttpResponse(
+          HttpResponse::BadRequest("malformed request"), false);
+      socket.SendAll(reply.data(), reply.size());
+      break;
+    }
+    buffer.erase(buffer.begin(), buffer.begin() + static_cast<long>(consumed));
+    metrics_->GetCounter("web.http_requests")->Add();
+    HttpResponse response = handler_(parsed.request);
+    std::vector<uint8_t> reply =
+        SerializeHttpResponse(response, parsed.keep_alive);
+    if (!socket.SendAll(reply.data(), reply.size()).ok()) break;
+    if (!parsed.keep_alive) break;
+  }
+  int fd = socket.fd();
+  socket.Close();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < live_connection_fds_.size(); ++i) {
+    if (live_connection_fds_[i] == fd) {
+      live_connection_fds_.erase(live_connection_fds_.begin() +
+                                 static_cast<long>(i));
+      break;
+    }
+  }
+}
+
+void HttpTcpServer::Stop() {
+  int reactor_listener_id = -1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    running_ = false;
+    if (options_.use_reactor) {
+      reactor_listener_id = reactor_listener_.id;
+      reactor_listener_ = net::Reactor::ListenerInfo{};
+    } else {
+      stopping_ = true;
+      for (int fd : live_connection_fds_) ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+  if (reactor_listener_id >= 0) {
+    reactor()->CloseListener(reactor_listener_id);
+    return;
+  }
+  listener_.Close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads.swap(connection_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+}  // namespace hedc::web

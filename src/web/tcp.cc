@@ -207,6 +207,21 @@ Status SendFrame(TcpSocket& socket, const std::vector<uint8_t>& payload) {
   return socket.SendAll(trailer, sizeof(trailer));
 }
 
+std::vector<uint8_t> EncodeFrame(const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> frame;
+  frame.reserve(payload.size() + 8);
+  uint32_t n = static_cast<uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    frame.push_back(static_cast<uint8_t>(n >> (8 * i)));
+  }
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  uint32_t crc = Crc32(payload);
+  for (int i = 0; i < 4; ++i) {
+    frame.push_back(static_cast<uint8_t>(crc >> (8 * i)));
+  }
+  return frame;
+}
+
 Result<std::vector<uint8_t>> RecvFrame(TcpSocket& socket, size_t max_len) {
   uint8_t header[4];
   HEDC_RETURN_IF_ERROR(socket.RecvAll(header, sizeof(header)));

@@ -82,6 +82,9 @@ class TcpListener {
 Status SendFrame(TcpSocket& socket, const std::vector<uint8_t>& payload);
 Result<std::vector<uint8_t>> RecvFrame(TcpSocket& socket,
                                        size_t max_len = 64u << 20);
+// The same wire bytes as SendFrame, materialized for event-driven writers
+// (the reactor queues whole frames instead of looping blocking sends).
+std::vector<uint8_t> EncodeFrame(const std::vector<uint8_t>& payload);
 
 }  // namespace hedc::net
 

@@ -1,0 +1,448 @@
+// Differential transport conformance: every battery runs against BOTH
+// engines of the TCP servers — blocking thread-per-connection and the
+// shared epoll reactor (net/reactor.h) — via TEST_P over net.reactor.
+// The asserted codes and payloads are constants, so passing under both
+// parameters proves the engines are client-indistinguishable: framing
+// round-trips, partial/coalesced writes, checksum corruption, hostile
+// lengths, handler timeouts, mid-call Stop, restart, and trace-id
+// propagation all behave identically. The HTTP tier is additionally
+// pinned byte-for-byte across engines in one unparameterized test.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dm/hedc_schema.h"
+#include "dm/tcp_remote.h"
+#include "web/http_tcp.h"
+
+namespace hedc {
+namespace {
+
+// Transport-only handler: reverses the payload, so a response proves the
+// exact request bytes crossed the wire intact.
+class ReverseRmi : public dm::RmiHandler {
+ public:
+  std::vector<uint8_t> Handle(const std::vector<uint8_t>& request) override {
+    std::vector<uint8_t> out = request;
+    std::reverse(out.begin(), out.end());
+    return out;
+  }
+};
+
+// Handler that parks until released; lets tests hold a call in flight.
+class LatchRmi : public dm::RmiHandler {
+ public:
+  std::vector<uint8_t> Handle(const std::vector<uint8_t>& request) override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      entered_ = true;
+      entered_cv_.notify_all();
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    released_cv_.wait(lock, [this] { return released_; });
+    return request;
+  }
+
+  void WaitUntilEntered() {
+    std::unique_lock<std::mutex> lock(mu_);
+    entered_cv_.wait(lock, [this] { return entered_; });
+  }
+  void Release() {
+    std::lock_guard<std::mutex> lock(mu_);
+    released_ = true;
+    released_cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable entered_cv_;
+  std::condition_variable released_cv_;
+  bool entered_ = false;
+  bool released_ = false;
+};
+
+dm::TcpRmiServer::Options EngineOptions(bool use_reactor) {
+  dm::TcpRmiServer::Options options;
+  options.use_reactor = use_reactor;
+  options.reactor.workers = 2;
+  return options;
+}
+
+class TransportConformanceTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(TransportConformanceTest, FramingRoundTripsAcrossSizes) {
+  ReverseRmi rmi;
+  MetricsRegistry metrics;
+  dm::TcpRmiServer server(&rmi, &metrics, EngineOptions(GetParam()));
+  ASSERT_TRUE(server.Start().ok());
+
+  dm::TcpChannel channel("127.0.0.1", server.port());
+  for (size_t size : {size_t{0}, size_t{1}, size_t{7}, size_t{1024},
+                      size_t{100 * 1000}}) {
+    std::vector<uint8_t> payload(size);
+    for (size_t i = 0; i < size; ++i) payload[i] = static_cast<uint8_t>(i);
+    auto response = channel.Call(payload);
+    ASSERT_TRUE(response.ok()) << "size " << size << ": "
+                               << response.status().ToString();
+    std::vector<uint8_t> expected = payload;
+    std::reverse(expected.begin(), expected.end());
+    EXPECT_EQ(response.value(), expected) << "size " << size;
+  }
+  // All five calls reused one keep-alive connection.
+  EXPECT_EQ(metrics.GetCounter("remote.server.connections")->Value(), 1);
+  EXPECT_EQ(metrics.GetCounter("remote.server.frames")->Value(), 5);
+  server.Stop();
+}
+
+TEST_P(TransportConformanceTest, PartialAndCoalescedWritesParseIdentically) {
+  ReverseRmi rmi;
+  MetricsRegistry metrics;
+  dm::TcpRmiServer server(&rmi, &metrics, EngineOptions(GetParam()));
+  ASSERT_TRUE(server.Start().ok());
+
+  auto connected = net::TcpConnect("127.0.0.1", server.port());
+  ASSERT_TRUE(connected.ok());
+  net::TcpSocket socket = std::move(connected).value();
+
+  // One frame dripped a byte at a time must parse exactly like one sent
+  // whole.
+  std::vector<uint8_t> dripped = net::EncodeFrame({1, 2, 3, 4, 5});
+  for (uint8_t byte : dripped) {
+    ASSERT_TRUE(socket.SendAll(&byte, 1).ok());
+  }
+  auto r1 = net::RecvFrame(socket);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_EQ(r1.value(), (std::vector<uint8_t>{5, 4, 3, 2, 1}));
+
+  // Two frames coalesced into a single send must yield two in-order
+  // responses.
+  std::vector<uint8_t> coalesced = net::EncodeFrame({10, 11});
+  std::vector<uint8_t> second = net::EncodeFrame({20, 21, 22});
+  coalesced.insert(coalesced.end(), second.begin(), second.end());
+  ASSERT_TRUE(socket.SendAll(coalesced.data(), coalesced.size()).ok());
+  auto r2 = net::RecvFrame(socket);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.value(), (std::vector<uint8_t>{11, 10}));
+  auto r3 = net::RecvFrame(socket);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(r3.value(), (std::vector<uint8_t>{22, 21, 20}));
+  server.Stop();
+}
+
+TEST_P(TransportConformanceTest, CorruptChecksumDropsConnection) {
+  ReverseRmi rmi;
+  MetricsRegistry metrics;
+  dm::TcpRmiServer server(&rmi, &metrics, EngineOptions(GetParam()));
+  ASSERT_TRUE(server.Start().ok());
+
+  auto connected = net::TcpConnect("127.0.0.1", server.port());
+  ASSERT_TRUE(connected.ok());
+  net::TcpSocket socket = std::move(connected).value();
+  std::vector<uint8_t> frame = net::EncodeFrame({1, 2, 3});
+  frame.back() ^= 0xFF;  // break the checksum
+  ASSERT_TRUE(socket.SendAll(frame.data(), frame.size()).ok());
+
+  // The server must drop the connection without answering: the client's
+  // read observes EOF/reset (kUnavailable), never a response frame.
+  auto response = net::RecvFrame(socket);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kUnavailable)
+      << response.status().ToString();
+  EXPECT_EQ(metrics.GetCounter("remote.server.frames")->Value(), 0);
+  server.Stop();
+}
+
+TEST_P(TransportConformanceTest, HostileLengthDropsConnection) {
+  ReverseRmi rmi;
+  MetricsRegistry metrics;
+  dm::TcpRmiServer server(&rmi, &metrics, EngineOptions(GetParam()));
+  ASSERT_TRUE(server.Start().ok());
+
+  auto connected = net::TcpConnect("127.0.0.1", server.port());
+  ASSERT_TRUE(connected.ok());
+  net::TcpSocket socket = std::move(connected).value();
+  // Header claiming a ~4GB payload; both engines must reject on the
+  // header alone and drop the connection.
+  uint8_t header[4] = {0xF0, 0xFF, 0xFF, 0xFF};
+  ASSERT_TRUE(socket.SendAll(header, sizeof(header)).ok());
+
+  auto response = net::RecvFrame(socket);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kUnavailable)
+      << response.status().ToString();
+  EXPECT_EQ(metrics.GetCounter("remote.server.frames")->Value(), 0);
+  server.Stop();
+}
+
+TEST_P(TransportConformanceTest, SlowHandlerHitsClientDeadlineAsTimeout) {
+  LatchRmi rmi;
+  MetricsRegistry metrics;
+  dm::TcpRmiServer server(&rmi, &metrics, EngineOptions(GetParam()));
+  ASSERT_TRUE(server.Start().ok());
+
+  dm::TcpChannel channel("127.0.0.1", server.port(),
+                         /*recv_timeout=*/50 * kMicrosPerMilli);
+  auto response = channel.Call({1, 2, 3});
+  EXPECT_EQ(response.status().code(), StatusCode::kTimeout)
+      << response.status().ToString();
+  rmi.Release();  // let the parked handler finish so Stop can drain
+  server.Stop();
+}
+
+TEST_P(TransportConformanceTest, StopMidCallYieldsUnavailable) {
+  LatchRmi rmi;
+  MetricsRegistry metrics;
+  dm::TcpRmiServer server(&rmi, &metrics, EngineOptions(GetParam()));
+  ASSERT_TRUE(server.Start().ok());
+
+  Status observed;
+  std::thread caller([&] {
+    dm::TcpChannel channel("127.0.0.1", server.port(),
+                           /*recv_timeout=*/5 * kMicrosPerSecond);
+    observed = channel.Call({7, 7, 7}).status();
+  });
+  rmi.WaitUntilEntered();
+  // Stop drains the in-flight handler, so it must be released while Stop
+  // is underway; the connection dies first either way.
+  std::thread releaser([&rmi] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    rmi.Release();
+  });
+  server.Stop();
+  caller.join();
+  releaser.join();
+  EXPECT_EQ(observed.code(), StatusCode::kUnavailable)
+      << observed.ToString();
+}
+
+TEST_P(TransportConformanceTest, RestartServesOnFreshPort) {
+  ReverseRmi rmi;
+  MetricsRegistry metrics;
+  dm::TcpRmiServer server(&rmi, &metrics, EngineOptions(GetParam()));
+  ASSERT_TRUE(server.Start().ok());
+  int first_port = server.port();
+  {
+    dm::TcpChannel channel("127.0.0.1", first_port);
+    ASSERT_TRUE(channel.Call({1}).ok());
+  }
+  server.Stop();
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+  dm::TcpChannel channel("127.0.0.1", server.port());
+  auto response = channel.Call({1, 2});
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response.value(), (std::vector<uint8_t>{2, 1}));
+  server.Stop();
+}
+
+TEST_P(TransportConformanceTest, TraceIdPropagatesThroughFullDmNode) {
+  // Full DM node behind the parameterized engine: the RMI call header's
+  // trace id must reach the server's trace log either way.
+  db::Database db;
+  ASSERT_TRUE(dm::CreateFullSchema(&db).ok());
+  archive::ArchiveManager archives;
+  archives.Register({1, archive::ArchiveType::kDisk, "raid1", true},
+                    std::make_unique<archive::DiskArchive>());
+  auto mapper = std::make_unique<archive::NameMapper>(&db, Config());
+  ASSERT_TRUE(mapper->Init().ok());
+  ASSERT_TRUE(mapper->RegisterArchive(1, "disk", "raid1").ok());
+  dm::DataManager::Options dm_options;
+  dm_options.pool.connection_setup_cost = 0;
+  dm_options.sessions.session_setup_cost = 0;
+  dm::DataManager data_manager("conf", &db, &archives, mapper.get(),
+                               RealClock::Instance(), dm_options);
+  MetricsRegistry metrics;
+  dm::RmiServer rmi(&data_manager, &metrics);
+  dm::TcpRmiServer server(&rmi, &metrics, EngineOptions(GetParam()));
+  ASSERT_TRUE(server.Start().ok());
+
+  dm::TcpChannel channel("127.0.0.1", server.port());
+  dm::RemoteDm remote(&channel);
+  remote.set_trace_id(31337);
+  auto rs = remote.Execute("SELECT COUNT(*) FROM users", {});
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+
+  bool found = false;
+  for (const TraceEvent& event : metrics.traces().SnapshotTrace()) {
+    if (event.trace_id == 31337 && event.component == "dm-remote") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "trace id did not cross the wire";
+  server.Stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, TransportConformanceTest,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Reactor" : "Blocking";
+                         });
+
+// ---------------------------------------------------------------------------
+// HTTP tier
+// ---------------------------------------------------------------------------
+
+web::HttpTcpServer::Options HttpEngineOptions(bool use_reactor) {
+  web::HttpTcpServer::Options options;
+  options.use_reactor = use_reactor;
+  options.reactor.workers = 2;
+  return options;
+}
+
+web::HttpResponse CannedHandler(const web::HttpRequest& request) {
+  web::HttpResponse response;
+  if (request.path == "/hello") {
+    response.body = "hello " + request.GetQuery("name", "world") + "\n";
+    response.set_cookies["visited"] = "1";
+  } else if (request.path == "/echo") {
+    response.content_type = "text/plain";
+    response.body = request.method + " " + request.body;
+  } else {
+    response = web::HttpResponse::NotFound(request.path);
+  }
+  return response;
+}
+
+// Reads `n` bytes or fails the test.
+std::vector<uint8_t> MustRecv(net::TcpSocket& socket, size_t n) {
+  std::vector<uint8_t> bytes(n);
+  EXPECT_TRUE(socket.RecvAll(bytes.data(), n).ok());
+  return bytes;
+}
+
+// Reads exactly one HTTP response (headers + Content-Length body) as raw
+// bytes, so the differential comparison sees the entire wire encoding.
+std::vector<uint8_t> ReadOneHttpResponse(net::TcpSocket& socket) {
+  std::vector<uint8_t> bytes;
+  while (true) {
+    uint8_t byte;
+    if (!socket.RecvAll(&byte, 1).ok()) {
+      ADD_FAILURE() << "connection died mid-response";
+      return bytes;
+    }
+    bytes.push_back(byte);
+    if (bytes.size() >= 4 &&
+        std::string(bytes.end() - 4, bytes.end()) == "\r\n\r\n") {
+      break;
+    }
+  }
+  std::string head(bytes.begin(), bytes.end());
+  size_t cl = head.find("Content-Length: ");
+  EXPECT_NE(cl, std::string::npos);
+  size_t body_len = std::strtoul(head.c_str() + cl + 16, nullptr, 10);
+  std::vector<uint8_t> body = MustRecv(socket, body_len);
+  bytes.insert(bytes.end(), body.begin(), body.end());
+  return bytes;
+}
+
+std::vector<uint8_t> FetchRaw(int port, const std::string& request_text) {
+  auto connected = net::TcpConnect("127.0.0.1", port);
+  EXPECT_TRUE(connected.ok());
+  net::TcpSocket socket = std::move(connected).value();
+  EXPECT_TRUE(socket
+                  .SendAll(reinterpret_cast<const uint8_t*>(
+                               request_text.data()),
+                           request_text.size())
+                  .ok());
+  return ReadOneHttpResponse(socket);
+}
+
+TEST(HttpConformanceTest, ResponsesAreByteIdenticalAcrossEngines) {
+  MetricsRegistry blocking_metrics, reactor_metrics;
+  web::HttpTcpServer blocking(CannedHandler, &blocking_metrics,
+                              HttpEngineOptions(false));
+  web::HttpTcpServer reactor(CannedHandler, &reactor_metrics,
+                             HttpEngineOptions(true));
+  ASSERT_TRUE(blocking.Start().ok());
+  ASSERT_TRUE(reactor.Start().ok());
+
+  const std::string requests[] = {
+      "GET /hello?name=hedc HTTP/1.1\r\nHost: x\r\n\r\n",
+      "GET /hello HTTP/1.0\r\n\r\n",
+      "POST /echo HTTP/1.1\r\nContent-Length: 5\r\n\r\nabcde",
+      "GET /missing HTTP/1.1\r\nConnection: close\r\n\r\n",
+      "BROKEN\r\n\r\n",  // malformed: both engines answer 400 and close
+  };
+  for (const std::string& request : requests) {
+    std::vector<uint8_t> a = FetchRaw(blocking.port(), request);
+    std::vector<uint8_t> b = FetchRaw(reactor.port(), request);
+    EXPECT_EQ(a, b) << "engines diverged on request:\n"
+                    << request << "\nblocking:\n"
+                    << std::string(a.begin(), a.end()) << "\nreactor:\n"
+                    << std::string(b.begin(), b.end());
+  }
+  blocking.Stop();
+  reactor.Stop();
+}
+
+class HttpEngineTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(HttpEngineTest, KeepAliveCarriesManySequentialRequests) {
+  MetricsRegistry metrics;
+  web::HttpTcpServer server(CannedHandler, &metrics,
+                            HttpEngineOptions(GetParam()));
+  ASSERT_TRUE(server.Start().ok());
+
+  auto connected = net::TcpConnect("127.0.0.1", server.port());
+  ASSERT_TRUE(connected.ok());
+  net::TcpSocket socket = std::move(connected).value();
+  for (int i = 0; i < 50; ++i) {
+    std::string request = "GET /hello?name=req" + std::to_string(i) +
+                          " HTTP/1.1\r\nHost: x\r\n\r\n";
+    ASSERT_TRUE(
+        socket
+            .SendAll(reinterpret_cast<const uint8_t*>(request.data()),
+                     request.size())
+            .ok());
+    std::vector<uint8_t> response = ReadOneHttpResponse(socket);
+    std::string text(response.begin(), response.end());
+    EXPECT_NE(text.find("200 OK"), std::string::npos);
+    EXPECT_NE(text.find("hello req" + std::to_string(i)), std::string::npos);
+  }
+  // One connection served all 50 requests.
+  EXPECT_EQ(metrics.GetCounter("web.http_connections")->Value(), 1);
+  EXPECT_EQ(metrics.GetCounter("web.http_requests")->Value(), 50);
+  server.Stop();
+}
+
+TEST_P(HttpEngineTest, ConnectionCloseIsHonored) {
+  MetricsRegistry metrics;
+  web::HttpTcpServer server(CannedHandler, &metrics,
+                            HttpEngineOptions(GetParam()));
+  ASSERT_TRUE(server.Start().ok());
+
+  auto connected = net::TcpConnect("127.0.0.1", server.port());
+  ASSERT_TRUE(connected.ok());
+  net::TcpSocket socket = std::move(connected).value();
+  std::string request =
+      "GET /hello HTTP/1.1\r\nConnection: close\r\n\r\n";
+  ASSERT_TRUE(socket
+                  .SendAll(reinterpret_cast<const uint8_t*>(request.data()),
+                           request.size())
+                  .ok());
+  std::vector<uint8_t> response = ReadOneHttpResponse(socket);
+  std::string text(response.begin(), response.end());
+  EXPECT_NE(text.find("Connection: close"), std::string::npos);
+  // The server closes after the response: the next read sees EOF.
+  uint8_t byte;
+  EXPECT_EQ(socket.RecvAll(&byte, 1).code(), StatusCode::kUnavailable);
+  server.Stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, HttpEngineTest,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Reactor" : "Blocking";
+                         });
+
+}  // namespace
+}  // namespace hedc

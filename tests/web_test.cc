@@ -1,10 +1,14 @@
 // Web tier tests: query parsing, templates, servlets end to end.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "cluster_fixture.h"
 #include "core/strings.h"
 #include "hedc_fixture.h"
 #include "web/http.h"
+#include "web/http_tcp.h"
+#include "web/tcp.h"
 #include "web/template.h"
 
 namespace hedc::web {
@@ -107,6 +111,70 @@ TEST_F(WebStackTest, LoginIssuesCookieAndRejectsBadPassword) {
   EXPECT_FALSE(LoginCookie("alice", "pw-a").empty());
   HttpRequest bad = MakeRequest("/login?user=alice&password=nope");
   EXPECT_EQ(stack_.web_server->Dispatch(bad).status_code, 403);
+}
+
+// Reads one full HTTP response (headers + Content-Length body).
+std::string ReadHttpResponse(net::TcpSocket& socket) {
+  std::string response;
+  while (response.find("\r\n\r\n") == std::string::npos) {
+    uint8_t byte;
+    if (!socket.RecvAll(&byte, 1).ok()) return response;
+    response.push_back(static_cast<char>(byte));
+  }
+  size_t body_start = response.find("\r\n\r\n") + 4;
+  size_t length = 0;
+  size_t pos = response.find("Content-Length: ");
+  if (pos != std::string::npos) {
+    length = std::strtoull(response.c_str() + pos + 16, nullptr, 10);
+  }
+  while (response.size() - body_start < length) {
+    uint8_t byte;
+    if (!socket.RecvAll(&byte, 1).ok()) return response;
+    response.push_back(static_cast<char>(byte));
+  }
+  return response;
+}
+
+// The real web tier served over a socket: HttpTcpServer adapts
+// WebServer::Dispatch onto either transport engine (DESIGN.md §4i), so
+// the same raw-HTTP login + catalog flow must work blocking and reactor.
+TEST_F(WebStackTest, FullStackServesOverBothTcpEngines) {
+  std::string cookie = LoginCookie("alice", "pw-a");
+  ASSERT_FALSE(cookie.empty());
+  for (bool use_reactor : {false, true}) {
+    SCOPED_TRACE(use_reactor ? "reactor" : "blocking");
+    web::HttpTcpServer::Options options;
+    options.use_reactor = use_reactor;
+    web::HttpTcpServer http(
+        [&](const HttpRequest& request) {
+          return stack_.web_server->Dispatch(request);
+        },
+        nullptr, options);
+    ASSERT_TRUE(http.Start().ok());
+
+    auto connected = net::TcpConnect("127.0.0.1", http.port());
+    ASSERT_TRUE(connected.ok());
+    net::TcpSocket socket = std::move(connected).value();
+    // Two requests on one keep-alive connection.
+    for (int i = 0; i < 2; ++i) {
+      std::string request =
+          "GET /catalog?name=standard HTTP/1.1\r\nHost: hedc\r\n"
+          "Cookie: hedc_session=" + cookie + "\r\n\r\n";
+      ASSERT_TRUE(socket
+                      .SendAll(reinterpret_cast<const uint8_t*>(
+                                   request.data()),
+                               request.size())
+                      .ok());
+      std::string response = ReadHttpResponse(socket);
+      EXPECT_EQ(response.rfind("HTTP/1.1 200", 0), 0u) << response;
+      for (int64_t hle_id : stack_.hle_ids) {
+        EXPECT_NE(
+            response.find("/hle?id=" + std::to_string(hle_id)),
+            std::string::npos);
+      }
+    }
+    http.Stop();
+  }
 }
 
 TEST_F(WebStackTest, CatalogPageListsEvents) {
