@@ -7,11 +7,17 @@
 // is a small fraction of the raw data.
 //
 // Holistic time = bytes / 2 MB/s (the paper's client link) + decode +
-// analysis-on-input. Compared for raw photon lists vs view prefixes.
-#include <benchmark/benchmark.h>
-
+// analysis-on-input, compared for raw photon lists vs view prefixes.
+// Emits BENCH_wavelet_approx.json; `--smoke` runs fewer iterations for
+// the bench-smoke ctest label.
+#include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
+#include "bench_json.h"
 #include "rhessi/photon.h"
 #include "rhessi/telemetry.h"
 #include "wavelet/codec.h"
@@ -19,21 +25,18 @@
 
 namespace {
 
+using hedc::bench::BenchRow;
+using hedc::bench::PercentileUs;
 using hedc::rhessi::GenerateTelemetry;
 using hedc::rhessi::PhotonList;
 using hedc::rhessi::TelemetryOptions;
 
 constexpr double kLinkBytesPerSec = 2.0 * 1024 * 1024;
 
-const PhotonList& Photons() {
-  static const PhotonList* const kPhotons = [] {
-    TelemetryOptions options;
-    options.duration_sec = 1800;
-    options.flares_per_hour = 6;
-    options.seed = 4;
-    return new PhotonList(GenerateTelemetry(options).photons);
-  }();
-  return *kPhotons;
+double NowUs() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 // The analysis both paths run: total counts + peak bin over a time grid
@@ -47,73 +50,148 @@ double AnalyzeSeries(const std::vector<double>& bins) {
   return peak + total * 1e-9;
 }
 
-void BM_ExactAnalysisOnRawPhotons(benchmark::State& state) {
-  const PhotonList& photons = Photons();
-  size_t raw_bytes = hedc::rhessi::EncodePhotons(photons).size();
-  double transfer_sec = static_cast<double>(raw_bytes) / kLinkBytesPerSec;
-  for (auto _ : state) {
-    // Bin the full photon list (the work an exact lightcurve performs).
-    std::vector<double> bins(1024, 0.0);
-    double t_max = photons.back().time_sec + 1e-9;
-    for (const auto& p : photons) {
-      bins[static_cast<size_t>(p.time_sec / t_max * 1023)] += 1.0;
-    }
-    benchmark::DoNotOptimize(AnalyzeSeries(bins));
+// Times `fn` `iters` times; returns per-iteration microseconds.
+template <typename Fn>
+std::vector<double> TimeUs(int iters, Fn&& fn) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(iters));
+  volatile double sink = 0;
+  for (int i = 0; i < iters; ++i) {
+    double begin = NowUs();
+    sink = sink + fn();
+    samples.push_back(NowUs() - begin);
   }
-  // Holistic time = transfer_sec + the per-iteration CPU time benchmark
-  // reports; the view path divides both by ~the prefix factor.
-  state.counters["transfer_sec"] = transfer_sec;
-  state.counters["bytes"] = static_cast<double>(raw_bytes);
+  return samples;
 }
-BENCHMARK(BM_ExactAnalysisOnRawPhotons);
 
-void BM_ApproxAnalysisOnViewPrefix(benchmark::State& state) {
-  const PhotonList& photons = Photons();
-  // Server-side preprocessing (done once at load time, not charged).
-  std::vector<std::pair<double, double>> samples;
-  samples.reserve(photons.size());
-  for (const auto& p : photons) samples.emplace_back(p.time_sec, 1.0);
-  hedc::wavelet::PartitionedView::Options options;
-  options.domain_lo = 0;
-  options.domain_hi = photons.back().time_sec + 1;
-  options.num_partitions = 8;
-  options.bins_per_partition = 128;
-  auto view = hedc::wavelet::PartitionedView::Build(samples, options);
-  double fraction = static_cast<double>(state.range(0)) / 100.0;
-  size_t view_bytes = view.value().TotalBytes();
-  double transfer_sec =
-      static_cast<double>(view_bytes) * fraction / kLinkBytesPerSec;
-  for (auto _ : state) {
-    double start = 0;
-    auto bins = view.value().Query(options.domain_lo, options.domain_hi,
-                                   fraction, &start);
-    benchmark::DoNotOptimize(AnalyzeSeries(bins.value()));
-  }
-  state.counters["transfer_sec"] = transfer_sec;
-  state.counters["bytes"] = static_cast<double>(view_bytes) * fraction;
+BenchRow MakeRow(const std::string& label, std::vector<double> samples,
+                 double bytes) {
+  double p50 = PercentileUs(samples, 0.5);
+  double p99 = PercentileUs(samples, 0.99);
+  double mean = 0;
+  for (double s : samples) mean += s;
+  mean /= static_cast<double>(samples.size());
+  double transfer_us = bytes / kLinkBytesPerSec * 1e6;
+  return BenchRow{label,
+                  {{"throughput_per_sec", mean > 0 ? 1e6 / mean : 0},
+                   {"p50_us", p50},
+                   {"p99_us", p99},
+                   {"bytes", bytes},
+                   {"transfer_us", transfer_us},
+                   {"holistic_us", transfer_us + p50}}};
 }
-BENCHMARK(BM_ApproxAnalysisOnViewPrefix)->Arg(2)->Arg(10)->Arg(100);
-
-// Reconstruction error at each prefix fraction, printed as counters.
-void BM_ApproxErrorProfile(benchmark::State& state) {
-  const PhotonList& photons = Photons();
-  std::vector<double> exact(1024, 0.0);
-  double t_max = photons.back().time_sec + 1e-9;
-  for (const auto& p : photons) {
-    exact[static_cast<size_t>(p.time_sec / t_max * 1023)] += 1.0;
-  }
-  std::vector<uint8_t> stream = hedc::wavelet::EncodeSignal(exact);
-  double fraction = static_cast<double>(state.range(0)) / 100.0;
-  double err = 0;
-  for (auto _ : state) {
-    auto approx = hedc::wavelet::DecodeSignal(stream, fraction);
-    err = hedc::wavelet::RelativeL2Error(exact, approx.value());
-    benchmark::DoNotOptimize(err);
-  }
-  state.counters["rel_l2_error"] = err;
-}
-BENCHMARK(BM_ApproxErrorProfile)->Arg(2)->Arg(10)->Arg(50)->Arg(100);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const int iters = smoke ? 30 : 300;
+
+  TelemetryOptions options;
+  options.duration_sec = 1800;
+  options.flares_per_hour = 6;
+  options.seed = 4;
+  const PhotonList photons = GenerateTelemetry(options).photons;
+  const double raw_bytes =
+      static_cast<double>(hedc::rhessi::EncodePhotons(photons).size());
+
+  std::printf("Ablation: exact analysis on raw photons vs approximate "
+              "analysis on wavelet view prefixes\n");
+  std::printf("link model %.0f KB/s; %zu photons, %.0f raw bytes\n\n",
+              kLinkBytesPerSec / 1024, photons.size(), raw_bytes);
+
+  std::vector<BenchRow> rows;
+
+  // Exact path: bin the full photon list, then analyze.
+  double t_max = photons.back().time_sec + 1e-9;
+  rows.push_back(MakeRow(
+      "raw_exact", TimeUs(iters, [&] {
+        std::vector<double> bins(1024, 0.0);
+        for (const auto& p : photons) {
+          bins[static_cast<size_t>(p.time_sec / t_max * 1023)] += 1.0;
+        }
+        return AnalyzeSeries(bins);
+      }),
+      raw_bytes));
+
+  // Approximate path: server-side view (built once, not charged), the
+  // client downloads a coefficient fraction and analyzes the decode.
+  std::vector<std::pair<double, double>> samples_xy;
+  samples_xy.reserve(photons.size());
+  for (const auto& p : photons) samples_xy.emplace_back(p.time_sec, 1.0);
+  hedc::wavelet::PartitionedView::Options view_options;
+  view_options.domain_lo = 0;
+  view_options.domain_hi = photons.back().time_sec + 1;
+  view_options.num_partitions = 8;
+  view_options.bins_per_partition = 128;
+  auto view =
+      hedc::wavelet::PartitionedView::Build(samples_xy, view_options);
+  if (!view.ok()) {
+    std::fprintf(stderr, "view build failed: %s\n",
+                 view.status().ToString().c_str());
+    return 1;
+  }
+  double view_bytes = static_cast<double>(view.value().TotalBytes());
+
+  for (int percent : {2, 10, 100}) {
+    double fraction = percent / 100.0;
+    rows.push_back(MakeRow(
+        "view_fraction_" + std::to_string(percent), TimeUs(iters, [&] {
+          double start = 0;
+          auto bins =
+              view.value().Query(view_options.domain_lo,
+                                 view_options.domain_hi, fraction, &start);
+          return AnalyzeSeries(bins.value());
+        }),
+        view_bytes * fraction));
+  }
+
+  // Reconstruction-error profile: relative L2 error per prefix fraction.
+  std::vector<double> exact(1024, 0.0);
+  for (const auto& p : photons) {
+    exact[static_cast<size_t>(p.time_sec / t_max * 1023)] += 1.0;
+  }
+  std::vector<uint8_t> stream =
+      hedc::wavelet::EncodeSignalProgressive(exact);
+  for (int percent : {2, 10, 50, 100}) {
+    double fraction = percent / 100.0;
+    auto approx = hedc::wavelet::DecodeSignal(stream, fraction);
+    double error =
+        hedc::wavelet::RelativeL2Error(exact, approx.value());
+    BenchRow row = MakeRow("error_profile_" + std::to_string(percent),
+                           TimeUs(iters, [&] {
+                             auto decoded = hedc::wavelet::DecodeSignal(
+                                 stream, fraction);
+                             return decoded.value()[0];
+                           }),
+                           static_cast<double>(stream.size()) * fraction);
+    row.metrics.emplace_back("rel_l2_error", error);
+    rows.push_back(row);
+  }
+
+  std::printf("%-22s %12s %12s %12s %14s\n", "path", "bytes", "p50[us]",
+              "p99[us]", "holistic[us]");
+  for (const BenchRow& row : rows) {
+    double bytes = 0, p50 = 0, p99 = 0, holistic = 0;
+    for (const auto& [k, v] : row.metrics) {
+      if (k == "bytes") bytes = v;
+      if (k == "p50_us") p50 = v;
+      if (k == "p99_us") p99 = v;
+      if (k == "holistic_us") holistic = v;
+    }
+    std::printf("%-22s %12.0f %12.1f %12.1f %14.1f\n", row.label.c_str(),
+                bytes, p50, p99, holistic);
+  }
+  std::printf("\nclaim check: view_fraction_2 holistic time is >= 10x "
+              "shorter than raw_exact (download dominates).\n");
+
+  if (!hedc::bench::WriteBenchJson("BENCH_wavelet_approx.json",
+                                   "wavelet_approx", rows)) {
+    std::fprintf(stderr, "failed to write BENCH json\n");
+    return 1;
+  }
+  return 0;
+}

@@ -20,6 +20,14 @@ within C10K_P99_RATIO_MAX of p99 at the smallest. The check is a hard
 FAIL only for a full-scale run (max connections >= 10000) — smoke runs
 use tiny counts whose wall-clock noise dwarfs the signal, so they only
 earn a WARN.
+
+When a file carries a full_fidelity row next to progressive_resolution_*
+rows (the fig4 progressive-delivery bench), two hard gates apply: first
+paint at the coarsest resolution must be at least PROGRESSIVE_SPEEDUP_MIN
+times faster than the full-fidelity delivery, and every row reporting a
+measured_error must sit within its reported error_bound. Both hold at any
+scale — the speedup is dominated by the modeled link transfer and the
+bound is deterministic, so smoke runs are not exempt.
 """
 import json
 import os
@@ -34,6 +42,10 @@ DEVIATION_WARN = 0.40
 # this multiple of p99 at the smallest (hard FAIL at >= this many conns).
 C10K_P99_RATIO_MAX = 2.0
 C10K_FULL_SCALE = 10000
+
+# Progressive delivery acceptance: coarsest first paint must be at least
+# this many times faster than the full-fidelity delivery (hard FAIL).
+PROGRESSIVE_SPEEDUP_MIN = 5.0
 
 
 def speedup_curve(results, prefix):
@@ -118,6 +130,45 @@ def crosscheck_c10k(path, results):
     return None
 
 
+def crosscheck_progressive(path, results):
+    """Checks progressive first-paint speedup and approx error bounds;
+    returns an error string or None."""
+    rows = {row.get("label", ""): row for row in results}
+    full = rows.get("full_fidelity")
+    coarse = rows.get("progressive_resolution_0")
+    if full and coarse:
+        full_p50 = full.get("p50_us")
+        coarse_p50 = coarse.get("p50_us")
+        if not isinstance(coarse_p50, (int, float)) or coarse_p50 <= 0:
+            return "progressive_resolution_0 p50_us is not positive"
+        speedup = float(full_p50) / float(coarse_p50)
+        verdict = ("ok" if speedup >= PROGRESSIVE_SPEEDUP_MIN
+                   else "SPEEDUP-VIOLATION")
+        print(f"crosscheck {path}: progressive first paint "
+              f"{coarse_p50:.0f}us vs full fidelity {full_p50:.0f}us  "
+              f"speedup {speedup:.1f}x "
+              f"(gate {PROGRESSIVE_SPEEDUP_MIN:.0f}x)  {verdict}")
+        if speedup < PROGRESSIVE_SPEEDUP_MIN:
+            return (f"coarse first paint is only {speedup:.2f}x faster "
+                    f"than full fidelity "
+                    f"(gate {PROGRESSIVE_SPEEDUP_MIN:.0f}x)")
+    checked = 0
+    for label, row in rows.items():
+        error = row.get("measured_error")
+        bound = row.get("error_bound")
+        if not isinstance(error, (int, float)) or not isinstance(
+                bound, (int, float)):
+            continue
+        checked += 1
+        if error > bound + 1e-9:
+            return (f"{label}: measured_error {error:.6g} exceeds "
+                    f"reported error_bound {bound:.6g}")
+    if checked:
+        print(f"crosscheck {path}: {checked} approx row(s) within their "
+              "reported error bounds")
+    return None
+
+
 def validate(path):
     with open(path) as fh:
         doc = json.load(fh)
@@ -150,7 +201,10 @@ def validate(path):
             if not isinstance(value, (int, float)) or isinstance(value, bool):
                 return f"results[{i}] ({label}): non-numeric metric {key!r}"
     crosscheck_cluster(path, results)
-    return crosscheck_c10k(path, results)
+    error = crosscheck_c10k(path, results)
+    if error:
+        return error
+    return crosscheck_progressive(path, results)
 
 
 def main(argv):

@@ -28,6 +28,10 @@ python3 bench/validate_bench_json.py BENCH_cluster_scaleout.json \
 echo "=== c10k crosscheck (p99 flatness at 10k keep-alive connections) ==="
 python3 bench/validate_bench_json.py BENCH_c10k.json
 
+echo "=== progressive-delivery crosscheck (first-paint >= 5x, approx error <= bound) ==="
+python3 bench/validate_bench_json.py BENCH_wavelet_progressive.json \
+    BENCH_wavelet_approx.json
+
 echo "=== build (HEDC_SANITIZE=thread) ==="
 cmake -B build-tsan -S . -DHEDC_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "archive/fits.h"
+#include "core/metrics.h"
 #include "core/strings.h"
 #include "dm/hedc_schema.h"
 #include "rhessi/raw_unit.h"
@@ -112,6 +113,65 @@ Result<std::vector<double>> StreamCorder::FetchViewApproximation(
   // Decoding happens on the client "to minimize the load at the server"
   // (§6.3).
   return wavelet::DecodeSignal(view->data, fraction);
+}
+
+Result<StreamCorder::ProgressiveView> StreamCorder::FetchViewProgressive(
+    int64_t unit_id, const RefinementCallback& on_refinement) {
+  auto wall_start = std::chrono::steady_clock::now();
+  auto elapsed_seconds = [&wall_start]() {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         wall_start)
+        .count();
+  };
+  int64_t view_item = dm::ProcessLayer::ViewItemId(unit_id);
+  HEDC_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                        server_->io().ReadItemFile(view_item));
+  ++server_fetches_;
+  HEDC_ASSIGN_OR_RETURN(archive::FitsFile fits,
+                        archive::FitsFile::Parse(bytes));
+  const archive::FitsHdu* view = fits.FindHdu("VIEW");
+  if (view == nullptr) {
+    return Status::Corruption("view file missing VIEW HDU");
+  }
+  HEDC_ASSIGN_OR_RETURN(size_t levels, wavelet::ResolutionLevels(view->data));
+
+  MetricsRegistry* metrics = MetricsRegistry::Default();
+  ProgressiveView out;
+  out.levels = levels;
+  size_t prev_prefix = 0;
+  for (size_t level = 0; level < levels; ++level) {
+    HEDC_ASSIGN_OR_RETURN(std::vector<uint8_t> prefix,
+                          wavelet::SlicePrefixForLevel(view->data, level));
+    // A level without surviving coefficients adds no bytes: skip the
+    // identical re-decode, the previous render already covers it.
+    if (out.refinements > 0 && prefix.size() == prev_prefix) continue;
+    prev_prefix = prefix.size();
+    HEDC_ASSIGN_OR_RETURN(out.bins,
+                          wavelet::DecodeSignalPrefix(prefix,
+                                                      &out.final_info));
+    out.total_bytes += prefix.size();
+    ++out.refinements;
+    if (on_refinement) on_refinement(out.bins, level);
+    double elapsed = elapsed_seconds();
+    if (out.refinements == 1) {
+      out.first_paint_bytes = prefix.size();
+      out.first_paint_seconds = elapsed;
+      metrics->GetHistogram("client.progressive.first_paint_us")
+          ->Observe(static_cast<int64_t>(elapsed * 1e6));
+    }
+    out.full_seconds = elapsed;
+    metrics->GetCounter("client.progressive.bytes")
+        ->Add(static_cast<int64_t>(prefix.size()));
+  }
+  if (out.refinements == 0) {
+    return Status::Corruption("view stream yields no decodable prefix");
+  }
+  metrics->GetCounter("client.progressive.fetches")->Add();
+  metrics->GetCounter("client.progressive.refinements")
+      ->Add(static_cast<int64_t>(out.refinements));
+  metrics->GetHistogram("client.progressive.full_us")
+      ->Observe(static_cast<int64_t>(out.full_seconds * 1e6));
+  return out;
 }
 
 // The unit's current calibration version, resolved without unpacking the

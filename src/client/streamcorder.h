@@ -10,6 +10,7 @@
 #ifndef HEDC_CLIENT_STREAMCORDER_H_
 #define HEDC_CLIENT_STREAMCORDER_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -61,6 +62,28 @@ class StreamCorder {
   // visualization, §6.3). Cached like any large object.
   Result<std::vector<double>> FetchViewApproximation(int64_t unit_id,
                                                      double fraction);
+
+  // One coarse-to-fine progressive delivery of a unit's view: fetches
+  // the stored stream's resolution-level prefixes in order, decodes and
+  // (optionally) renders each refinement, and reports first-paint vs
+  // full-fidelity latency plus the bytes each resolution cost.
+  // Instrumented as client.progressive.* (fetches, refinements, bytes
+  // counters; first_paint_us / full_us histograms).
+  struct ProgressiveView {
+    std::vector<double> bins;        // finest reconstruction delivered
+    size_t refinements = 0;          // prefixes decoded (levels with
+                                     // no new coefficients are skipped)
+    size_t levels = 0;               // resolution levels in the stream
+    size_t first_paint_bytes = 0;    // coarsest prefix size
+    size_t total_bytes = 0;          // cumulative prefix bytes fetched
+    double first_paint_seconds = 0;  // wall time to the coarsest render
+    double full_seconds = 0;         // wall time to the last refinement
+    wavelet::PrefixInfo final_info;  // accounting of the final decode
+  };
+  using RefinementCallback =
+      std::function<void(const std::vector<double>& bins, size_t level)>;
+  Result<ProgressiveView> FetchViewProgressive(
+      int64_t unit_id, const RefinementCallback& on_refinement = nullptr);
 
   // Runs an analysis locally on cached/downloaded data.
   Result<analysis::AnalysisProduct> AnalyzeLocally(

@@ -10,6 +10,49 @@ namespace hedc::dm {
 ProcessLayer::ProcessLayer(DataManager* dm, int64_t raw_archive_id)
     : dm_(dm), raw_archive_id_(raw_archive_id) {}
 
+bool ProcessLayer::WriteViewFile(const rhessi::RawDataUnit& unit) {
+  // One 1024-bin signal per aggregate: photon counts for COUNT-style
+  // browse queries, summed keV for energy SUMs. Each is stored as a
+  // prefix-decodable progressive stream, so any byte prefix of the HDU
+  // serves a coarser resolution of the same view.
+  std::vector<double> counts(1024, 0.0);
+  std::vector<double> energies(1024, 0.0);
+  double lo = unit.t_start;
+  double hi = unit.t_stop + 1e-6;
+  if (hi <= lo) return false;
+  double width = (hi - lo) / static_cast<double>(counts.size());
+  for (const rhessi::PhotonEvent& p : unit.photons) {
+    if (p.time_sec < lo || p.time_sec >= hi) continue;
+    size_t b = static_cast<size_t>((p.time_sec - lo) / width);
+    if (b >= counts.size()) b = counts.size() - 1;
+    counts[b] += 1.0;
+    energies[b] += p.energy_kev;
+  }
+
+  archive::FitsFile fits;
+  fits.primary().SetCard("UNIT_ID", std::to_string(unit.unit_id),
+                         "wavelet view of raw unit");
+  fits.primary().SetCard("KIND", "wavelet-view", "");
+  fits.primary().SetCard("CALVER", std::to_string(unit.calibration_version),
+                         "calibration version the view derives from");
+  fits.AddHdu("VIEW").data = wavelet::EncodeSignalProgressive(counts);
+  fits.AddHdu("VIEW_E").data = wavelet::EncodeSignalProgressive(energies);
+  std::vector<uint8_t> bytes = fits.Serialize();
+
+  int64_t item_id = ViewItemId(unit.unit_id);
+  Result<archive::ResolvedName> name =
+      dm_->io().name_mapper()->Resolve(item_id, archive::NameType::kFilename);
+  if (name.ok()) {
+    // Rebuild (recalibration): overwrite in place, the location tuple
+    // stays valid.
+    archive::Archive* arch = dm_->io().archives()->Get(name.value().archive_id);
+    return arch != nullptr && arch->Write(name.value().rel_path, bytes).ok();
+  }
+  return dm_->io()
+      .WriteItemFile(item_id, raw_archive_id_, "views", bytes)
+      .ok();
+}
+
 Result<int64_t> ProcessLayer::InsertRawUnitTuple(
     const rhessi::RawDataUnit& unit, size_t file_bytes) {
   HEDC_ASSIGN_OR_RETURN(
@@ -130,41 +173,8 @@ Result<DataLoadReport> ProcessLayer::LoadRawUnit(
     report.hle_ids.push_back(hle_id.value());
   }
 
-  // Step 5: wavelet-preprocessed progressive view over the count signal.
-  {
-    std::vector<std::pair<double, double>> samples;
-    samples.reserve(unit.photons.size());
-    for (const rhessi::PhotonEvent& p : unit.photons) {
-      samples.emplace_back(p.time_sec, 1.0);
-    }
-    wavelet::PartitionedView::Options vopts;
-    vopts.domain_lo = unit.t_start;
-    vopts.domain_hi = unit.t_stop + 1e-6;
-    vopts.num_partitions = 8;
-    vopts.bins_per_partition = 128;
-    Result<wavelet::PartitionedView> view =
-        wavelet::PartitionedView::Build(samples, vopts);
-    if (view.ok()) {
-      // Store the first-partition-fraction stream per partition; for the
-      // repository we persist the concatenated encoded view via a
-      // FITS-lite container.
-      archive::FitsFile fits;
-      fits.primary().SetCard("UNIT_ID", std::to_string(unit.unit_id),
-                             "wavelet view of raw unit");
-      fits.primary().SetCard("KIND", "wavelet-view", "");
-      archive::FitsHdu& hdu = fits.AddHdu("VIEW");
-      double start = 0;
-      Result<std::vector<double>> bins =
-          view.value().Query(vopts.domain_lo, vopts.domain_hi, 1.0, &start);
-      if (bins.ok()) {
-        hdu.data = wavelet::EncodeSignal(bins.value());
-        Status vw = dm_->io().WriteItemFile(ViewItemId(unit.unit_id),
-                                            raw_archive_id_, "views",
-                                            fits.Serialize());
-        if (vw.ok()) view_written = true;
-      }
-    }
-  }
+  // Step 5: wavelet-preprocessed progressive views (count + energy).
+  view_written = WriteViewFile(unit);
 
   // Step 6: log.
   dm_->LogOperational(
@@ -287,6 +297,9 @@ Result<DataLoadReport> ProcessLayer::RecalibrateUnit(
       StrFormat("from_version=%d", old_version));
   // Version bump is durable: dependent derived products are now stale.
   if (unit_invalidator_) unit_invalidator_(unit_id);
+  // Re-derive the progressive views from the recalibrated photons so a
+  // post-invalidation prefix request rebuilds against fresh data.
+  WriteViewFile(new_unit);
 
   // Supersede HLEs derived from this unit: re-detect on the new photons.
   DataLoadReport report;

@@ -115,6 +115,11 @@ class ProcessLayer {
  private:
   Result<int64_t> InsertRawUnitTuple(const rhessi::RawDataUnit& unit,
                                      size_t file_bytes);
+  // Builds and stores the unit's progressive view file: a FITS-lite
+  // container with a "VIEW" HDU (photon counts per bin) and a "VIEW_E"
+  // HDU (summed keV per bin), both prefix-decodable HWV3 streams.
+  // Overwrites in place when the view item already exists (recalibration).
+  bool WriteViewFile(const rhessi::RawDataUnit& unit);
 
   DataManager* dm_;
   int64_t raw_archive_id_;

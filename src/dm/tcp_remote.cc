@@ -65,7 +65,9 @@ class RmiFrameProtocol : public net::ReactorProtocol {
 TcpRmiServer::Options TcpRmiServer::Options::FromConfig(
     const Config& config) {
   Options options;
-  options.use_reactor = config.GetBool("net.reactor", false);
+  // Reactor engine is the default since the PR-8 soak; net.reactor=false
+  // selects the thread-per-connection engine.
+  options.use_reactor = config.GetBool("net.reactor", true);
   options.reactor = net::Reactor::Options::FromConfig(config);
   options.max_frame = static_cast<size_t>(
       config.GetInt("net.max_frame_bytes",

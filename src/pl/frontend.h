@@ -153,6 +153,9 @@ class Frontend {
   // Attaches the derived-product cache (borrowed; may be null to run
   // uncached). Setup-time call: must happen before the first Submit.
   void set_product_cache(ProductCache* cache) { product_cache_ = cache; }
+  // The attached cache (null when uncached) — servlets reuse it for
+  // per-resolution view prefixes.
+  ProductCache* product_cache() const { return product_cache_; }
 
   int64_t completed() const { return completed_; }
 

@@ -27,8 +27,19 @@ class PartitionedView {
     CodecOptions codec;
   };
 
+  // Error-bounded approximate aggregate over a domain range, computed
+  // from coarse coefficient prefixes (see PrefixInfo in codec.h for the
+  // bound derivation; per-partition bounds add).
+  struct RangeAggregate {
+    double sum = 0;          // approximate sum of bin values in range
+    double error_bound = 0;  // |true sum - sum| <= error_bound
+    size_t bins = 0;         // bins contributing to the sum
+    size_t bytes_read = 0;   // encoded bytes the prefixes required
+  };
+
   // Builds the view from (position, value) samples: samples are binned
-  // (summed) over the domain, then each partition is encoded.
+  // (summed) over the domain, then each partition is encoded as a
+  // prefix-decodable progressive (HWV3) stream.
   static Result<PartitionedView> Build(
       const std::vector<std::pair<double, double>>& samples,
       const Options& options);
@@ -36,12 +47,34 @@ class PartitionedView {
   // Reconstructs bin values covering [lo, hi] using `fraction` of each
   // overlapping partition's coefficients. Returns the bin values and
   // writes the domain position of the first returned bin to *start_pos.
+  // Semantics at the edges: hi < lo is InvalidArgument; a range that
+  // does not intersect the domain yields an empty result; fraction is
+  // clamped to (0, 1] (<= 0 decodes the single coarsest coefficient,
+  // > 1 decodes everything); single-partition views behave like any
+  // other size.
   Result<std::vector<double>> Query(double lo, double hi, double fraction,
                                     double* start_pos) const;
+
+  // Query at a resolution level: decodes only the per-partition prefix
+  // covering levels 0..level (level 0 = per-partition mean). Levels
+  // beyond the finest clamp to a full decode.
+  Result<std::vector<double>> QueryResolution(double lo, double hi,
+                                              size_t level,
+                                              double* start_pos) const;
+
+  // Approximate sum of bin values over [lo, hi) from level-`level`
+  // prefixes, with a deterministic error bound.
+  Result<RangeAggregate> AggregateRange(double lo, double hi,
+                                        size_t level) const;
+
+  // Resolution levels per partition (log2 of padded bins + 1).
+  size_t ResolutionLevelCount() const;
 
   // Serialized size of the partitions overlapping [lo, hi] — the bytes a
   // client must download for such a query.
   size_t BytesForRange(double lo, double hi) const;
+  // Same, but only the prefix bytes needed for resolution `level`.
+  size_t PrefixBytesForRange(double lo, double hi, size_t level) const;
   size_t TotalBytes() const;
 
   const Options& options() const { return options_; }
@@ -49,6 +82,11 @@ class PartitionedView {
   double bin_width() const { return bin_width_; }
 
  private:
+  // Partitions overlapping the clamped [lo, hi]; false when the range
+  // misses the domain entirely.
+  bool PartitionSpan(double lo, double hi, size_t* first,
+                     size_t* last) const;
+
   Options options_;
   double bin_width_ = 0;
   std::vector<std::vector<uint8_t>> partitions_;  // encoded streams

@@ -230,7 +230,9 @@ class HttpProtocol : public net::ReactorProtocol {
 HttpTcpServer::Options HttpTcpServer::Options::FromConfig(
     const Config& config) {
   Options options;
-  options.use_reactor = config.GetBool("net.reactor", false);
+  // Reactor engine is the default since the PR-8 soak; net.reactor=false
+  // selects the thread-per-connection engine.
+  options.use_reactor = config.GetBool("net.reactor", true);
   options.reactor = net::Reactor::Options::FromConfig(config);
   options.blocking_idle_timeout = options.reactor.idle_timeout;
   return options;

@@ -1,12 +1,17 @@
 // Standard servlets: login/logout, catalog browsing, HLE pages, analysis
-// pages, image download, analysis submission.
+// pages, image download, analysis submission, progressive view delivery,
+// approximate aggregates.
 #include <memory>
 
+#include "analysis/approx.h"
 #include "analysis/product.h"
+#include "archive/fits.h"
 #include "core/metrics.h"
 #include "core/strings.h"
 #include "dm/predefined_queries.h"
 #include "dm/process_layer.h"
+#include "rhessi/raw_unit.h"
+#include "wavelet/codec.h"
 #include "wavelet/views.h"
 #include "web/web_server.h"
 
@@ -465,6 +470,246 @@ class QueryServlet : public Servlet {
   }
 };
 
+// --- progressive view delivery + approximate aggregates (§3.4, §6.3) ----
+
+// A unit's serving geometry, from its raw_units tuple.
+struct UnitMeta {
+  double t_start = 0;
+  double t_stop = 0;
+  int calibration_version = 0;
+};
+
+Result<UnitMeta> LookupUnit(dm::DataManager* dm, int64_t unit_id) {
+  HEDC_ASSIGN_OR_RETURN(
+      db::ResultSet rs,
+      dm->database()->Execute(
+          "SELECT t_start, t_stop, calibration_version FROM raw_units "
+          "WHERE unit_id = ?",
+          {db::Value::Int(unit_id)}));
+  if (rs.num_rows() == 0) {
+    return Status::NotFound(StrFormat("unknown raw unit %lld",
+                                      static_cast<long long>(unit_id)));
+  }
+  UnitMeta meta;
+  meta.t_start = rs.Get(0, "t_start").AsReal();
+  meta.t_stop = rs.Get(0, "t_stop").AsReal();
+  meta.calibration_version =
+      static_cast<int>(rs.Get(0, "calibration_version").AsInt());
+  return meta;
+}
+
+// Reads the stored view file and slices the byte prefix covering
+// resolution levels 0..level from the requested signal ("count" = photon
+// counts HDU, "energy" = summed keV HDU). level < 0 ships the full
+// stream.
+Result<std::vector<uint8_t>> BuildViewPrefix(dm::DataManager* dm,
+                                             int64_t unit_id,
+                                             const std::string& kind,
+                                             int64_t level) {
+  HEDC_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> bytes,
+      dm->io().ReadItemFile(dm::ProcessLayer::ViewItemId(unit_id)));
+  HEDC_ASSIGN_OR_RETURN(archive::FitsFile fits,
+                        archive::FitsFile::Parse(bytes));
+  const archive::FitsHdu* hdu =
+      fits.FindHdu(kind == "energy" ? "VIEW_E" : "VIEW");
+  if (hdu == nullptr) {
+    return Status::NotFound("view file missing " + kind + " HDU");
+  }
+  if (level < 0) return hdu->data;
+  return wavelet::SlicePrefixForLevel(hdu->data,
+                                      static_cast<size_t>(level));
+}
+
+// Serves a per-resolution prefix through the derived-product cache,
+// keyed on (routine "__view_prefix__", {resolution, kind},
+// unit@calibration_version): a cached coarse prefix is returned without
+// re-reading or re-slicing the stored view (web.view.builds counts the
+// real builds), and recalibration invalidates every resolution of the
+// unit at once through the ordinary lineage hook.
+Result<std::vector<uint8_t>> FetchViewPrefix(dm::DataManager* dm,
+                                             WebServer* server,
+                                             int64_t unit_id,
+                                             const std::string& kind,
+                                             int64_t level) {
+  HEDC_ASSIGN_OR_RETURN(UnitMeta meta, LookupUnit(dm, unit_id));
+  pl::ProductCache* cache = server->frontend() != nullptr
+                                ? server->frontend()->product_cache()
+                                : nullptr;
+  pl::ProductCache::Ticket ticket;
+  if (cache != nullptr) {
+    analysis::AnalysisParams params;
+    params.SetInt("resolution", level);
+    params.Set("kind", kind);
+    ticket = cache->Admit(pl::MakeProductCacheKey(
+        "__view_prefix__", params, {{unit_id, meta.calibration_version}}));
+    if (ticket.role == pl::ProductCache::Role::kHit) {
+      Result<analysis::AnalysisProduct> product =
+          pl::DecodeProduct(ticket.hit.bytes);
+      if (product.ok()) return std::move(product.value().rendered);
+      // Corrupt entry: fall through to an uncached rebuild.
+    } else if (ticket.role == pl::ProductCache::Role::kFollower) {
+      Result<pl::ProductCache::CachedProduct> waited = cache->Await(ticket);
+      if (waited.ok()) {
+        Result<analysis::AnalysisProduct> product =
+            pl::DecodeProduct(waited.value().bytes);
+        if (product.ok()) return std::move(product.value().rendered);
+      }
+      // Leader failed (or decode did): rebuild locally.
+    }
+  }
+
+  MetricsRegistry::Default()->GetCounter("web.view.builds")->Add();
+  Result<std::vector<uint8_t>> prefix =
+      BuildViewPrefix(dm, unit_id, kind, level);
+  if (ticket.role == pl::ProductCache::Role::kLeader) {
+    if (prefix.ok()) {
+      analysis::AnalysisProduct product;
+      product.routine = "__view_prefix__";
+      product.metadata["kind"] = kind;
+      product.metadata["resolution"] = std::to_string(level);
+      product.rendered = prefix.value();
+      cache->CompleteSuccess(ticket, product, /*cost_seconds=*/1e-3,
+                             /*ana_id=*/0);
+    } else {
+      cache->CompleteFailure(ticket, prefix.status());
+    }
+  }
+  return prefix;
+}
+
+// /view?unit=ID[&resolution=R][&kind=count|energy]: progressive wavelet
+// delivery. Ships the prefix of the unit's stored HWV3 stream covering
+// resolution levels 0..R; absent R uses wavelet.default_resolution
+// (-1 = full fidelity). Clients decode any prefix with
+// DecodeSignalPrefix and refine coarse-to-fine by re-requesting at
+// higher R — each refinement is a cache-served byte slice, never a
+// rebuild.
+class ViewServlet : public Servlet {
+ public:
+  HttpResponse Handle(const HttpRequest& request, dm::DataManager* dm,
+                      WebServer* server) override {
+    int64_t unit_id = 0;
+    if (!ParseInt64(request.GetQuery("unit"), &unit_id)) {
+      return HttpResponse::BadRequest("unit required");
+    }
+    int64_t level = server->delivery_options().default_view_resolution;
+    std::string resolution = request.GetQuery("resolution");
+    if (!resolution.empty() && !ParseInt64(resolution, &level)) {
+      return HttpResponse::BadRequest("bad resolution");
+    }
+    std::string kind = request.GetQuery("kind", "count");
+    if (kind != "count" && kind != "energy") {
+      return HttpResponse::BadRequest("kind must be count or energy");
+    }
+    Result<std::vector<uint8_t>> prefix =
+        FetchViewPrefix(dm, server, unit_id, kind, level);
+    if (!prefix.ok()) {
+      return HttpResponse::NotFound(prefix.status().ToString());
+    }
+    MetricsRegistry::Default()
+        ->GetCounter("web.view.bytes")
+        ->Add(static_cast<int64_t>(prefix.value().size()));
+    HttpResponse response;
+    response.content_type = "application/x-hedc-wavelet";
+    response.binary_body = std::move(prefix).value();
+    return response;
+  }
+};
+
+// /approx?unit=ID[&agg=count|sum][&t_lo=..][&t_hi=..][&resolution=R]:
+// error-bounded approximate aggregate over the unit's time range,
+// answered from a coarse view prefix (deterministic ± bars, see
+// PrefixInfo in wavelet/codec.h) so dashboard queries never touch the
+// raw photon list. agg=count sums the binned photon counts; agg=sum the
+// binned keV. When the unit has no stored view, a seeded
+// reservoir-sampling scan of the raw photons answers instead
+// (probabilistic ~95% bars, method "reservoir").
+class ApproxServlet : public Servlet {
+ public:
+  HttpResponse Handle(const HttpRequest& request, dm::DataManager* dm,
+                      WebServer* server) override {
+    const WebServer::DeliveryOptions& opts = server->delivery_options();
+    if (!opts.approx_enabled) {
+      return HttpResponse::Forbidden("approximate aggregates disabled");
+    }
+    int64_t unit_id = 0;
+    if (!ParseInt64(request.GetQuery("unit"), &unit_id)) {
+      return HttpResponse::BadRequest("unit required");
+    }
+    std::string agg = request.GetQuery("agg", "count");
+    if (agg != "count" && agg != "sum") {
+      return HttpResponse::BadRequest("agg must be count or sum");
+    }
+    Result<UnitMeta> meta = LookupUnit(dm, unit_id);
+    if (!meta.ok()) return HttpResponse::NotFound(meta.status().ToString());
+    double domain_lo = meta.value().t_start;
+    double domain_hi = meta.value().t_stop + 1e-6;
+    double t_lo = domain_lo, t_hi = domain_hi;
+    ParseDouble(request.GetQuery("t_lo"), &t_lo);
+    ParseDouble(request.GetQuery("t_hi"), &t_hi);
+    if (t_hi < t_lo) return HttpResponse::BadRequest("inverted time range");
+    int64_t level = opts.approx_default_resolution;
+    std::string resolution = request.GetQuery("resolution");
+    if (!resolution.empty() && !ParseInt64(resolution, &level)) {
+      return HttpResponse::BadRequest("bad resolution");
+    }
+
+    std::string kind = agg == "sum" ? "energy" : "count";
+    analysis::ApproxAnswer answer;
+    std::string method;
+    Result<std::vector<uint8_t>> prefix =
+        FetchViewPrefix(dm, server, unit_id, kind, level);
+    if (prefix.ok()) {
+      double span = domain_hi - domain_lo;
+      Result<analysis::ApproxAnswer> from_prefix =
+          analysis::ApproxSumFromPrefix(prefix.value().data(),
+                                        prefix.value().size(),
+                                        (t_lo - domain_lo) / span,
+                                        (t_hi - domain_lo) / span);
+      if (from_prefix.ok()) {
+        answer = from_prefix.value();
+        method = "wavelet-prefix";
+      }
+    }
+    if (method.empty()) {
+      // No view (or an undecodable one): one sequential pass over the
+      // raw photons through a fixed-size reservoir.
+      Result<std::vector<uint8_t>> packed = dm->io().ReadItemFile(unit_id);
+      if (!packed.ok()) {
+        return HttpResponse::NotFound(packed.status().ToString());
+      }
+      Result<rhessi::RawDataUnit> unit =
+          rhessi::RawDataUnit::Unpack(packed.value());
+      if (!unit.ok()) {
+        return HttpResponse::NotFound(unit.status().ToString());
+      }
+      analysis::ReservoirSampler sampler(
+          static_cast<size_t>(std::max<int64_t>(opts.approx_reservoir_size,
+                                                1)),
+          /*seed=*/static_cast<uint64_t>(unit_id) * 1000003 +
+              static_cast<uint64_t>(meta.value().calibration_version));
+      for (const rhessi::PhotonEvent& p : unit.value().photons) {
+        sampler.Add(p.time_sec, p.energy_kev);
+      }
+      answer = agg == "sum" ? sampler.EstimateSumInRange(t_lo, t_hi)
+                            : sampler.EstimateCountInRange(t_lo, t_hi);
+      method = "reservoir";
+    }
+    MetricsRegistry::Default()->GetCounter("web.approx.requests")->Add();
+    HttpResponse response;
+    response.content_type = "application/json";
+    response.body = StrFormat(
+        "{\"unit\":%lld,\"agg\":\"%s\",\"estimate\":%.6f,"
+        "\"error_bound\":%.6f,\"bins\":%zu,\"bytes_read\":%zu,"
+        "\"resolution\":%lld,\"method\":\"%s\"}",
+        static_cast<long long>(unit_id), agg.c_str(), answer.estimate,
+        answer.error_bound, answer.bins, answer.bytes_read,
+        static_cast<long long>(level), method.c_str());
+    return response;
+  }
+};
+
 // Admin status page: archives, usage statistics, operational state
 // ("monitoring information such as usage statistics or audit trails",
 // §4.1).
@@ -567,6 +812,21 @@ void WebServer::RegisterStandardServlets() {
   Register("/query", std::make_unique<QueryServlet>());
   Register("/status", std::make_unique<StatusServlet>());
   Register("/metrics", std::make_unique<MetricsServlet>());
+  Register("/view", std::make_unique<ViewServlet>());
+  Register("/approx", std::make_unique<ApproxServlet>());
+}
+
+WebServer::DeliveryOptions WebServer::DeliveryOptions::FromConfig(
+    const Config& config) {
+  DeliveryOptions out;
+  out.default_view_resolution =
+      config.GetInt("wavelet.default_resolution", out.default_view_resolution);
+  out.approx_enabled = config.GetBool("approx.enabled", out.approx_enabled);
+  out.approx_default_resolution =
+      config.GetInt("approx.resolution", out.approx_default_resolution);
+  out.approx_reservoir_size =
+      config.GetInt("approx.reservoir_size", out.approx_reservoir_size);
+  return out;
 }
 
 void WebServer::Register(const std::string& path,

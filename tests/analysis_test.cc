@@ -3,8 +3,16 @@
 
 #include <cmath>
 
+#include <cstdint>
+#include <initializer_list>
+#include <utility>
+#include <vector>
+
+#include "analysis/approx.h"
 #include "analysis/routine.h"
+#include "core/rng.h"
 #include "rhessi/telemetry.h"
+#include "wavelet/codec.h"
 
 namespace hedc::analysis {
 namespace {
@@ -216,6 +224,102 @@ TEST(RenderTest, SeriesRenders) {
 
 TEST(RenderTest, BadBytesRejected) {
   EXPECT_FALSE(ParseRenderedImage({1, 2, 3}).ok());
+}
+
+// --- error-bounded approximate aggregates ------------------------------
+
+TEST(ApproxTest, ApproxSumFromPrefixWithinBound) {
+  Rng rng(41);
+  std::vector<double> signal(512);
+  for (auto& v : signal) v = rng.Uniform(0, 50);
+  signal[100] = 4000;  // a flare spike the coarse levels must bound
+  std::vector<uint8_t> stream = wavelet::EncodeSignalProgressive(signal);
+
+  for (size_t level : {0u, 3u, 6u, 9u}) {
+    auto prefix = wavelet::SlicePrefixForLevel(stream, level);
+    ASSERT_TRUE(prefix.ok());
+    for (auto [lo, hi] : std::initializer_list<std::pair<double, double>>{
+             {0.0, 1.0}, {0.25, 0.75}, {0.1953125, 0.1972656}}) {
+      auto answer = ApproxSumFromPrefix(prefix.value().data(),
+                                        prefix.value().size(), lo, hi);
+      ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+      size_t lo_bin = static_cast<size_t>(lo * 512.0);
+      size_t hi_bin = static_cast<size_t>(std::ceil(hi * 512.0));
+      double exact = 0;
+      for (size_t i = lo_bin; i < hi_bin; ++i) exact += signal[i];
+      EXPECT_LE(std::abs(answer.value().estimate - exact),
+                answer.value().error_bound + 1e-6)
+          << "level " << level << " range [" << lo << "," << hi << "]";
+      EXPECT_EQ(answer.value().bins, hi_bin - lo_bin);
+      EXPECT_GT(answer.value().bytes_read, 0u);
+    }
+  }
+
+  // The full stream answers exactly (up to quantization).
+  auto exact_answer =
+      ApproxSumFromPrefix(stream.data(), stream.size(), 0.0, 1.0);
+  ASSERT_TRUE(exact_answer.ok());
+  double total = 0;
+  for (double v : signal) total += v;
+  EXPECT_NEAR(exact_answer.value().estimate, total, 1e-2);
+
+  // Out-of-range fractions clamp; inverted ranges are errors.
+  EXPECT_TRUE(
+      ApproxSumFromPrefix(stream.data(), stream.size(), -5.0, 9.0).ok());
+  EXPECT_FALSE(
+      ApproxSumFromPrefix(stream.data(), stream.size(), 0.8, 0.2).ok());
+  // Garbage bytes are a clean error.
+  std::vector<uint8_t> garbage = {1, 2, 3};
+  EXPECT_FALSE(ApproxSumFromPrefix(garbage.data(), garbage.size(), 0, 1).ok());
+}
+
+TEST(ApproxTest, ReservoirSamplerEstimatesWithinBars) {
+  Rng rng(43);
+  ReservoirSampler sampler(/*capacity=*/512, /*seed=*/7);
+  double exact_count = 0, exact_sum = 0;
+  const size_t n = 50000;
+  for (size_t i = 0; i < n; ++i) {
+    double position = rng.Uniform(0, 1000);
+    double value = rng.Uniform(1, 9);
+    sampler.Add(position, value);
+    if (position >= 200 && position < 500) {
+      exact_count += 1;
+      exact_sum += value;
+    }
+  }
+  EXPECT_EQ(sampler.seen(), n);
+  EXPECT_EQ(sampler.size(), 512u);
+
+  ApproxAnswer count = sampler.EstimateCountInRange(200, 500);
+  EXPECT_GT(count.error_bound, 0);
+  EXPECT_LE(std::abs(count.estimate - exact_count), count.error_bound)
+      << count.estimate << " vs " << exact_count;
+
+  ApproxAnswer sum = sampler.EstimateSumInRange(200, 500);
+  EXPECT_LE(std::abs(sum.estimate - exact_sum), sum.error_bound)
+      << sum.estimate << " vs " << exact_sum;
+
+  // The full range is counted exactly: every sampled position matches,
+  // so the indicator has zero variance.
+  ApproxAnswer all = sampler.EstimateCountInRange(0, 1000);
+  EXPECT_DOUBLE_EQ(all.estimate, static_cast<double>(n));
+}
+
+TEST(ApproxTest, ReservoirSamplerSmallStreams) {
+  // Fewer points than capacity: estimates are exact, bars are zero.
+  ReservoirSampler sampler(/*capacity=*/64, /*seed=*/1);
+  for (int i = 0; i < 10; ++i) {
+    sampler.Add(static_cast<double>(i), 2.0);
+  }
+  ApproxAnswer count = sampler.EstimateCountInRange(0, 5);
+  EXPECT_DOUBLE_EQ(count.estimate, 5.0);
+  EXPECT_DOUBLE_EQ(count.error_bound, 0.0);
+  ApproxAnswer sum = sampler.EstimateSumInRange(0, 5);
+  EXPECT_DOUBLE_EQ(sum.estimate, 10.0);
+
+  // An empty sampler answers zero without dividing by zero.
+  ReservoirSampler empty(16, 2);
+  EXPECT_DOUBLE_EQ(empty.EstimateCountInRange(0, 1).estimate, 0.0);
 }
 
 }  // namespace

@@ -134,6 +134,46 @@ TEST_F(StreamCorderTest, ProgressiveViewApproximation) {
   EXPECT_EQ(client.server_fetches(), 1);
 }
 
+TEST_F(StreamCorderTest, ProgressiveDeliveryRefinesCoarseToFine) {
+  StreamCorder client = MakeClient(2);
+  std::vector<size_t> callback_levels;
+  std::vector<size_t> callback_bins;
+  auto progressive = client.FetchViewProgressive(
+      1, [&](const std::vector<double>& bins, size_t level) {
+        callback_levels.push_back(level);
+        callback_bins.push_back(bins.size());
+      });
+  ASSERT_TRUE(progressive.ok()) << progressive.status().ToString();
+  const auto& view = progressive.value();
+
+  // Coarse-to-fine: several refinements, levels strictly increasing,
+  // every refinement renders the full-width signal.
+  EXPECT_GE(view.refinements, 2u);
+  EXPECT_EQ(view.refinements, callback_levels.size());
+  for (size_t i = 1; i < callback_levels.size(); ++i) {
+    EXPECT_LT(callback_levels[i - 1], callback_levels[i]);
+  }
+  for (size_t bins : callback_bins) EXPECT_EQ(bins, view.bins.size());
+
+  // First paint is a small fraction of the full-fidelity payload.
+  EXPECT_GT(view.first_paint_bytes, 0u);
+  EXPECT_LT(view.first_paint_bytes * 5, view.total_bytes);
+  EXPECT_LE(view.first_paint_seconds, view.full_seconds);
+
+  // The final refinement carries every retained coefficient and matches
+  // the one-shot full-fidelity fetch.
+  EXPECT_EQ(view.final_info.coeffs_decoded, view.final_info.coeffs_total);
+  // One server fetch so far: refinement slices the fetched stream
+  // client-side instead of re-requesting.
+  EXPECT_EQ(client.server_fetches(), 1);
+  auto full = client.FetchViewApproximation(1, 1.0);
+  ASSERT_TRUE(full.ok());
+  ASSERT_EQ(view.bins.size(), full.value().size());
+  for (size_t i = 0; i < view.bins.size(); ++i) {
+    EXPECT_NEAR(view.bins[i], full.value()[i], 1e-6);
+  }
+}
+
 TEST_F(StreamCorderTest, LocalAnalysisAndUpload) {
   ASSERT_FALSE(stack_.hle_ids.empty());
   StreamCorder client = MakeClient(2);

@@ -1,7 +1,10 @@
 // Haar transforms, progressive codec, partitioned views, plots.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <initializer_list>
+#include <utility>
 
 #include "core/rng.h"
 #include "wavelet/codec.h"
@@ -222,6 +225,277 @@ TEST(PartitionedViewTest, InvalidOptionsRejected) {
   options.domain_lo = 5;
   options.domain_hi = 5;
   EXPECT_FALSE(PartitionedView::Build(samples, options).ok());
+}
+
+// --- HWV3 progressive streams ------------------------------------------
+
+std::vector<double> FlareLikeSignal(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> signal(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    signal[i] = 20.0 + 5.0 * std::sin(static_cast<double>(i) * 0.05) +
+                rng.Uniform(-1, 1);
+  }
+  // Two sharp flares: structure at several resolution levels.
+  for (size_t i = n / 4; i < n / 4 + 12 && i < n; ++i) signal[i] += 300.0;
+  for (size_t i = 3 * n / 5; i < 3 * n / 5 + 5 && i < n; ++i) {
+    signal[i] += 150.0;
+  }
+  return signal;
+}
+
+double L2Residual(const std::vector<double>& a,
+                  const std::vector<double>& b) {
+  double e = 0;
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) e += (a[i] - b[i]) * (a[i] - b[i]);
+  return std::sqrt(e);
+}
+
+// The differential guarantee: a full-fidelity decode of the progressive
+// stream is bit-identical to the legacy magnitude-ordered stream —
+// reordering coefficients never changes the reconstructed samples.
+TEST(ProgressiveCodecTest, FullDecodeBitIdenticalToLegacyFormat) {
+  for (uint64_t seed : {1u, 7u, 42u}) {
+    std::vector<double> signal = FlareLikeSignal(300, seed);
+    CodecOptions options;
+    options.quant_step = 1e-4;
+    auto legacy = DecodeSignal(EncodeSignal(signal, options), 1.0);
+    auto progressive =
+        DecodeSignal(EncodeSignalProgressive(signal, options), 1.0);
+    ASSERT_TRUE(legacy.ok());
+    ASSERT_TRUE(progressive.ok());
+    ASSERT_EQ(legacy.value().size(), progressive.value().size());
+    for (size_t i = 0; i < legacy.value().size(); ++i) {
+      // Bitwise, not approximate: same coefficients, same inverse.
+      EXPECT_EQ(legacy.value()[i], progressive.value()[i]) << "bin " << i;
+    }
+  }
+}
+
+TEST(ProgressiveCodecTest, EveryLevelPrefixDecodesWithinBound) {
+  std::vector<double> signal = FlareLikeSignal(1000, 3);
+  CodecOptions options;
+  options.quant_step = 1e-3;
+  std::vector<uint8_t> stream = EncodeSignalProgressive(signal, options);
+  ASSERT_TRUE(IsProgressiveStream(stream));
+  auto levels = ResolutionLevels(stream);
+  ASSERT_TRUE(levels.ok());
+  EXPECT_EQ(levels.value(), 11u);  // 1024 padded bins
+
+  size_t prev_bytes = 0;
+  double prev_error = 1e300;
+  for (size_t level = 0; level < levels.value(); ++level) {
+    auto bytes = PrefixBytesForLevel(stream, level);
+    ASSERT_TRUE(bytes.ok());
+    EXPECT_GE(bytes.value(), prev_bytes);  // coarse-to-fine, monotone
+    prev_bytes = bytes.value();
+    auto prefix = SlicePrefixForLevel(stream, level);
+    ASSERT_TRUE(prefix.ok());
+    ASSERT_EQ(prefix.value().size(), bytes.value());
+
+    PrefixInfo info;
+    auto decoded = DecodeSignalPrefix(prefix.value(), &info);
+    ASSERT_TRUE(decoded.ok()) << "level " << level;
+    ASSERT_EQ(decoded.value().size(), signal.size());
+    EXPECT_GE(info.levels_complete, level + 1);
+    double error = L2Residual(signal, decoded.value());
+    EXPECT_LE(error, info.L2ErrorBound() + 1e-9) << "level " << level;
+    // Refinement never hurts: each level's reconstruction is at least
+    // as good as the previous one (up to fp noise).
+    EXPECT_LE(error, prev_error + 1e-9);
+    prev_error = error;
+  }
+  // The finest level is the whole stream.
+  EXPECT_EQ(PrefixBytesForLevel(stream, levels.value() - 1).value(),
+            stream.size());
+}
+
+TEST(ProgressiveCodecTest, ArbitraryBytePrefixesDecodeOrFailCleanly) {
+  std::vector<double> signal = FlareLikeSignal(256, 9);
+  std::vector<uint8_t> stream = EncodeSignalProgressive(signal);
+  size_t decodable = 0;
+  for (size_t size = 0; size <= stream.size(); ++size) {
+    PrefixInfo info;
+    auto decoded = DecodeSignalPrefix(stream.data(), size, &info);
+    if (!decoded.ok()) continue;  // header incomplete: clean error
+    ++decodable;
+    EXPECT_LE(L2Residual(signal, decoded.value()),
+              info.L2ErrorBound() + 1e-9)
+        << "prefix " << size;
+  }
+  // Everything past the header decodes.
+  EXPECT_GT(decodable, stream.size() / 2);
+}
+
+TEST(ProgressiveCodecTest, SumErrorBoundCoversRangeSums) {
+  std::vector<double> signal = FlareLikeSignal(512, 11);
+  std::vector<uint8_t> stream = EncodeSignalProgressive(signal);
+  Rng rng(17);
+  for (size_t level : {0u, 2u, 4u, 7u}) {
+    PrefixInfo info;
+    auto prefix = SlicePrefixForLevel(stream, level);
+    ASSERT_TRUE(prefix.ok());
+    auto decoded = DecodeSignalPrefix(prefix.value(), &info);
+    ASSERT_TRUE(decoded.ok());
+    for (int round = 0; round < 20; ++round) {
+      size_t lo = static_cast<size_t>(rng.UniformInt(0, 511));
+      size_t hi = static_cast<size_t>(rng.UniformInt(0, 511));
+      if (hi < lo) std::swap(lo, hi);
+      double true_sum = 0, approx_sum = 0;
+      for (size_t i = lo; i <= hi; ++i) {
+        true_sum += signal[i];
+        approx_sum += decoded.value()[i];
+      }
+      EXPECT_LE(std::abs(true_sum - approx_sum),
+                info.SumErrorBound(hi - lo + 1) + 1e-9)
+          << "level " << level << " range [" << lo << "," << hi << "]";
+    }
+  }
+}
+
+PartitionedView MakeTestView(size_t num_partitions) {
+  Rng rng(23);
+  std::vector<std::pair<double, double>> samples;
+  for (int i = 0; i < 20000; ++i) {
+    samples.emplace_back(rng.Uniform(0, 100), rng.Uniform(0.5, 1.5));
+  }
+  PartitionedView::Options options;
+  options.domain_lo = 0;
+  options.domain_hi = 100;
+  options.num_partitions = num_partitions;
+  options.bins_per_partition = 64;
+  auto view = PartitionedView::Build(samples, options);
+  EXPECT_TRUE(view.ok());
+  return std::move(view).value();
+}
+
+TEST(PartitionedViewTest, QueryEdgeCases) {
+  PartitionedView view = MakeTestView(4);
+  double start = -1;
+
+  // Inverted range: an error, not a silent empty result.
+  EXPECT_FALSE(view.Query(50, 10, 1.0, &start).ok());
+
+  // Ranges entirely outside the domain: empty, not an error.
+  auto below = view.Query(-100, -50, 1.0, &start);
+  ASSERT_TRUE(below.ok());
+  EXPECT_TRUE(below.value().empty());
+  auto above = view.Query(200, 300, 1.0, &start);
+  ASSERT_TRUE(above.ok());
+  EXPECT_TRUE(above.value().empty());
+
+  // fraction <= 0 clamps to the coarsest usable budget instead of
+  // decoding nothing; > 1 clamps to a full decode.
+  auto zero = view.Query(0, 100, 0.0, &start);
+  ASSERT_TRUE(zero.ok());
+  EXPECT_EQ(zero.value().size(), 256u);
+  auto full = view.Query(0, 100, 1.0, &start);
+  auto over = view.Query(0, 100, 7.5, &start);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(over.ok());
+  ASSERT_EQ(full.value().size(), over.value().size());
+  for (size_t i = 0; i < full.value().size(); ++i) {
+    EXPECT_EQ(full.value()[i], over.value()[i]);
+  }
+
+  // A range partially overlapping the domain clamps to the edge.
+  auto edge = view.Query(-50, 10, 1.0, &start);
+  ASSERT_TRUE(edge.ok());
+  EXPECT_DOUBLE_EQ(start, 0.0);
+  EXPECT_FALSE(edge.value().empty());
+}
+
+TEST(PartitionedViewTest, SinglePartitionViewWorks) {
+  PartitionedView view = MakeTestView(1);
+  EXPECT_EQ(view.num_partitions(), 1u);
+  double start = -1;
+  auto bins = view.Query(0, 100, 1.0, &start);
+  ASSERT_TRUE(bins.ok());
+  EXPECT_EQ(bins.value().size(), 64u);
+  EXPECT_DOUBLE_EQ(start, 0.0);
+  // Sub-range and resolution queries behave like the multi-partition
+  // case.
+  auto sub = view.Query(25, 75, 0.5, &start);
+  ASSERT_TRUE(sub.ok());
+  EXPECT_FALSE(sub.value().empty());
+  auto coarse = view.QueryResolution(0, 100, 0, &start);
+  ASSERT_TRUE(coarse.ok());
+  EXPECT_EQ(coarse.value().size(), 64u);
+}
+
+TEST(PartitionedViewTest, ResolutionPrefixesRefine) {
+  PartitionedView view = MakeTestView(4);
+  double start = 0;
+  auto exact = view.Query(0, 100, 1.0, &start);
+  ASSERT_TRUE(exact.ok());
+  size_t levels = view.ResolutionLevelCount();
+  ASSERT_EQ(levels, 7u);  // 64 bins per partition
+  double prev_error = 1e300;
+  size_t prev_bytes = 0;
+  for (size_t level = 0; level < levels; ++level) {
+    auto bins = view.QueryResolution(0, 100, level, &start);
+    ASSERT_TRUE(bins.ok());
+    double error = RelativeL2Error(exact.value(), bins.value());
+    EXPECT_LE(error, prev_error + 1e-12);
+    prev_error = error;
+    size_t bytes = view.PrefixBytesForRange(0, 100, level);
+    EXPECT_GE(bytes, prev_bytes);
+    prev_bytes = bytes;
+  }
+  // The finest level reproduces the full-fidelity query; the coarsest
+  // costs a small fraction of the full download.
+  EXPECT_LT(prev_error, 1e-6);
+  EXPECT_LT(view.PrefixBytesForRange(0, 100, 0) * 5,
+            view.BytesForRange(0, 100));
+}
+
+TEST(PartitionedViewTest, AggregateRangeWithinBound) {
+  Rng rng(31);
+  std::vector<std::pair<double, double>> samples;
+  for (int i = 0; i < 30000; ++i) {
+    samples.emplace_back(rng.Uniform(0, 100), rng.Uniform(0, 2));
+  }
+  PartitionedView::Options options;
+  options.domain_lo = 0;
+  options.domain_hi = 100;
+  options.num_partitions = 8;
+  options.bins_per_partition = 128;
+  auto built = PartitionedView::Build(samples, options);
+  ASSERT_TRUE(built.ok());
+  const PartitionedView& view = built.value();
+
+  for (size_t level : {0u, 2u, 5u}) {
+    for (auto [lo, hi] : std::initializer_list<std::pair<double, double>>{
+             {0, 100}, {10, 35}, {60.5, 61.5}}) {
+      // True sum of samples in [lo, hi) up to binning at the edges:
+      // compare against the exact bin sums instead.
+      double start = 0;
+      auto exact_bins = view.Query(0, 100, 1.0, &start);
+      ASSERT_TRUE(exact_bins.ok());
+      double bin_width = view.bin_width();
+      double exact = 0;
+      for (size_t i = 0; i < exact_bins.value().size(); ++i) {
+        double b_lo = start + static_cast<double>(i) * bin_width;
+        if (b_lo >= hi || b_lo + bin_width <= lo) continue;
+        exact += exact_bins.value()[i];
+      }
+      auto agg = view.AggregateRange(lo, hi, level);
+      ASSERT_TRUE(agg.ok());
+      EXPECT_LE(std::abs(agg.value().sum - exact),
+                agg.value().error_bound + 1e-6)
+          << "level " << level << " [" << lo << "," << hi << ")";
+      EXPECT_GT(agg.value().bins, 0u);
+      EXPECT_GT(agg.value().bytes_read, 0u);
+    }
+  }
+
+  // Disjoint range: zero everything.
+  auto miss = view.AggregateRange(500, 600, 0);
+  ASSERT_TRUE(miss.ok());
+  EXPECT_EQ(miss.value().sum, 0.0);
+  EXPECT_EQ(miss.value().bins, 0u);
+  EXPECT_EQ(miss.value().error_bound, 0.0);
 }
 
 TEST(DensityPlotTest, CountsPerBin) {

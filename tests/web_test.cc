@@ -10,6 +10,12 @@
 #include "web/http_tcp.h"
 #include "web/tcp.h"
 #include "web/template.h"
+#include "archive/archive.h"
+#include "core/metrics.h"
+#include "dm/process_layer.h"
+#include "rhessi/calibration.h"
+#include "rhessi/raw_unit.h"
+#include "wavelet/codec.h"
 
 namespace hedc::web {
 namespace {
@@ -175,6 +181,265 @@ TEST_F(WebStackTest, FullStackServesOverBothTcpEngines) {
     }
     http.Stop();
   }
+}
+
+// --- progressive view delivery (/view) and approximate aggregates
+// (/approx) --------------------------------------------------------------
+
+int64_t ViewBuilds() {
+  return MetricsRegistry::Default()->GetCounter("web.view.builds")->Value();
+}
+
+double JsonNumber(const std::string& body, const std::string& key) {
+  size_t pos = body.find("\"" + key + "\":");
+  EXPECT_NE(pos, std::string::npos) << key << " missing in " << body;
+  if (pos == std::string::npos) return 0;
+  return std::strtod(body.c_str() + pos + key.size() + 3, nullptr);
+}
+
+TEST_F(WebStackTest, ViewServletShipsDecodablePrefixes) {
+  // Coarse-to-fine: each resolution is a byte prefix of the same stored
+  // stream, so sizes grow monotonically and every prefix decodes.
+  size_t prev_bytes = 0;
+  for (int64_t resolution : {0, 2, 5, -1}) {
+    HttpRequest request = MakeRequest(
+        "/view?unit=1&resolution=" + std::to_string(resolution));
+    HttpResponse response = stack_.web_server->Dispatch(request);
+    ASSERT_EQ(response.status_code, 200) << "resolution " << resolution;
+    EXPECT_EQ(response.content_type, "application/x-hedc-wavelet");
+    ASSERT_FALSE(response.binary_body.empty());
+    EXPECT_GT(response.binary_body.size(), prev_bytes);
+    prev_bytes = resolution >= 0 ? response.binary_body.size() : prev_bytes;
+
+    wavelet::PrefixInfo info;
+    auto decoded = wavelet::DecodeSignalPrefix(response.binary_body, &info);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded.value().size(), 1024u);
+    if (resolution >= 0) {
+      EXPECT_GE(info.levels_complete, static_cast<size_t>(resolution) + 1);
+    } else {
+      // Full fidelity: every retained coefficient arrived.
+      EXPECT_EQ(info.coeffs_decoded, info.coeffs_total);
+    }
+  }
+
+  // The energy HDU serves the sum aggregate; it is a distinct stream.
+  HttpRequest energy = MakeRequest("/view?unit=1&resolution=0&kind=energy");
+  EXPECT_EQ(stack_.web_server->Dispatch(energy).status_code, 200);
+
+  // Bad requests.
+  EXPECT_EQ(stack_.web_server->Dispatch(MakeRequest("/view")).status_code,
+            400);
+  EXPECT_EQ(stack_.web_server
+                ->Dispatch(MakeRequest("/view?unit=1&kind=bogus"))
+                .status_code,
+            400);
+  EXPECT_EQ(stack_.web_server
+                ->Dispatch(MakeRequest("/view?unit=999999"))
+                .status_code,
+            404);
+}
+
+TEST_F(WebStackTest, ViewPrefixCacheHitSkipsRebuild) {
+  HttpRequest coarse = MakeRequest("/view?unit=1&resolution=0");
+  int64_t before = ViewBuilds();
+  HttpResponse first = stack_.web_server->Dispatch(coarse);
+  ASSERT_EQ(first.status_code, 200);
+  EXPECT_EQ(ViewBuilds(), before + 1);  // cold: one real build
+
+  // The coarse prefix is now cached under (view, resolution,
+  // calibration_version): repeats never re-read or re-slice the stored
+  // stream.
+  for (int i = 0; i < 3; ++i) {
+    HttpResponse repeat = stack_.web_server->Dispatch(coarse);
+    ASSERT_EQ(repeat.status_code, 200);
+    EXPECT_EQ(repeat.binary_body, first.binary_body);
+  }
+  EXPECT_EQ(ViewBuilds(), before + 1);
+
+  // A different resolution is a different cache entry.
+  ASSERT_EQ(stack_.web_server->Dispatch(MakeRequest(
+                                            "/view?unit=1&resolution=3"))
+                .status_code,
+            200);
+  EXPECT_EQ(ViewBuilds(), before + 2);
+  ASSERT_EQ(stack_.web_server->Dispatch(MakeRequest(
+                                            "/view?unit=1&resolution=3"))
+                .status_code,
+            200);
+  EXPECT_EQ(ViewBuilds(), before + 2);
+}
+
+TEST_F(WebStackTest, RecalibrationInvalidatesEveryViewResolution) {
+  // Warm two resolutions of unit 1 into the product cache.
+  HttpRequest coarse = MakeRequest("/view?unit=1&resolution=0");
+  HttpRequest fine = MakeRequest("/view?unit=1&resolution=4");
+  HttpResponse coarse_v1 = stack_.web_server->Dispatch(coarse);
+  ASSERT_EQ(coarse_v1.status_code, 200);
+  ASSERT_EQ(stack_.web_server->Dispatch(fine).status_code, 200);
+  int64_t warmed = ViewBuilds();
+  ASSERT_EQ(stack_.web_server->Dispatch(coarse).status_code, 200);
+  EXPECT_EQ(ViewBuilds(), warmed);  // both cached
+
+  // Recalibrate: the lineage hook must drop every cached resolution of
+  // the unit, and the view file itself is rebuilt from the recalibrated
+  // photons.
+  rhessi::CalibrationTable calibrations;
+  rhessi::CalibrationVersion v2;
+  v2.version = 2;
+  for (double& g : v2.gain) g = 1.10;
+  ASSERT_TRUE(calibrations.Register(v2).ok());
+  auto recal = stack_.process->RecalibrateUnit(stack_.import_session, 1,
+                                               calibrations, 2);
+  ASSERT_TRUE(recal.ok()) << recal.status().ToString();
+
+  HttpResponse coarse_v2 = stack_.web_server->Dispatch(coarse);
+  ASSERT_EQ(coarse_v2.status_code, 200);
+  HttpResponse fine_v2 = stack_.web_server->Dispatch(fine);
+  ASSERT_EQ(fine_v2.status_code, 200);
+  // Both resolutions were rebuilt (cache misses), not served stale.
+  EXPECT_EQ(ViewBuilds(), warmed + 2);
+  // Recalibration rescales energies, not arrival times, so the count
+  // view is unchanged — but the energy view must change.
+  HttpRequest energy = MakeRequest("/view?unit=1&kind=energy&resolution=-1");
+  HttpResponse energy_v2 = stack_.web_server->Dispatch(energy);
+  ASSERT_EQ(energy_v2.status_code, 200);
+  auto decoded = wavelet::DecodeSignalPrefix(energy_v2.binary_body);
+  ASSERT_TRUE(decoded.ok());
+}
+
+TEST_F(WebStackTest, ViewServedIdenticallyOverBothTcpEngines) {
+  std::vector<std::string> bodies;
+  for (bool use_reactor : {false, true}) {
+    SCOPED_TRACE(use_reactor ? "reactor" : "blocking");
+    web::HttpTcpServer::Options options;
+    options.use_reactor = use_reactor;
+    web::HttpTcpServer http(
+        [&](const HttpRequest& request) {
+          return stack_.web_server->Dispatch(request);
+        },
+        nullptr, options);
+    ASSERT_TRUE(http.Start().ok());
+    auto connected = net::TcpConnect("127.0.0.1", http.port());
+    ASSERT_TRUE(connected.ok());
+    net::TcpSocket socket = std::move(connected).value();
+    std::string request =
+        "GET /view?unit=1&resolution=1 HTTP/1.1\r\nHost: hedc\r\n\r\n";
+    ASSERT_TRUE(socket
+                    .SendAll(reinterpret_cast<const uint8_t*>(
+                                 request.data()),
+                             request.size())
+                    .ok());
+    std::string response = ReadHttpResponse(socket);
+    ASSERT_EQ(response.rfind("HTTP/1.1 200", 0), 0u) << response;
+    bodies.push_back(response.substr(response.find("\r\n\r\n") + 4));
+    http.Stop();
+  }
+  ASSERT_EQ(bodies.size(), 2u);
+  // Byte-identical across engines: the prefix is sliced from the same
+  // cached stream regardless of transport.
+  EXPECT_EQ(bodies[0], bodies[1]);
+  std::vector<uint8_t> raw(bodies[0].begin(), bodies[0].end());
+  EXPECT_TRUE(wavelet::DecodeSignalPrefix(raw).ok());
+}
+
+TEST_F(WebStackTest, ApproxAggregatesStayWithinReportedBound) {
+  // Ground truth straight from the stored raw unit.
+  auto packed = stack_.data_manager->io().ReadItemFile(1);
+  ASSERT_TRUE(packed.ok());
+  auto unit = rhessi::RawDataUnit::Unpack(packed.value());
+  ASSERT_TRUE(unit.ok());
+  double domain_lo = unit.value().t_start;
+  double domain_hi = unit.value().t_stop + 1e-6;
+  double bin_width = (domain_hi - domain_lo) / 1024.0;
+  // Bin-aligned subrange, so binning introduces no edge slack.
+  double t_lo = domain_lo + 256 * bin_width;
+  double t_hi = domain_lo + 768 * bin_width;
+  double exact_count = 0, exact_kev = 0;
+  for (const auto& p : unit.value().photons) {
+    if (p.time_sec < t_lo || p.time_sec >= t_hi) continue;
+    exact_count += 1.0;
+    exact_kev += p.energy_kev;
+  }
+  ASSERT_GT(exact_count, 0);
+
+  for (int64_t resolution : {2, 5, 10}) {
+    HttpRequest request = MakeRequest(StrFormat(
+        "/approx?unit=1&agg=count&t_lo=%.9f&t_hi=%.9f&resolution=%lld",
+        t_lo, t_hi, static_cast<long long>(resolution)));
+    HttpResponse response = stack_.web_server->Dispatch(request);
+    ASSERT_EQ(response.status_code, 200) << response.body;
+    EXPECT_NE(response.body.find("\"method\":\"wavelet-prefix\""),
+              std::string::npos)
+        << response.body;
+    double estimate = JsonNumber(response.body, "estimate");
+    double bound = JsonNumber(response.body, "error_bound");
+    EXPECT_LE(std::abs(estimate - exact_count), bound + 1e-6)
+        << "resolution " << resolution << ": " << response.body;
+    // Fine resolutions give tight answers.
+    if (resolution == 10) {
+      EXPECT_NEAR(estimate, exact_count, 1.0);
+    }
+  }
+
+  HttpRequest sum_request = MakeRequest(StrFormat(
+      "/approx?unit=1&agg=sum&t_lo=%.9f&t_hi=%.9f&resolution=10", t_lo,
+      t_hi));
+  HttpResponse sum_response = stack_.web_server->Dispatch(sum_request);
+  ASSERT_EQ(sum_response.status_code, 200);
+  double sum_estimate = JsonNumber(sum_response.body, "estimate");
+  double sum_bound = JsonNumber(sum_response.body, "error_bound");
+  EXPECT_LE(std::abs(sum_estimate - exact_kev), sum_bound + 1e-3)
+      << sum_response.body;
+
+  // Inverted range is a client error.
+  EXPECT_EQ(stack_.web_server
+                ->Dispatch(MakeRequest("/approx?unit=1&t_lo=9&t_hi=3"))
+                .status_code,
+            400);
+}
+
+TEST_F(WebStackTest, ApproxFallsBackToReservoirAndHonorsDisableKnob) {
+  // Destroy the stored view in place: the servlet must fall back to the
+  // seeded reservoir scan of the raw photons instead of failing.
+  auto name = stack_.mapper->Resolve(dm::ProcessLayer::ViewItemId(1),
+                                     archive::NameType::kFilename);
+  ASSERT_TRUE(name.ok());
+  archive::Archive* arch = stack_.archives.Get(name.value().archive_id);
+  ASSERT_NE(arch, nullptr);
+  ASSERT_TRUE(
+      arch->Write(name.value().rel_path, {0xde, 0xad, 0xbe, 0xef}).ok());
+
+  auto packed = stack_.data_manager->io().ReadItemFile(1);
+  ASSERT_TRUE(packed.ok());
+  auto unit = rhessi::RawDataUnit::Unpack(packed.value());
+  ASSERT_TRUE(unit.ok());
+  double t_lo = unit.value().t_start;
+  double t_hi = unit.value().t_start +
+                (unit.value().t_stop - unit.value().t_start) * 0.4;
+  double exact_count = 0;
+  for (const auto& p : unit.value().photons) {
+    if (p.time_sec >= t_lo && p.time_sec < t_hi) exact_count += 1.0;
+  }
+
+  HttpRequest request = MakeRequest(StrFormat(
+      "/approx?unit=1&agg=count&t_lo=%.9f&t_hi=%.9f", t_lo, t_hi));
+  HttpResponse response = stack_.web_server->Dispatch(request);
+  ASSERT_EQ(response.status_code, 200) << response.body;
+  EXPECT_NE(response.body.find("\"method\":\"reservoir\""),
+            std::string::npos)
+      << response.body;
+  double estimate = JsonNumber(response.body, "estimate");
+  double bound = JsonNumber(response.body, "error_bound");
+  EXPECT_GT(bound, 0);
+  // ~95% bars from a seeded reservoir: deterministic for this fixture.
+  EXPECT_LE(std::abs(estimate - exact_count), bound) << response.body;
+
+  // approx.enabled=false turns the endpoint off entirely.
+  web::WebServer::DeliveryOptions off;
+  off.approx_enabled = false;
+  stack_.web_server->set_delivery_options(off);
+  EXPECT_EQ(stack_.web_server->Dispatch(request).status_code, 403);
 }
 
 TEST_F(WebStackTest, CatalogPageListsEvents) {
